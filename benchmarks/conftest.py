@@ -1,0 +1,48 @@
+"""Shared fixtures for the experiment benchmarks.
+
+One evaluation world (all five engines, warmed up) is built per session and
+shared by every read-only experiment; the honeypot experiment builds its
+own world because it advances time.  Set ``REPRO_BENCH_SCALE=full`` for a
+larger, slower configuration closer to the paper's relative scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval import EvalConfig, EvaluationWorld, collect_ground_truth
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_config() -> EvalConfig:
+    if os.environ.get("REPRO_BENCH_SCALE") == "full":
+        return EvalConfig(bits=17, services_target=8000, warmup_days=90, tick_hours=6.0, seed=7)
+    return EvalConfig(bits=15, services_target=2500, warmup_days=60, tick_hours=6.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def world() -> EvaluationWorld:
+    config = bench_config()
+    w = EvaluationWorld(config)
+    w.run_warmup()
+    return w
+
+
+@pytest.fixture(scope="session")
+def ground_truth(world):
+    return collect_ground_truth(world.internet, started_at=world.now, sample_fraction=0.35)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

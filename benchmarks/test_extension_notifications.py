@@ -1,0 +1,78 @@
+"""Extension experiment — notification effectiveness (§7.2 / §9).
+
+Not a numbered table in the paper, but a quantified claim: direct
+notifications have "statistically significant but minimal impact" while
+the EPA partnership achieved ~97% remediation of exposed water HMIs.  We
+run identical ICS-exposure campaigns through three channels and measure
+remediation by re-scanning, reproducing that ordering.
+"""
+
+from conftest import save_result
+
+from repro.core import (
+    CHANNELS,
+    CensysPlatform,
+    NotificationCampaign,
+    PlatformConfig,
+    exposures_from_platform,
+)
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+
+def test_notification_channel_effectiveness(results_dir, benchmark):
+    def run():
+        internet = build_simnet(
+            bits=14,
+            workload_config=WorkloadConfig(
+                seed=83, services_target=1800, t_start=-25 * DAY, t_end=10 * DAY
+            ),
+            seed=83,
+        )
+        platform = CensysPlatform(internet, PlatformConfig(seed=83), start_time=-20 * DAY)
+        platform.run_until(0.0, tick_hours=6.0)
+        exposures = exposures_from_platform(platform, labels=("ics",))
+        outcomes = {}
+        from repro.core import ResponseModel
+
+        # Notification studies need a control group: services churn away on
+        # their own, so raw disappearance over-states remediation.
+        channels = dict(CHANNELS)
+        channels["control"] = ResponseModel("control", remediation_probability=0.0, mean_delay_days=1.0)
+        for channel, model in channels.items():
+            # Fresh ground truth per channel so campaigns don't interact.
+            world = build_simnet(
+                bits=14,
+                workload_config=WorkloadConfig(
+                    seed=83, services_target=1800, t_start=-25 * DAY, t_end=10 * DAY
+                ),
+                seed=83,
+            )
+            campaign = NotificationCampaign(world, model, seed=31)
+            campaign.notify(exposures, at=0.0)
+            outcomes[channel] = {
+                "notified": campaign.notified_count,
+                "rate_30d": campaign.remediation_rate(30 * DAY),
+                "rate_120d": campaign.remediation_rate(120 * DAY),
+            }
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Extension: notification-channel effectiveness (ICS exposures)"]
+    control = outcomes["control"]["rate_120d"]
+    for channel, stats in outcomes.items():
+        uplift = stats["rate_120d"] - control
+        lines.append(
+            f"  {channel:<10} notified={stats['notified']:>4} "
+            f"remediated@30d={stats['rate_30d']:.0%} @120d={stats['rate_120d']:.0%} "
+            f"uplift-over-control={uplift:+.0%}"
+        )
+    save_result(results_dir, "extension_notifications", "\n".join(lines))
+
+    # The paper's ordering over the control baseline: regulator >> cert >
+    # email, with email's uplift small ("statistically significant but
+    # minimal impact").
+    control = outcomes["control"]["rate_120d"]
+    uplift = {c: outcomes[c]["rate_120d"] - control for c in ("email", "cert", "regulator")}
+    assert uplift["regulator"] > uplift["cert"] > uplift["email"] >= 0.0
+    assert outcomes["regulator"]["rate_120d"] > 0.85
+    assert uplift["email"] < 0.2

@@ -1,0 +1,137 @@
+"""Microbenchmarks of the hot paths (multi-round, statistically measured).
+
+Unlike the experiment benches (one-shot table regeneration), these exercise
+the inner loops whose throughput determines how large a simulated Internet
+the reproduction can sustain: segment queries, journal appends with delta
+encoding, point-in-time reconstruction, interrogation, and search.
+"""
+
+import random
+
+import pytest
+
+from repro.net import AffinePermutation, ProbeSpace
+from repro.pipeline import EventJournal, ScanObservation, WriteSideProcessor
+from repro.protocols import Interrogator, default_registry
+from repro.protocols.interrogate import InterrogationResult
+from repro.search import SearchIndex
+from repro.simnet import DAY, Vantage, WorkloadConfig, build_simnet
+
+
+@pytest.fixture(scope="module")
+def micro_net():
+    return build_simnet(
+        bits=14,
+        workload_config=WorkloadConfig(
+            seed=71, services_target=1500, t_start=-10 * DAY, t_end=10 * DAY
+        ),
+        seed=71,
+    )
+
+
+def test_perm_position_lookup(benchmark):
+    perm = AffinePermutation(2**36, seed=5)
+    elements = [perm.element(i * 7919) for i in range(1000)]
+
+    def run():
+        return [perm.position(e) for e in elements]
+
+    positions = benchmark(run)
+    assert positions[0] == 0
+
+
+def test_segment_query_throughput(micro_net, benchmark):
+    space = ProbeSpace.single_range(0, micro_net.space.size, list(range(65536)))
+    perm = AffinePermutation(space.size, seed=9)
+    index = micro_net.prepare_scan(space, perm)
+    vantage = Vantage("bench", "us", loss_rate=0.0, vantage_id=50)
+    segment = micro_net.space.size * 100  # one day of background scanning
+    state = {"cursor": 0}
+
+    def run():
+        hits = index.query(state["cursor"], segment, 0.0, segment / 24.0, vantage)
+        state["cursor"] = (state["cursor"] + segment) % space.size
+        return hits
+
+    hits = benchmark(run)
+    assert isinstance(hits, list)
+
+
+def test_interrogation_throughput(micro_net, benchmark):
+    interrogator = Interrogator(default_registry())
+    vantage = Vantage("bench", "us", loss_rate=0.0, vantage_id=51)
+    targets = [
+        (i.ip_index, i.port) for i in micro_net.services_alive_at(0.0)[:300]
+        if i.transport == "tcp"
+    ]
+
+    def run():
+        successes = 0
+        for ip_index, port in targets:
+            conn = micro_net.connect(ip_index, port, 0.0, vantage)
+            if conn is not None and interrogator.interrogate(conn).success:
+                successes += 1
+        return successes
+
+    successes = benchmark(run)
+    assert successes > len(targets) * 0.8
+
+
+def test_journal_append_throughput(benchmark):
+    record = {f"http.h{i}": f"v{i}" for i in range(12)}
+
+    def run():
+        journal = EventJournal(snapshot_every=32)
+        write = WriteSideProcessor(journal)
+        for i in range(500):
+            result = InterrogationResult(
+                port=80, transport="tcp", success=True, protocol="HTTP",
+                record=dict(record, seq=i % 5),
+            )
+            write.process(ScanObservation(f"host:1.0.0.{i % 50}", float(i), 80, "tcp", result))
+        return journal
+
+    journal = benchmark(run)
+    assert journal.stats.events == 500
+
+
+def test_point_in_time_reconstruction(benchmark):
+    journal = EventJournal(snapshot_every=16)
+    write = WriteSideProcessor(journal)
+    for i in range(400):
+        result = InterrogationResult(
+            port=80, transport="tcp", success=True, protocol="HTTP",
+            record={"v": i // 37},
+        )
+        write.process(ScanObservation("host:1.0.0.1", float(i), 80, "tcp", result))
+
+    def run():
+        return [journal.reconstruct("host:1.0.0.1", at=float(t)) for t in range(10, 400, 40)]
+
+    states = benchmark(run)
+    assert states[-1]["services"]["80/tcp"]["record"]["v"] == 370 // 37
+
+
+def test_search_index_query_latency(benchmark):
+    rng = random.Random(3)
+    index = SearchIndex()
+    names = ["HTTP", "HTTPS", "SSH", "MODBUS", "RDP", "FTP"]
+    countries = ["US", "DE", "CN", "FR"]
+    for i in range(5000):
+        index.put(
+            f"host:{i}",
+            {
+                "services.service_name": [rng.choice(names)],
+                "location.country": [rng.choice(countries)],
+                "services.port": [rng.choice([80, 443, 22, 502, 3389])],
+            },
+        )
+
+    def run():
+        a = index.search("services.service_name: MODBUS and location.country: US")
+        b = index.search("services.port: [100 to 600]")
+        c = index.search("not services.service_name: HTTP", limit=50)
+        return len(a) + len(b) + len(c)
+
+    total = benchmark(run)
+    assert total > 0

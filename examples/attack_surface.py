@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Attack Surface Management (§7.2): monitor one organization's perimeter.
+
+Organizations use Censys to discover, monitor, and remediate exposures on
+their Internet-facing infrastructure.  This example picks one organization
+from the simulated topology, enumerates its assets through the platform's
+search interface, ranks exposures (CVEs, open databases, unauthenticated
+remote access), and then watches the perimeter for several days to catch
+*new* assets as they appear — the "when new assets appear, know quickly"
+workflow.
+"""
+
+from repro.core import CensysPlatform, PlatformConfig
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+
+def organization_assets(platform, organization):
+    """All host entities WHOIS-registered to the organization."""
+    hits = platform.search(f'autonomous_system.organization: "{organization}"')
+    return {h for h in hits if h.startswith("host:")}
+
+
+def exposure_report(platform, entities):
+    findings = []
+    for entity_id in sorted(entities):
+        view = platform.read_side.lookup(entity_id)
+        derived = view["derived"]
+        for key, service in view["services"].items():
+            issue = None
+            for vuln in service.get("vulnerabilities", ()):
+                severity = "CRITICAL" if vuln["cvss"] >= 9 else "HIGH"
+                kev = " [known-exploited]" if vuln.get("kev") else ""
+                issue = f"{severity} {vuln['cve_id']}{kev}"
+            record = service.get("record", {})
+            if record.get("redis.auth_required") is False:
+                issue = issue or "HIGH open Redis (no auth)"
+            if record.get("ftp.anonymous"):
+                issue = issue or "MEDIUM anonymous FTP"
+            if record.get("vnc.security_types") == ("None",):
+                issue = issue or "CRITICAL unauthenticated VNC"
+            if service.get("service_name") == "RDP":
+                issue = issue or "MEDIUM Internet-facing RDP"
+            if issue:
+                software = service.get("software") or {}
+                findings.append(
+                    (entity_id, key, service.get("service_name"),
+                     f"{software.get('product', '?')} {software.get('version') or ''}".strip(),
+                     issue)
+                )
+    return findings
+
+
+def main() -> None:
+    internet = build_simnet(
+        bits=15,
+        workload_config=WorkloadConfig(
+            seed=77, services_target=2000, t_start=-20 * DAY, t_end=15 * DAY
+        ),
+        seed=77,
+    )
+    platform = CensysPlatform(internet, PlatformConfig(seed=77), start_time=-15 * DAY)
+    print("warming up the platform (15 simulated days)...")
+    platform.run_until(0.0, tick_hours=6.0)
+
+    # Pick the business network with the most indexed assets as "our org".
+    from collections import Counter
+
+    org_counts = Counter()
+    for doc_id in platform.index.doc_ids():
+        doc = platform.index.get(doc_id)
+        for org in doc.get("autonomous_system.organization", []):
+            org_counts[org] += 1
+    organization = org_counts.most_common(1)[0][0]
+    print(f"\n=== Attack surface of {organization!r} ===")
+
+    assets = organization_assets(platform, organization)
+    print(f"discovered assets: {len(assets)} Internet-facing hosts")
+
+    findings = exposure_report(platform, assets)
+    print(f"exposures found: {len(findings)}")
+    for entity, key, name, software, issue in findings[:15]:
+        print(f"  {entity} {key} ({name}, {software}): {issue}")
+
+    print("\n=== Monitoring the perimeter for 6 more days ===")
+    known = set(assets)
+    for day in range(1, 7):
+        platform.run_until(day * DAY, tick_hours=6.0)
+        current = organization_assets(platform, organization)
+        new_assets = current - known
+        gone = known - current
+        if new_assets or gone:
+            for asset in sorted(new_assets):
+                view = platform.read_side.lookup(asset)
+                names = [s.get("service_name") for s in view["services"].values()]
+                print(f"  day {day}: NEW asset {asset} exposing {names}")
+            for asset in sorted(gone):
+                print(f"  day {day}: asset {asset} no longer exposed")
+        known = current
+    print("\nmonitoring complete;",
+          f"perimeter now {len(known)} hosts, {len(exposure_report(platform, known))} open findings")
+
+
+if __name__ == "__main__":
+    main()

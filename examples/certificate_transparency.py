@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fraud and impersonation hunting (§7.2) via certificate transparency.
+
+Brand-protection teams watch CT logs for look-alike domains, check where
+those names are served, and build takedown evidence.  This example polls
+the simulated CT log for names impersonating protected brands, inspects
+the offending web properties through the platform, and audits certificate
+quality (validation status, lint findings) across the map.
+"""
+
+from collections import Counter
+
+from repro.core import CensysPlatform, PlatformConfig
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+PROTECTED_BRANDS = ("examplebank", "megacorp", "trustpay")
+
+
+def main() -> None:
+    internet = build_simnet(
+        bits=15,
+        workload_config=WorkloadConfig(
+            seed=33, services_target=2200, t_start=-25 * DAY, t_end=10 * DAY
+        ),
+        seed=33,
+    )
+    platform = CensysPlatform(internet, PlatformConfig(seed=33), start_time=-20 * DAY)
+    print("running the platform (CT polling + web-property scanning)...")
+    platform.run_until(0.0, tick_hours=6.0)
+
+    print("\n=== 1. CT log monitoring for brand impersonation ===")
+    suspects = []
+    for name, logged_at in platform.ct_log.names_seen(until_time=0.0):
+        for brand in PROTECTED_BRANDS:
+            if brand in name and not name.startswith(f"www.{brand}."):
+                suspects.append((name, brand, logged_at))
+    print(f"{platform.ct_log.size} certificates in the CT log; "
+          f"{len(suspects)} look-alike names for protected brands")
+    for name, brand, logged_at in suspects[:8]:
+        print(f"  {name} (targets {brand!r}, logged day {logged_at / 24:.0f})")
+
+    print("\n=== 2. Where are the phishing sites served? ===")
+    for name, brand, _ in suspects[:6]:
+        view = platform.read_side.lookup(f"web:{name}", enrich=False)
+        if not view["services"]:
+            print(f"  {name}: not (yet) serving content")
+            continue
+        for key, service in view["services"].items():
+            record = service.get("record", {})
+            front = record.get("web.fronting_ip_index")
+            title = record.get("http.html_title", "")
+            whois = platform.whois.lookup(front) if front is not None else None
+            hosted = f"AS{whois.asn} {whois.as_name}" if whois else "unknown network"
+            print(f"  {name}: serving {title!r} from {hosted}")
+
+    print("\n=== 3. Certificate audit across the map ===")
+    search = platform.index
+    self_signed = search.count("self_signed: true")
+    revoked = search.count("revoked: true")
+    untrusted = search.count("validation.errors: untrusted-root")
+    expired = search.count("validation.errors: expired")
+    total_certs = sum(1 for d in search.doc_ids() if d.startswith("cert:"))
+    print(f"certificates indexed: {total_certs}")
+    print(f"  self-signed: {self_signed}  untrusted root: {untrusted}  "
+          f"expired: {expired}  revoked: {revoked}")
+
+    lint_counts = Counter()
+    for doc_id in search.doc_ids():
+        if doc_id.startswith("cert:"):
+            for finding in (search.get(doc_id) or {}).get("lint", []):
+                lint_counts[finding] += 1
+    print("  lint findings:", dict(lint_counts))
+
+    print("\n=== 4. Certificate-to-host pivot for takedown evidence ===")
+    if suspects:
+        name = suspects[0][0]
+        hits = platform.search(f"names: {name}")
+        print(f"  certificates covering {name}: {hits}")
+
+
+if __name__ == "__main__":
+    main()

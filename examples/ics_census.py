@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Critical-infrastructure monitoring (§6.3, §7.2): the ICS exposure census.
+
+Reproduces the operational workflow behind the paper's EPA partnership:
+enumerate Internet-exposed industrial control systems, validate every hit
+with a full protocol handshake (never keywords), group the exposures for
+notification, and contrast the validated census with what a
+keyword-labeling engine would have reported.
+"""
+
+from collections import defaultdict
+
+from repro.engines import BaselineEngine, CensysHarness, shodan_policy
+from repro.core import CensysPlatform, PlatformConfig
+from repro.eval import ICS_PROTOCOL_ORDER, ics_census, ics_ground_truth_counts
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+
+def main() -> None:
+    internet = build_simnet(
+        bits=15,
+        workload_config=WorkloadConfig(
+            seed=55, services_target=2600, t_start=-30 * DAY, t_end=10 * DAY
+        ),
+        seed=55,
+    )
+    platform = CensysPlatform(internet, PlatformConfig(seed=55), start_time=-25 * DAY)
+    shodan = BaselineEngine(internet, shodan_policy())
+    print("running Censys platform and a keyword-labeling engine for 25 days...")
+    platform.run_until(0.0, tick_hours=6.0)
+    shodan.run_until(-25 * DAY, 0.0, tick_hours=12.0)
+
+    censys = CensysHarness(platform)
+    print("\n=== Validated ICS census (handshake-verified at query time) ===")
+    table = ics_census(internet, [censys, shodan], 0.0)
+    truth = ics_ground_truth_counts(internet, 0.0)
+    print(f"{'Protocol':<12}{'truth':>7}{'censys A/R':>14}{'keyword A/R':>14}")
+    for protocol in ICS_PROTOCOL_ORDER:
+        row = table[protocol]
+        c = row.get("censys")
+        s = row.get("shodan")
+        c_text = f"{c.accurate}/{c.reported}" if c and c.reported else "-"
+        s_text = f"{s.accurate}/{s.reported}" if s and s.reported else "-"
+        print(f"{protocol:<12}{truth.get(protocol, 0):>7}{c_text:>14}{s_text:>14}")
+
+    print("\n=== Keyword labeling vs. reality ===")
+    for protocol in ("ATG", "CODESYS", "EIP", "WDBRPC"):
+        cell = table[protocol].get("shodan")
+        if cell and cell.reported:
+            factor = cell.reported / max(1, cell.accurate)
+            print(f"  {protocol}: keyword engine reports {cell.reported}, "
+                  f"only {cell.accurate} complete the handshake ({factor:.1f}x over-report)")
+
+    print("\n=== Notification list (the EPA-style remediation workflow) ===")
+    by_org = defaultdict(list)
+    for protocol in ICS_PROTOCOL_ORDER:
+        for service in censys.query_label(protocol, 0.0):
+            whois = platform.whois.lookup(service.ip_index)
+            by_org[(whois.organization, whois.abuse_contact)].append(
+                (protocol, service.ip_index, service.port)
+            )
+    print(f"{sum(len(v) for v in by_org.values())} exposed control systems across "
+          f"{len(by_org)} organizations; largest operators:")
+    ranked = sorted(by_org.items(), key=lambda kv: -len(kv[1]))
+    for (org, contact), exposures in ranked[:6]:
+        protocols = sorted({p for p, _, _ in exposures})
+        print(f"  {org} ({contact}): {len(exposures)} exposures — {', '.join(protocols)}")
+
+    print("\nwith per-organization WHOIS contacts, a notification campaign can "
+          "target every operator directly, as in the paper's water-utility case.")
+
+
+if __name__ == "__main__":
+    main()

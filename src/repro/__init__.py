@@ -1,0 +1,26 @@
+"""repro — a reproduction of "Censys: A Map of Internet Hosts and Services".
+
+The package implements the full Censys architecture (SIGCOMM 2025) over a
+deterministic simulated IPv4 Internet:
+
+* :mod:`repro.simnet` — the synthetic Internet substrate;
+* :mod:`repro.net` — addresses, CIDRs, scan permutations, probe spaces;
+* :mod:`repro.protocols` — 58 protocol models, LZR-style detection;
+* :mod:`repro.scan` — discovery tiers, PoPs, prediction, exclusions;
+* :mod:`repro.pipeline` — the CQRS journal/write/read sides;
+* :mod:`repro.entities` — typed views and the dataset field schema;
+* :mod:`repro.enrich` — fingerprints, GeoIP/WHOIS, CVE derivation;
+* :mod:`repro.certs` — the synthetic WebPKI and certificate pipeline;
+* :mod:`repro.webprops` — name-addressed web properties;
+* :mod:`repro.search` — query language, index, analytics snapshots;
+* :mod:`repro.core` — the orchestrated platform and access layers;
+* :mod:`repro.engines` — the engine-comparison harness and baselines;
+* :mod:`repro.eval` — the paper's evaluation experiments.
+
+Entry points: :func:`repro.simnet.build_simnet` and
+:class:`repro.core.CensysPlatform`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info
+    Summarize the library: protocol registry, engine profiles, defaults.
+run
+    Build a simulated Internet, run the Censys platform, print a report,
+    optionally export the map and execute a query.
+eval
+    Run one of the paper's experiments at laptop scale and print the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro import __version__
+    from repro.engines.profiles import fofa_policy, netlas_policy, shodan_policy, zoomeye_policy
+    from repro.protocols import default_registry
+
+    registry = default_registry()
+    print(f"repro {__version__} — Censys (SIGCOMM 2025) reproduction")
+    print(f"protocols implemented: {len(registry)}")
+    print(f"  ICS protocols: {', '.join(s.name for s in registry.ics_specs)}")
+    print(f"  server-initiated: {', '.join(s.name for s in registry.specs if s.server_initiated)}")
+    print("competitor engine profiles:")
+    for policy in (shodan_policy(), fofa_policy(), zoomeye_policy(), netlas_policy()):
+        eviction = (
+            f"{policy.eviction_after_hours / 24:.0f}d" if policy.eviction_after_hours else "never"
+        )
+        print(
+            f"  {policy.name:<8} cycle={policy.cycle_hours / 24:.0f}d "
+            f"bg={policy.background_ports_per_ip_per_day:g}/ip/day "
+            f"evict={eviction} labeling={policy.labeling}"
+        )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.core import CensysPlatform, PlatformConfig
+    from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+    print(f"building simulated Internet (2^{args.bits} addresses, "
+          f"{args.services} services, seed {args.seed})...")
+    internet = build_simnet(
+        bits=args.bits,
+        workload_config=WorkloadConfig(
+            seed=args.seed,
+            services_target=args.services,
+            t_start=-(args.days + 5) * DAY,
+            t_end=5 * DAY,
+        ),
+        seed=args.seed,
+    )
+    platform = CensysPlatform(
+        internet, PlatformConfig(seed=args.seed), start_time=-args.days * DAY
+    )
+    print(f"running the platform for {args.days} simulated days...")
+    platform.run_until(0.0, tick_hours=args.tick)
+
+    alive = internet.services_alive_at(0.0)
+    report = {
+        "ground_truth_live_services": len(alive),
+        "indexed_entities": len(platform.index),
+        "journal_entities": len(platform.journal),
+        "journal_events": platform.journal.stats.events,
+        "journal_bytes": platform.journal.stats.total_bytes,
+        "certificates": platform.cert_processor.known_count,
+        "web_properties_scanned": platform.web_scanner.scans,
+        "predictive_models": platform.predictive.model_count,
+        "traffic": platform.traffic_report(),
+    }
+    print(json.dumps(report, indent=2, default=str))
+    if args.query:
+        hits = platform.search(args.query, limit=args.limit)
+        print(f"\nquery {args.query!r}: {len(hits)} hits")
+        for hit in hits[: args.limit]:
+            print(f"  {hit}")
+    if args.export:
+        count = platform.export_snapshot(args.export)
+        print(f"\nexported {count} entity documents to {args.export}")
+    return 0
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    from repro.eval import (
+        EvalConfig,
+        EvaluationWorld,
+        collect_freshness,
+        collect_ground_truth,
+        ground_truth_coverage,
+        ics_census,
+        overlap_matrix,
+        random_ip_accuracy,
+        union_tier_coverage,
+    )
+    from repro.eval import tables
+
+    config = EvalConfig(
+        bits=args.bits, services_target=args.services,
+        warmup_days=args.days, tick_hours=args.tick, seed=args.seed,
+    )
+    print(f"warming up five engines for {args.days} simulated days "
+          f"(2^{args.bits} addresses, {args.services} services)...")
+    world = EvaluationWorld(config)
+    world.run_warmup()
+    engines = world.engines()
+    names = [e.name for e in engines]
+
+    experiment = args.experiment
+    if experiment == "table1":
+        rows, _ = union_tier_coverage(world.internet, engines, world.now)
+        print(tables.render_table1(rows))
+    elif experiment == "table2":
+        rows = random_ip_accuracy(world.internet, engines, world.now, sample_size=3000)
+        print(tables.render_table2(rows))
+    elif experiment == "table3":
+        sample = collect_ground_truth(world.internet, world.now, sample_fraction=0.3)
+        countries = ground_truth_coverage(sample, engines, world.now, "country", min_group_size=8)
+        protocols = ground_truth_coverage(sample, engines, world.now, "protocol", min_group_size=8)
+        print(tables.render_table3(countries, protocols, names))
+    elif experiment == "table4":
+        table = ics_census(world.internet, engines, world.now)
+        print(tables.render_table4(table, names))
+    elif experiment == "figure2":
+        results = collect_freshness(world.internet, engines, world.now, sample_size=3000)
+        print(tables.render_figure2(results))
+    elif experiment == "figure3":
+        _, live_sets = union_tier_coverage(world.internet, engines, world.now)
+        print(tables.render_figure3(overlap_matrix(live_sets)))
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown experiment {experiment!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Censys (SIGCOMM 2025) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="summarize the library").set_defaults(func=cmd_info)
+
+    run = sub.add_parser("run", help="run the platform over a simulated Internet")
+    run.add_argument("--bits", type=int, default=14, help="log2 of the address space")
+    run.add_argument("--services", type=int, default=1200, help="stationary service count")
+    run.add_argument("--days", type=float, default=10.0, help="simulated days to run")
+    run.add_argument("--tick", type=float, default=6.0, help="tick size in hours")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--query", help="search query to execute after the run")
+    run.add_argument("--limit", type=int, default=10, help="max query hits to print")
+    run.add_argument("--export", help="write the map as JSON-lines to this path")
+    run.set_defaults(func=cmd_run)
+
+    ev = sub.add_parser("eval", help="run one of the paper's experiments")
+    ev.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table3", "table4", "figure2", "figure3"],
+    )
+    ev.add_argument("--bits", type=int, default=14)
+    ev.add_argument("--services", type=int, default=1500)
+    ev.add_argument("--days", type=float, default=45.0, help="engine warm-up days")
+    ev.add_argument("--tick", type=float, default=6.0)
+    ev.add_argument("--seed", type=int, default=7)
+    ev.set_defaults(func=cmd_eval)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

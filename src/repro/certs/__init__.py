@@ -1,0 +1,27 @@
+"""X.509 certificates: synthesis, CT logs, validation, revocation, linting."""
+
+from repro.certs.authority import CaWorld, RootStore
+from repro.certs.ct import CtEntry, CtLog
+from repro.certs.processor import CertificateProcessor, cert_entity_id
+from repro.certs.validation import (
+    CertificateValidator,
+    CrlRegistry,
+    ValidationResult,
+    lint_certificate,
+)
+from repro.certs.x509 import Certificate, cert_fingerprint
+
+__all__ = [
+    "Certificate",
+    "cert_fingerprint",
+    "CaWorld",
+    "RootStore",
+    "CtLog",
+    "CtEntry",
+    "CrlRegistry",
+    "CertificateValidator",
+    "ValidationResult",
+    "lint_certificate",
+    "CertificateProcessor",
+    "cert_entity_id",
+]

@@ -1,0 +1,170 @@
+"""The synthetic certificate-authority world and browser root stores.
+
+Provides a small WebPKI: trusted roots (with per-root-store membership),
+intermediates, an untrusted CA (for mis-issued chains), and deterministic
+issuance.  ``certificate_for_tls_profile`` reconstructs the full certificate
+a scan observed from its TLS endpoint profile, so the certificate pipeline
+can process scan-observed certs without the workload generator depending on
+this package.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.certs.x509 import Certificate, cert_fingerprint
+from repro.protocols.base import TlsEndpointProfile
+from repro.simnet.clock import DAY
+
+__all__ = ["RootStore", "CaWorld"]
+
+#: Default leaf validity: 90 days (ACME-style), some CAs issue 365.
+_LEAF_VALIDITY = {"lets-trust": 90 * DAY, "global-root": 365 * DAY, "budget-ca": 825 * DAY}
+
+
+@dataclass(slots=True)
+class RootStore:
+    """A browser root program: the set of trusted root key ids."""
+
+    name: str
+    trusted_key_ids: set = field(default_factory=set)
+
+    def trusts(self, key_id: str) -> bool:
+        return key_id in self.trusted_key_ids
+
+
+class CaWorld:
+    """Roots, intermediates, and deterministic issuance."""
+
+    CA_NAMES = ("lets-trust", "global-root", "budget-ca")
+
+    def __init__(self, epoch: float = -10 * 365 * DAY) -> None:
+        self.roots: Dict[str, Certificate] = {}
+        self.intermediates: Dict[str, Certificate] = {}
+        self._by_key_id: Dict[str, Certificate] = {}
+        for ca in self.CA_NAMES:
+            root = Certificate(
+                sha256=cert_fingerprint("root", ca),
+                serial=1,
+                subject_cn=f"{ca} Root CA",
+                subject_names=(),
+                issuer_id=cert_fingerprint("key", cert_fingerprint("root", ca)),
+                issuer_cn=f"{ca} Root CA",
+                not_before=epoch,
+                not_after=epoch + 30 * 365 * DAY,
+                is_ca=True,
+                self_signed=True,
+            )
+            self.roots[ca] = root
+            self._by_key_id[root.key_id] = root
+            intermediate = Certificate(
+                sha256=cert_fingerprint("intermediate", ca),
+                serial=2,
+                subject_cn=f"{ca} Intermediate R1",
+                subject_names=(),
+                issuer_id=root.key_id,
+                issuer_cn=root.subject_cn,
+                not_before=epoch,
+                not_after=epoch + 15 * 365 * DAY,
+                is_ca=True,
+            )
+            self.intermediates[ca] = intermediate
+            self._by_key_id[intermediate.key_id] = intermediate
+        # An untrusted CA: present in no root store.
+        rogue = Certificate(
+            sha256=cert_fingerprint("root", "shady-ca"),
+            serial=1,
+            subject_cn="shady-ca Root",
+            subject_names=(),
+            issuer_id=cert_fingerprint("key", cert_fingerprint("root", "shady-ca")),
+            issuer_cn="shady-ca Root",
+            not_before=epoch,
+            not_after=epoch + 30 * 365 * DAY,
+            is_ca=True,
+            self_signed=True,
+        )
+        self.roots["shady-ca"] = rogue
+        self._by_key_id[rogue.key_id] = rogue
+        self.root_stores = {
+            "mozilla": RootStore(
+                "mozilla", {self.roots[c].key_id for c in self.CA_NAMES}
+            ),
+            "microsoft": RootStore(
+                "microsoft", {self.roots[c].key_id for c in ("lets-trust", "global-root")}
+            ),
+        }
+
+    # ------------------------------------------------------------------
+
+    def issuer_certificate(self, key_id: str) -> Optional[Certificate]:
+        return self._by_key_id.get(key_id)
+
+    def issue(
+        self,
+        names: Tuple[str, ...],
+        not_before: float,
+        ca: str = "lets-trust",
+        validity: Optional[float] = None,
+        serial: Optional[int] = None,
+    ) -> Certificate:
+        """Issue a leaf certificate from one of the CAs."""
+        if ca not in self.intermediates and ca != "shady-ca":
+            raise ValueError(f"unknown CA: {ca}")
+        issuer = self.roots["shady-ca"] if ca == "shady-ca" else self.intermediates[ca]
+        validity = validity if validity is not None else _LEAF_VALIDITY.get(ca, 365 * DAY)
+        if serial is None:
+            serial = int(cert_fingerprint("serial", *names, str(not_before))[:12], 16)
+        leaf = Certificate(
+            sha256=cert_fingerprint("leaf", ca, *names, str(not_before)),
+            serial=serial,
+            subject_cn=names[0] if names else "",
+            subject_names=names,
+            issuer_id=issuer.key_id,
+            issuer_cn=issuer.subject_cn,
+            not_before=not_before,
+            not_after=not_before + validity,
+        )
+        self._by_key_id[leaf.key_id] = leaf
+        return leaf
+
+    def self_signed(self, names: Tuple[str, ...], not_before: float, sha256: Optional[str] = None) -> Certificate:
+        sha = sha256 or cert_fingerprint("selfsigned", *names, str(not_before))
+        key_id = cert_fingerprint("key", sha)
+        return Certificate(
+            sha256=sha,
+            serial=1,
+            subject_cn=names[0] if names else "",
+            subject_names=names,
+            issuer_id=key_id,
+            issuer_cn=names[0] if names else "",
+            not_before=not_before,
+            not_after=not_before + 10 * 365 * DAY,
+            self_signed=True,
+        )
+
+    def certificate_for_tls_profile(self, tls: TlsEndpointProfile, observed_at: float) -> Certificate:
+        """Reconstruct the certificate behind a scanned TLS endpoint.
+
+        Deterministic in the profile's fingerprint: the same endpoint always
+        maps to the same certificate, and CA choice/issuance time derive
+        from the fingerprint so re-observations agree.
+        """
+        if tls.self_signed:
+            return self.self_signed(tls.subject_names, observed_at - 30 * DAY, sha256=tls.certificate_sha256)
+        digest = int(tls.certificate_sha256[:8], 16)
+        ca = self.CA_NAMES[digest % len(self.CA_NAMES)]
+        issuer = self.intermediates[ca]
+        age = (digest >> 4) % int(60 * DAY)
+        not_before = observed_at - age
+        return Certificate(
+            sha256=tls.certificate_sha256,
+            serial=digest,
+            subject_cn=tls.subject_names[0] if tls.subject_names else "",
+            subject_names=tls.subject_names,
+            issuer_id=issuer.key_id,
+            issuer_cn=issuer.subject_cn,
+            not_before=not_before,
+            not_after=not_before + _LEAF_VALIDITY[ca],
+        )

@@ -1,0 +1,64 @@
+"""A public Certificate Transparency log.
+
+Censys polls CT logs both to index certificates and to discover names to
+scan; the simulated log supports exactly those two flows: append-only
+entries with timestamps and an incremental ``poll`` cursor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.certs.x509 import Certificate
+
+__all__ = ["CtEntry", "CtLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class CtEntry:
+    index: int
+    timestamp: float
+    certificate: Certificate
+
+
+class CtLog:
+    """Append-only, monotonically timestamped log."""
+
+    def __init__(self, name: str = "argon-sim") -> None:
+        self.name = name
+        self._entries: List[CtEntry] = []
+        self._seen_sha: set = set()
+
+    def submit(self, cert: Certificate, timestamp: float) -> Optional[CtEntry]:
+        """Log a certificate; duplicate submissions are ignored (None)."""
+        if cert.sha256 in self._seen_sha:
+            return None
+        if self._entries and timestamp < self._entries[-1].timestamp:
+            raise ValueError("CT log timestamps must be monotonic")
+        entry = CtEntry(index=len(self._entries), timestamp=timestamp, certificate=cert)
+        self._entries.append(entry)
+        self._seen_sha.add(cert.sha256)
+        return entry
+
+    def poll(self, since_index: int = 0, until_time: Optional[float] = None) -> List[CtEntry]:
+        """Entries at or after ``since_index`` (optionally bounded in time)."""
+        entries = self._entries[since_index:]
+        if until_time is not None:
+            entries = [e for e in entries if e.timestamp <= until_time]
+        return entries
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    def names_seen(self, until_time: Optional[float] = None) -> List[Tuple[str, float]]:
+        """(name, first-logged-time) pairs — the scan-target discovery feed."""
+        seen = {}
+        for entry in self._entries:
+            if until_time is not None and entry.timestamp > until_time:
+                break
+            for name in entry.certificate.subject_names:
+                if name not in seen and not name.startswith("*."):
+                    seen[name] = entry.timestamp
+        return list(seen.items())

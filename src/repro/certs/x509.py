@@ -1,0 +1,68 @@
+"""Synthetic X.509 certificates.
+
+Certificates carry the fields the Censys pipeline actually operates on —
+names, validity window, issuer linkage, key parameters — with signatures
+modeled as issuer-key linkage rather than real cryptography (validation
+*logic* is preserved; see DESIGN.md non-goals).  Times are simulation hours.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["Certificate", "cert_fingerprint"]
+
+
+def cert_fingerprint(*parts: str) -> str:
+    """A stable SHA-256 hex fingerprint from identifying parts."""
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class Certificate:
+    """One parsed certificate."""
+
+    sha256: str
+    serial: int
+    subject_cn: str
+    subject_names: Tuple[str, ...]        # SAN dNSNames
+    issuer_id: str                        # key id of the signing authority
+    issuer_cn: str
+    not_before: float                     # hours
+    not_after: float
+    key_type: str = "ecdsa-p256"
+    key_bits: int = 256
+    is_ca: bool = False
+    #: Key id of this certificate's own public key (chain linkage).
+    key_id: str = ""
+    self_signed: bool = False
+
+    @property
+    def validity_hours(self) -> float:
+        return self.not_after - self.not_before
+
+    @property
+    def validity_days(self) -> float:
+        return self.validity_hours / 24.0
+
+    def valid_at(self, t: float) -> bool:
+        return self.not_before <= t <= self.not_after
+
+    def covers_name(self, name: str) -> bool:
+        """Hostname matching with single-label wildcard support."""
+        for san in self.subject_names:
+            if san == name:
+                return True
+            if san.startswith("*."):
+                suffix = san[1:]  # ".example.com"
+                if name.endswith(suffix) and "." not in name[: -len(suffix)]:
+                    return True
+        return False
+
+    def __post_init__(self) -> None:
+        if self.not_after <= self.not_before:
+            raise ValueError("certificate validity window is empty")
+        if not self.key_id:
+            object.__setattr__(self, "key_id", cert_fingerprint("key", self.sha256))

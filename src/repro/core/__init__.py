@@ -1,0 +1,37 @@
+"""The Censys platform: orchestration of scanning, pipeline, and serving."""
+
+from repro.core.access import (
+    TIERS,
+    AccessControlledClient,
+    AccessDeniedError,
+    AccessPolicy,
+    RateLimitExceeded,
+)
+from repro.core.notifications import (
+    CHANNELS,
+    Exposure,
+    NotificationCampaign,
+    ResponseModel,
+    exposures_from_platform,
+)
+from repro.core.platform import CensysPlatform, PlatformConfig
+from repro.core.scheduler import KnownService, RefreshScheduler
+from repro.core.secondary import SecondaryIndexes
+
+__all__ = [
+    "CensysPlatform",
+    "PlatformConfig",
+    "RefreshScheduler",
+    "KnownService",
+    "AccessPolicy",
+    "AccessControlledClient",
+    "AccessDeniedError",
+    "RateLimitExceeded",
+    "TIERS",
+    "SecondaryIndexes",
+    "Exposure",
+    "ResponseModel",
+    "NotificationCampaign",
+    "CHANNELS",
+    "exposures_from_platform",
+]

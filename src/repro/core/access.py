@@ -1,0 +1,146 @@
+"""Balanced access: tiered views of the Internet Map (§3, §8).
+
+"Our goal is not to provide all users with the same global Internet
+visibility, but to provide tailored access driven by users' needs to
+minimize potential abuse."  The paper describes multiple access tiers that
+provide delayed access or access to a subset of data (e.g. excluding CVE
+or ICS data); this module implements that policy layer on top of the
+platform's query surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.platform import CensysPlatform
+
+__all__ = ["AccessPolicy", "AccessDeniedError", "RateLimitExceeded", "AccessControlledClient", "TIERS"]
+
+
+class AccessDeniedError(PermissionError):
+    """The requested data class is not available at this access tier."""
+
+
+class RateLimitExceeded(RuntimeError):
+    """The tier's daily query budget is exhausted."""
+
+
+_ICS_LABELS = frozenset({
+    "ATG", "BACNET", "CIMON_PLC", "CMORE", "CODESYS", "DIGI", "DNP3", "EIP",
+    "FINS", "FOX", "GE_SRTP", "HART", "IEC60870", "MODBUS", "OPC_UA", "PCOM",
+    "PCWORX", "PROCONOS", "REDLION", "S7", "WDBRPC",
+})
+
+_SENSITIVE_QUERY_MARKERS = ("cve_ids", "labels: c2-server", "labels: ics")
+
+
+@dataclass(frozen=True, slots=True)
+class AccessPolicy:
+    """What one tier may see and how fast."""
+
+    name: str
+    #: Results reflect the map as of (now - delay) — delayed-access tiers.
+    delay_hours: float = 0.0
+    include_vulnerabilities: bool = True
+    include_ics: bool = True
+    include_threat_labels: bool = True
+    #: Max queries per simulated day (None: unlimited).
+    daily_query_limit: Optional[int] = None
+
+
+#: The built-in tiers, loosely following §7.1/§8.
+TIERS: Dict[str, AccessPolicy] = {
+    "public": AccessPolicy(
+        name="public", delay_hours=7 * 24.0,
+        include_vulnerabilities=False, include_ics=False,
+        include_threat_labels=False, daily_query_limit=50,
+    ),
+    "researcher": AccessPolicy(
+        name="researcher", delay_hours=24.0,
+        include_vulnerabilities=True, include_ics=False,
+        include_threat_labels=True, daily_query_limit=1000,
+    ),
+    "commercial": AccessPolicy(name="commercial"),
+    "government": AccessPolicy(name="government"),
+}
+
+
+class AccessControlledClient:
+    """A platform client that enforces one access policy."""
+
+    def __init__(self, platform: CensysPlatform, policy: AccessPolicy) -> None:
+        self.platform = platform
+        self.policy = policy
+        self._queries_today = 0
+        self._query_day: Optional[int] = None
+
+    # -- rate limiting ----------------------------------------------------
+
+    def _charge_query(self) -> None:
+        limit = self.policy.daily_query_limit
+        if limit is None:
+            return
+        day = int(self.platform.clock.now // 24.0)
+        if day != self._query_day:
+            self._query_day = day
+            self._queries_today = 0
+        self._queries_today += 1
+        if self._queries_today > limit:
+            raise RateLimitExceeded(
+                f"tier {self.policy.name!r} allows {limit} queries/day"
+            )
+
+    # -- query surfaces -----------------------------------------------------
+
+    def search(self, query: str, limit: Optional[int] = None) -> List[str]:
+        """Interactive search with restricted-query screening."""
+        self._charge_query()
+        lowered = query.lower()
+        if not self.policy.include_vulnerabilities and "cve_ids" in lowered:
+            raise AccessDeniedError("vulnerability searches require a higher tier")
+        if not self.policy.include_ics and any(
+            f"services.service_name: {p.lower()}" in lowered for p in _ICS_LABELS
+        ):
+            raise AccessDeniedError("control-system searches require a higher tier")
+        if not self.policy.include_threat_labels and "c2-server" in lowered:
+            raise AccessDeniedError("adversarial-infrastructure searches require a higher tier")
+        return self.platform.search(query, limit=limit)
+
+    def lookup_host(self, ip_index: int) -> Dict[str, Any]:
+        """Host lookup, delayed and redacted per the tier."""
+        self._charge_query()
+        at = None
+        if self.policy.delay_hours:
+            at = self.platform.clock.now - self.policy.delay_hours
+        view = self.platform.read_side.lookup(
+            self.platform.entity_for_ip(ip_index), at=at
+        )
+        return self._redact(view)
+
+    # -- redaction ------------------------------------------------------------
+
+    def _redact(self, view: Dict[str, Any]) -> Dict[str, Any]:
+        policy = self.policy
+        services = {}
+        for key, service in view["services"].items():
+            if not policy.include_ics and service.get("service_name") in _ICS_LABELS:
+                continue
+            service = dict(service)
+            if not policy.include_vulnerabilities:
+                service.pop("vulnerabilities", None)
+            services[key] = service
+        view = dict(view, services=services)
+        derived = dict(view.get("derived", {}))
+        if not policy.include_vulnerabilities:
+            derived.pop("cve_ids", None)
+        if not policy.include_threat_labels:
+            derived["labels"] = [
+                l for l in derived.get("labels", []) if l != "c2-server"
+            ] or None
+            if derived.get("labels") is None:
+                derived.pop("labels", None)
+        if not policy.include_ics and "labels" in derived:
+            derived["labels"] = [l for l in derived["labels"] if l != "ics"]
+        view["derived"] = derived
+        return view

@@ -1,0 +1,142 @@
+"""Service refresh and eviction scheduling.
+
+Censys refreshes IP-based data at least daily, retries unresponsive
+services from its other PoPs over the following 24 hours, marks services
+pending eviction after the first failed scan, and removes them after
+72 hours — re-injecting recently evicted services via the predictive
+engine in case they return.  This module is that state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["KnownService", "RefreshScheduler"]
+
+Binding = Tuple[int, int, str]  # (ip_index, port, transport)
+
+
+@dataclass(slots=True)
+class KnownService:
+    """Refresh bookkeeping for one service in the dataset."""
+
+    entity_id: str
+    ip_index: int
+    port: int
+    transport: str
+    protocol: Optional[str]
+    last_success: float
+    next_refresh: float
+    pending_since: Optional[float] = None
+    #: PoPs (by name) that failed since the last success.
+    failed_pops: List[str] = field(default_factory=list)
+
+
+class RefreshScheduler:
+    """Tracks every known service's refresh/eviction lifecycle."""
+
+    def __init__(
+        self,
+        refresh_interval: float = 24.0,
+        eviction_after: float = 72.0,
+        retry_spacing: float = 8.0,
+    ) -> None:
+        self.refresh_interval = refresh_interval
+        self.eviction_after = eviction_after
+        self.retry_spacing = retry_spacing
+        self._known: Dict[Binding, KnownService] = {}
+        self.evictions = 0
+
+    # -- lifecycle signals ------------------------------------------------
+
+    def service_seen(
+        self,
+        entity_id: str,
+        ip_index: int,
+        port: int,
+        transport: str,
+        protocol: Optional[str],
+        time: float,
+    ) -> None:
+        """A successful scan: (re)schedule the next refresh, clear staging."""
+        binding = (ip_index, port, transport)
+        known = self._known.get(binding)
+        if known is None:
+            self._known[binding] = KnownService(
+                entity_id=entity_id,
+                ip_index=ip_index,
+                port=port,
+                transport=transport,
+                protocol=protocol,
+                last_success=time,
+                next_refresh=time + self.refresh_interval,
+            )
+            return
+        known.protocol = protocol
+        known.last_success = time
+        known.next_refresh = time + self.refresh_interval
+        known.pending_since = None
+        known.failed_pops.clear()
+
+    def refresh_failed(self, ip_index: int, port: int, transport: str, pop: str, time: float) -> Optional[str]:
+        """A failed refresh from one PoP; returns the *next* PoP retry hint.
+
+        The caller (platform) schedules a retry from a PoP not yet tried;
+        once every PoP has failed, only the eviction clock keeps running.
+        """
+        known = self._known.get((ip_index, port, transport))
+        if known is None:
+            return None
+        if known.pending_since is None:
+            known.pending_since = time
+        if pop not in known.failed_pops:
+            known.failed_pops.append(pop)
+        known.next_refresh = time + self.retry_spacing
+        return pop
+
+    def forget(self, ip_index: int, port: int, transport: str) -> Optional[KnownService]:
+        return self._known.pop((ip_index, port, transport), None)
+
+    # -- due work -----------------------------------------------------------
+
+    def due_refreshes(self, now: float) -> List[KnownService]:
+        """Services whose next refresh (or failure retry) has come due."""
+        return [k for k in self._known.values() if k.next_refresh <= now]
+
+    def due_evictions(self, now: float) -> List[KnownService]:
+        """Services staged for longer than the eviction window."""
+        due = [
+            k
+            for k in self._known.values()
+            if k.pending_since is not None and now - k.pending_since >= self.eviction_after
+        ]
+        self.evictions += len(due)
+        return due
+
+    def mark_refresh_dispatched(self, ip_index: int, port: int, transport: str, now: float) -> None:
+        """Push next_refresh forward so one due service yields one candidate."""
+        known = self._known.get((ip_index, port, transport))
+        if known is not None:
+            known.next_refresh = now + self.refresh_interval
+
+    # -- introspection ---------------------------------------------------------
+
+    def known(self, ip_index: int, port: int, transport: str) -> Optional[KnownService]:
+        return self._known.get((ip_index, port, transport))
+
+    def untried_pop(self, ip_index: int, port: int, transport: str, pop_names: List[str]) -> Optional[str]:
+        known = self._known.get((ip_index, port, transport))
+        if known is None:
+            return None
+        for name in pop_names:
+            if name not in known.failed_pops:
+                return name
+        return None
+
+    @property
+    def tracked_count(self) -> int:
+        return len(self._known)
+
+    def pending_count(self) -> int:
+        return sum(1 for k in self._known.values() if k.pending_since is not None)

@@ -1,0 +1,84 @@
+"""Asynchronously maintained secondary indexes (§5.2).
+
+"Censys asynchronously updates secondary tables that map from certificate
+fingerprint to IP address" — these inverted relations power the Fast
+Lookup API's pivot queries ("What IP addresses has certificate X been seen
+on?") and threat-hunting joins (JA4S and SSH-host-key reuse).  The tables
+are fed exclusively from bus messages, never inline with ingestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.pipeline.queues import EventBus
+
+__all__ = ["SecondaryIndexes"]
+
+
+class SecondaryIndexes:
+    """cert/JA4S/SSH-host-key -> host entity mappings."""
+
+    def __init__(self, bus: EventBus) -> None:
+        self._cert_to_hosts: Dict[str, Set[str]] = {}
+        self._ja4s_to_hosts: Dict[str, Set[str]] = {}
+        self._hostkey_to_hosts: Dict[str, Set[str]] = {}
+        #: first/last sighting per (cert, host) pair.
+        self._sightings: Dict[tuple, List[float]] = {}
+        self.updates = 0
+        bus.subscribe("service_found", self._on_service)
+        bus.subscribe("service_changed", self._on_service)
+
+    # -- ingestion (bus handlers) ------------------------------------------
+
+    def _on_service(self, message: Dict[str, Any]) -> None:
+        entity_id = message["entity_id"]
+        record = message.get("record") or {}
+        time = message.get("time", 0.0)
+        cert = record.get("tls.certificate_sha256")
+        if cert:
+            self._cert_to_hosts.setdefault(cert, set()).add(entity_id)
+            window = self._sightings.setdefault((cert, entity_id), [time, time])
+            window[0] = min(window[0], time)
+            window[1] = max(window[1], time)
+            self.updates += 1
+        ja4s = record.get("tls.ja4s")
+        if ja4s:
+            self._ja4s_to_hosts.setdefault(ja4s, set()).add(entity_id)
+            self.updates += 1
+        host_key = record.get("ssh.host_key_sha256")
+        if host_key:
+            self._hostkey_to_hosts.setdefault(host_key, set()).add(entity_id)
+            self.updates += 1
+
+    # -- pivot queries --------------------------------------------------------
+
+    def hosts_with_certificate(self, sha256: str) -> List[str]:
+        """'What IP addresses has certificate X been seen on?'"""
+        return sorted(self._cert_to_hosts.get(sha256, ()))
+
+    def hosts_with_ja4s(self, ja4s: str) -> List[str]:
+        return sorted(self._ja4s_to_hosts.get(ja4s, ()))
+
+    def hosts_with_ssh_key(self, host_key_sha256: str) -> List[str]:
+        return sorted(self._hostkey_to_hosts.get(host_key_sha256, ()))
+
+    def certificate_sighting_window(self, sha256: str, entity_id: str) -> Optional[tuple]:
+        """(first, last) time the certificate was seen on the host."""
+        window = self._sightings.get((sha256, entity_id))
+        return tuple(window) if window else None
+
+    def reused_certificates(self, min_hosts: int = 2) -> Dict[str, List[str]]:
+        return {
+            sha: sorted(hosts)
+            for sha, hosts in self._cert_to_hosts.items()
+            if len(hosts) >= min_hosts
+        }
+
+    def reused_ssh_keys(self, min_hosts: int = 2) -> Dict[str, List[str]]:
+        return {
+            key: sorted(hosts)
+            for key, hosts in self._hostkey_to_hosts.items()
+            if len(hosts) >= min_hosts
+        }

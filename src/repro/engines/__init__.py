@@ -1,0 +1,37 @@
+"""Scan engines: the Censys harness adapter and competitor policy variants."""
+
+from repro.engines.base import ReportedService, ScanEngineHarness
+from repro.engines.baseline import BaselineEngine, BaselinePolicy
+from repro.engines.censys_adapter import CensysHarness
+from repro.engines.labeling import (
+    KeywordLabeler,
+    KeywordRule,
+    fofa_rules,
+    shodan_rules,
+    zoomeye_rules,
+)
+from repro.engines.profiles import (
+    fofa_policy,
+    make_baseline_engines,
+    netlas_policy,
+    shodan_policy,
+    zoomeye_policy,
+)
+
+__all__ = [
+    "ReportedService",
+    "ScanEngineHarness",
+    "BaselineEngine",
+    "BaselinePolicy",
+    "CensysHarness",
+    "KeywordLabeler",
+    "KeywordRule",
+    "shodan_rules",
+    "fofa_rules",
+    "zoomeye_rules",
+    "shodan_policy",
+    "fofa_policy",
+    "zoomeye_policy",
+    "netlas_policy",
+    "make_baseline_engines",
+]

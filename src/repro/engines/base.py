@@ -1,0 +1,54 @@
+"""The common harness interface every scan engine exposes to the evaluation.
+
+The paper compares engines through their public query surfaces: look up
+the current state of an IP, enumerate everything matching a protocol
+label, and read self-reported totals.  :class:`ReportedService` is the
+row shape those queries return — including ``last_scanned`` (the "last
+scanned date" behind Figure 2) and duplicate entries where an engine's
+storage policy produces them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Protocol, runtime_checkable
+
+__all__ = ["ReportedService", "ScanEngineHarness"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReportedService:
+    """One service entry as returned by an engine's query interface."""
+
+    ip_index: int
+    port: int
+    transport: str
+    label: Optional[str]              # the engine's protocol/service label
+    last_scanned: float
+    first_seen: float
+    entry_id: int                     # distinct ids => duplicate entries
+    record: Dict[str, Any] = field(default_factory=dict)
+    pending_removal: bool = False
+
+    @property
+    def binding(self) -> tuple:
+        return (self.ip_index, self.port, self.transport)
+
+
+@runtime_checkable
+class ScanEngineHarness(Protocol):
+    """What the evaluation harness needs from an engine."""
+
+    name: str
+
+    def query_ip(self, ip_index: int, now: float) -> List[ReportedService]:
+        """The engine's current view of one address."""
+
+    def query_label(self, label: str, now: float) -> List[ReportedService]:
+        """Full enumeration of services the engine labels ``label``."""
+
+    def all_entries(self, now: float) -> List[ReportedService]:
+        """Everything the engine would serve right now (dups included)."""
+
+    def self_reported_count(self, now: float) -> int:
+        """The headline 'total services' number the engine advertises."""

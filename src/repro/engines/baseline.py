@@ -1,0 +1,259 @@
+"""Competitor scan engines as policy variants over the shared substrate.
+
+Each baseline runs the same L4/L7 machinery as Censys but with the
+operational policies the paper measured in Shodan, Fofa, ZoomEye, and
+Netlas: slower scan cycles, smaller port sets, single vantage points,
+stale-data retention, duplicate entries, and keyword labeling instead of
+handshake validation.  The comparative results of Tables 1–5 and Figures
+2–3 then *emerge from the policies*, not from hard-coded outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engines.base import ReportedService
+from repro.engines.labeling import KeywordLabeler
+from repro.net import ProbeSpace
+from repro.protocols import Interrogator, default_registry
+from repro.scan.pop import PointOfPresence, single_pop
+from repro.scan.tiers import DiscoveryTier
+from repro.simnet import SimulatedInternet
+from repro.simnet.clock import DAY
+from repro.simnet.instances import ServiceInstance
+
+__all__ = ["BaselinePolicy", "BaselineEngine"]
+
+_ICS_LABELS = frozenset(spec.name for spec in default_registry().ics_specs)
+
+
+@dataclass(slots=True)
+class BaselinePolicy:
+    """The knobs that distinguish one engine from another."""
+
+    name: str
+    #: TCP ports scanned comprehensively, and the full-cycle duration.
+    ports: Sequence[int]
+    cycle_hours: float
+    #: Random background coverage of all 65K ports (0 disables).
+    background_ports_per_ip_per_day: float = 0.0
+    #: Serve entries until they are this stale (None: serve forever).
+    eviction_after_hours: Optional[float] = None
+    #: Append a fresh entry (duplicate) instead of updating in place when a
+    #: rescan happens after this many hours (None: always update in place).
+    duplicate_after_hours: Optional[float] = None
+    #: "handshake" (validated) or "keyword" labeling.
+    labeling: str = "handshake"
+    keyword_labeler: Optional[KeywordLabeler] = None
+    #: ICS protocols the engine actually implements scanners for (None:
+    #: all).  Handshake-labeling engines store other ICS hits as UNKNOWN.
+    ics_labels: Optional[frozenset] = None
+    #: Scan UDP assigned ports as well.
+    scan_udp: bool = True
+    region: str = "us"
+    loss_rate: float = 0.03
+    seed: int = 100
+
+
+@dataclass(slots=True)
+class _Entry:
+    entry_id: int
+    ip_index: int
+    port: int
+    transport: str
+    label: Optional[str]
+    first_seen: float
+    last_scanned: float
+    record: Dict[str, Any] = field(default_factory=dict)
+
+
+class BaselineEngine:
+    """A single-vantage engine with a simple versioned document store."""
+
+    def __init__(self, internet: SimulatedInternet, policy: BaselinePolicy) -> None:
+        self.internet = internet
+        self.policy = policy
+        self.name = policy.name
+        self.registry = default_registry()
+        self.interrogator = Interrogator(self.registry)
+        self.pop: PointOfPresence = single_pop(
+            policy.region, policy.loss_rate, vantage_id=policy.seed % 251 + 10
+        )[0]
+        self.tiers: List[DiscoveryTier] = []
+        space = ProbeSpace.single_range(0, internet.space.size, list(policy.ports))
+        self.tiers.append(
+            DiscoveryTier(
+                f"{policy.name}-main", internet, space,
+                rate_per_hour=space.size / policy.cycle_hours,
+                seed=policy.seed, scanner_id=policy.name,
+            )
+        )
+        if policy.scan_udp:
+            udp_ports = self.registry.assigned_ports("udp")
+            udp_space = ProbeSpace.single_range(0, internet.space.size, udp_ports)
+            self.tiers.append(
+                DiscoveryTier(
+                    f"{policy.name}-udp", internet, udp_space,
+                    rate_per_hour=udp_space.size / policy.cycle_hours,
+                    transport="udp", seed=policy.seed + 1, scanner_id=policy.name,
+                )
+            )
+        if policy.background_ports_per_ip_per_day > 0:
+            bg_space = ProbeSpace.single_range(0, internet.space.size, list(range(65536)))
+            self.tiers.append(
+                DiscoveryTier(
+                    f"{policy.name}-bg", internet, bg_space,
+                    rate_per_hour=internet.space.size
+                    * policy.background_ports_per_ip_per_day / 24.0,
+                    seed=policy.seed + 2, scanner_id=policy.name,
+                )
+            )
+        #: binding -> entries, newest last.
+        self._store: Dict[Tuple[int, int, str], List[_Entry]] = {}
+        self._by_ip: Dict[int, List[Tuple[int, int, str]]] = {}
+        #: Hosts flagged as all-ports noise and dropped (every production
+        #: engine needs *some* pseudo-responder filter or random-port
+        #: scanning drowns the index; Censys's is the principled one).
+        self._junk_ips: set = set()
+        self._entry_counter = 0
+        self.scans_performed = 0
+
+    JUNK_PORT_THRESHOLD = 24
+
+    # -- main loop ----------------------------------------------------------
+
+    def tick(self, t0: float, dt: float) -> None:
+        for tier in self.tiers:
+            for hit in tier.advance(t0, dt, self.pop):
+                self._scan_binding(hit.target.ip_index, hit.target.port, tier.transport, hit.probe_time)
+
+    def run_until(self, now: float, t_end: float, tick_hours: float = 12.0) -> float:
+        t = now
+        while t < t_end - 1e-9:
+            dt = min(tick_hours, t_end - t)
+            self.tick(t, dt)
+            t += dt
+        return t
+
+    def notify_new_instances(self, instances: List[ServiceInstance]) -> None:
+        for tier in self.tiers:
+            for inst in instances:
+                tier.notify_new_instance(inst)
+
+    # -- scanning -------------------------------------------------------------
+
+    def _scan_binding(self, ip_index: int, port: int, transport: str, t: float) -> None:
+        conn = self.internet.connect(ip_index, port, t, self.pop.vantage, transport=transport, scanner=self.name)
+        self.scans_performed += 1
+        if conn is None:
+            return
+        result = self.interrogator.interrogate(conn)
+        if not result.success:
+            return
+        label = result.service_name
+        if (
+            self.policy.labeling == "handshake"
+            and self.policy.ics_labels is not None
+            and label is not None
+            and label in _ICS_LABELS
+            and label not in self.policy.ics_labels
+        ):
+            label = "UNKNOWN"  # no scanner module for this protocol
+        if self.policy.labeling == "keyword" and self.policy.keyword_labeler is not None:
+            generic = "HTTP" if label in ("HTTP", "HTTPS") else label
+            label = self.policy.keyword_labeler.label(port, result.record or {"raw": result.raw_response or {}}, generic)
+            if result.service_name == "HTTPS" and label == "HTTP":
+                label = "HTTPS"
+        self._record(ip_index, port, transport, label, result.record, t)
+
+    def _record(
+        self, ip_index: int, port: int, transport: str,
+        label: Optional[str], record: Dict[str, Any], t: float,
+    ) -> None:
+        if ip_index in self._junk_ips:
+            return
+        binding = (ip_index, port, transport)
+        entries = self._store.get(binding)
+        if entries is None:
+            entries = self._store[binding] = []
+            bindings = self._by_ip.setdefault(ip_index, [])
+            bindings.append(binding)
+            if len(bindings) > self.JUNK_PORT_THRESHOLD and self._looks_like_junk(ip_index):
+                self._drop_host(ip_index)
+                return
+        policy = self.policy
+        if entries:
+            newest = entries[-1]
+            duplicate = (
+                policy.duplicate_after_hours is not None
+                and t - newest.last_scanned >= policy.duplicate_after_hours
+            )
+            if not duplicate:
+                newest.label = label
+                newest.record = dict(record)
+                newest.last_scanned = t
+                return
+        self._entry_counter += 1
+        entries.append(
+            _Entry(
+                entry_id=self._entry_counter,
+                ip_index=ip_index, port=port, transport=transport,
+                label=label, first_seen=t, last_scanned=t, record=dict(record),
+            )
+        )
+
+    def _looks_like_junk(self, ip_index: int) -> bool:
+        """Too many ports, too few distinct responses: an all-ports echo."""
+        signatures = set()
+        for binding in self._by_ip.get(ip_index, ()):
+            for entry in self._store.get(binding, ()):
+                signatures.add(repr(sorted(entry.record.items())))
+                if len(signatures) > 2:
+                    return False
+        return True
+
+    def _drop_host(self, ip_index: int) -> None:
+        for binding in self._by_ip.pop(ip_index, ()):  # purge all entries
+            self._store.pop(binding, None)
+        self._junk_ips.add(ip_index)
+
+    # -- query surface ------------------------------------------------------------
+
+    def _served(self, entries: List[_Entry], now: float) -> List[_Entry]:
+        horizon = self.policy.eviction_after_hours
+        if horizon is None:
+            return entries
+        return [e for e in entries if now - e.last_scanned <= horizon]
+
+    def _to_reported(self, entry: _Entry) -> ReportedService:
+        return ReportedService(
+            ip_index=entry.ip_index, port=entry.port, transport=entry.transport,
+            label=entry.label, last_scanned=entry.last_scanned,
+            first_seen=entry.first_seen, entry_id=entry.entry_id,
+            record=entry.record,
+        )
+
+    def query_ip(self, ip_index: int, now: float) -> List[ReportedService]:
+        results = []
+        for binding in self._by_ip.get(ip_index, ()):
+            entries = self._store.get(binding, [])
+            results.extend(self._to_reported(e) for e in self._served(entries, now))
+        return results
+
+    def query_label(self, label: str, now: float) -> List[ReportedService]:
+        results = []
+        for entries in self._store.values():
+            for entry in self._served(entries, now):
+                if entry.label == label:
+                    results.append(self._to_reported(entry))
+        return results
+
+    def all_entries(self, now: float) -> List[ReportedService]:
+        results = []
+        for entries in self._store.values():
+            results.extend(self._to_reported(e) for e in self._served(entries, now))
+        return results
+
+    def self_reported_count(self, now: float) -> int:
+        return sum(len(self._served(entries, now)) for entries in self._store.values())

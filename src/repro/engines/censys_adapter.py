@@ -1,0 +1,79 @@
+"""The harness adapter exposing a CensysPlatform through the common
+engine-query interface used by the evaluation."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.platform import CensysPlatform
+from repro.engines.base import ReportedService
+from repro.net import str_to_ip
+
+__all__ = ["CensysHarness"]
+
+
+class CensysHarness:
+    """Query surface of the full platform (journal-backed, like the API)."""
+
+    name = "censys"
+
+    def __init__(self, platform: CensysPlatform, include_pending: bool = True) -> None:
+        self.platform = platform
+        self.include_pending = include_pending
+
+    def _entity_services(self, entity_id: str) -> List[ReportedService]:
+        state = self.platform.journal.peek_current(entity_id)
+        if state["meta"].get("pseudo_host"):
+            return []
+        ip_text = entity_id[len("host:"):]
+        try:
+            ip = str_to_ip(ip_text)
+        except ValueError:
+            return []
+        space = self.platform.internet.space
+        if ip not in space:
+            return []
+        ip_index = space.index_of(ip)
+        reported = []
+        for key, service in state["services"].items():
+            pending = service.get("pending_removal_since") is not None
+            if pending and not self.include_pending:
+                continue
+            port_text, _, transport = key.partition("/")
+            reported.append(
+                ReportedService(
+                    ip_index=ip_index,
+                    port=int(port_text),
+                    transport=transport,
+                    label=service.get("service_name"),
+                    last_scanned=service.get("last_checked", service.get("last_seen", 0.0)),
+                    first_seen=service.get("first_seen", 0.0),
+                    entry_id=hash((entity_id, key)) & 0x7FFFFFFF,
+                    record=dict(service.get("record", {})),
+                    pending_removal=pending,
+                )
+            )
+        return reported
+
+    def query_ip(self, ip_index: int, now: float) -> List[ReportedService]:
+        return self._entity_services(self.platform.entity_for_ip(ip_index))
+
+    def query_label(self, label: str, now: float) -> List[ReportedService]:
+        results = []
+        for entity_id in self.platform.journal.entity_ids():
+            if not entity_id.startswith("host:"):
+                continue
+            for service in self._entity_services(entity_id):
+                if service.label == label:
+                    results.append(service)
+        return results
+
+    def all_entries(self, now: float) -> List[ReportedService]:
+        results = []
+        for entity_id in list(self.platform.journal.entity_ids()):
+            if entity_id.startswith("host:"):
+                results.extend(self._entity_services(entity_id))
+        return results
+
+    def self_reported_count(self, now: float) -> int:
+        return len(self.all_entries(now))

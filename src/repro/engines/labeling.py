@@ -1,0 +1,138 @@
+"""Service labeling policies: validated handshakes vs. keyword matching.
+
+Censys labels a service only when it completes the protocol's L7 handshake.
+Several competitors label from banner keywords and port numbers instead —
+Shodan's public CODESYS heuristic matches services on port 2455 returning
+the words "operating" and "system", which hundreds of thousands of HTTP
+pages also contain.  :class:`KeywordLabeler` reproduces that class of rule,
+and with it Table 4's order-of-magnitude ICS over-reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["KeywordRule", "KeywordLabeler", "shodan_rules", "fofa_rules", "zoomeye_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class KeywordRule:
+    """Label a service when (port matches or None) and all keywords appear."""
+
+    label: str
+    keywords: Tuple[str, ...] = ()
+    port: Optional[int] = None
+    #: Loose rules apply on *any* port when keywords match (the failure
+    #: mode behind the worst over-reporting).
+    loose: bool = False
+
+    def matches(self, port: int, text: str) -> bool:
+        if self.port is not None and port == self.port and not self.keywords:
+            return True
+        if not self.keywords:
+            return False
+        if not self.loose and self.port is not None and port != self.port:
+            return False
+        lowered = text.lower()
+        return all(k in lowered for k in self.keywords)
+
+
+def _record_text(record: Dict[str, Any]) -> str:
+    """All observable text of a scan record, flattened for matching."""
+    parts: List[str] = []
+    for key, value in record.items():
+        if isinstance(value, (list, tuple)):
+            parts.extend(str(v) for v in value)
+        else:
+            parts.append(str(value))
+    return " ".join(parts)
+
+
+class KeywordLabeler:
+    """First-match keyword labeling over a rule list."""
+
+    def __init__(self, rules: Sequence[KeywordRule]) -> None:
+        self.rules = list(rules)
+
+    def label(self, port: int, record: Dict[str, Any], fallback: Optional[str]) -> Optional[str]:
+        """The engine's label: a keyword rule hit, else the generic label."""
+        text = _record_text(record)
+        for rule in self.rules:
+            if rule.matches(port, text):
+                return rule.label
+        return fallback
+
+
+def shodan_rules() -> List[KeywordRule]:
+    """Shodan-style ICS labeling: port-anchored, with loose keyword rules.
+
+    ATG/CODESYS/EIP/WDBRPC use the over-broad heuristics the paper calls
+    out (orders of magnitude over-reported); the rest are port+keyword.
+    """
+    return [
+        KeywordRule("ATG", keywords=("tank",), loose=True),
+        KeywordRule("ATG", port=10001),
+        KeywordRule("WDBRPC", keywords=("vxworks",), loose=True),
+        KeywordRule("WDBRPC", port=17185),
+        KeywordRule("EIP", keywords=("device", "management"), loose=True),
+        KeywordRule("EIP", port=44818),
+        KeywordRule("CODESYS", keywords=("operating", "system"), loose=True),
+        KeywordRule("CODESYS", port=2455),
+        KeywordRule("MODBUS", port=502),
+        KeywordRule("S7", port=102),
+        KeywordRule("BACNET", port=47808),
+        KeywordRule("FOX", keywords=("fox",), port=1911),
+        KeywordRule("FOX", keywords=("fox",), port=4911),
+        KeywordRule("DNP3", port=20000),
+        KeywordRule("FINS", port=9600),
+        KeywordRule("GE_SRTP", port=18245),
+        KeywordRule("HART", port=5094),
+        KeywordRule("IEC60870", port=2404),
+        KeywordRule("OPC_UA", port=4840),
+        KeywordRule("PCWORX", port=1962),
+        KeywordRule("PROCONOS", port=20547),
+        KeywordRule("REDLION", port=789),
+    ]
+
+
+def fofa_rules() -> List[KeywordRule]:
+    """Fofa-style rules: port-anchored with a few loose keyword rules."""
+    return [
+        KeywordRule("ATG", keywords=("status", "uptime"), loose=True),
+        KeywordRule("CODESYS", port=2455),
+        KeywordRule("MODBUS", port=502),
+        KeywordRule("MODBUS", keywords=("device", "management"), loose=True),
+        KeywordRule("S7", port=102),
+        KeywordRule("BACNET", port=47808),
+        KeywordRule("FOX", port=1911),
+        KeywordRule("FOX", port=4911),
+        KeywordRule("DNP3", port=20000),
+        KeywordRule("IEC60870", port=2404),
+        KeywordRule("PCWORX", port=1962),
+        KeywordRule("PROCONOS", port=20547),
+        KeywordRule("REDLION", port=789),
+        KeywordRule("WDBRPC", port=17185),
+    ]
+
+
+def zoomeye_rules() -> List[KeywordRule]:
+    """ZoomEye-style rules: port-anchored, some very loose."""
+    return [
+        KeywordRule("BACNET", port=47808),
+        KeywordRule("BACNET", keywords=("device",), loose=True),
+        KeywordRule("CODESYS", port=2455),
+        KeywordRule("DNP3", port=20000),
+        KeywordRule("FINS", keywords=("module", "status"), loose=True),
+        KeywordRule("FOX", port=1911),
+        KeywordRule("GE_SRTP", port=18245),
+        KeywordRule("HART", port=5094),
+        KeywordRule("MODBUS", port=502),
+        KeywordRule("PROCONOS", port=20547),
+        KeywordRule("REDLION", port=789),
+        KeywordRule("REDLION", keywords=("red", "lion"), loose=True),
+        KeywordRule("S7", port=102),
+        KeywordRule("S7", keywords=("siemens",), loose=True),
+        KeywordRule("WDBRPC", port=17185),
+        KeywordRule("WDBRPC", keywords=("vxworks",), loose=True),
+    ]

@@ -1,0 +1,118 @@
+"""Policy profiles for the four competitor engines.
+
+Policies encode what the paper measured (or what is publicly known) about
+each platform, scaled to the simulation:
+
+* **Shodan** — common ports on a roughly weekly cycle (honeypot discovery
+  took ~76 h), a thin 65K background, ~month-scale staleness, keyword
+  labeling without handshake validation, and notably *no* coverage of the
+  odd HTTP ports 500/60000 (Table 5 found nothing there).
+* **Fofa** — broad, slow scanning (wide port coverage but months-old
+  data), entries duplicated across rescans (~65% unique), keyword rules.
+* **ZoomEye** — moderate port set, the slowest refresh (years-old data,
+  10% accurate), nothing evicted, very loose keyword rules.
+* **Netlas** — a small port set on a ~monthly sweep ("a single scan over
+  the Internet takes about a month"), duplicate-prone storage, handshake
+  labeling but little tail coverage.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engines.baseline import BaselineEngine, BaselinePolicy
+from repro.engines.labeling import KeywordLabeler, fofa_rules, shodan_rules, zoomeye_rules
+from repro.simnet import SimulatedInternet
+from repro.simnet.clock import DAY
+from repro.simnet.ports import TOP_PORT_TABLE
+
+__all__ = [
+    "shodan_policy",
+    "fofa_policy",
+    "zoomeye_policy",
+    "netlas_policy",
+    "make_baseline_engines",
+]
+
+
+def _top_tcp_ports(count: int, exclude: tuple = ()) -> List[int]:
+    ports = [e[0] for e in TOP_PORT_TABLE if e[2] == "tcp" and e[0] not in exclude]
+    ports = ports[:count]
+    # Competitors also watch the well-known ICS ports.
+    from repro.protocols.registry import default_registry
+
+    ics_ports = [
+        p for spec in default_registry().ics_specs if spec.transport == "tcp"
+        for p in spec.default_ports
+    ]
+    return list(dict.fromkeys(ports + ics_ports))
+
+
+def shodan_policy(seed: int = 211) -> BaselinePolicy:
+    return BaselinePolicy(
+        name="shodan",
+        ports=_top_tcp_ports(40, exclude=(500, 60000)),
+        cycle_hours=6.5 * DAY,
+        background_ports_per_ip_per_day=10.0,
+        eviction_after_hours=13 * DAY,   # ~2 scan cycles
+        duplicate_after_hours=None,          # updates in place: ~100% unique
+        labeling="keyword",
+        keyword_labeler=KeywordLabeler(shodan_rules()),
+        region="us",
+        seed=seed,
+    )
+
+
+def fofa_policy(seed: int = 223) -> BaselinePolicy:
+    return BaselinePolicy(
+        name="fofa",
+        ports=_top_tcp_ports(36),
+        cycle_hours=20 * DAY,
+        background_ports_per_ip_per_day=45.0,
+        eviction_after_hours=None,           # stale data served indefinitely
+        duplicate_after_hours=21 * DAY,      # rescans append fresh entries
+        labeling="keyword",
+        keyword_labeler=KeywordLabeler(fofa_rules()),
+        region="asia",
+        seed=seed,
+    )
+
+
+def zoomeye_policy(seed: int = 227) -> BaselinePolicy:
+    return BaselinePolicy(
+        name="zoomeye",
+        ports=_top_tcp_ports(42),
+        cycle_hours=25 * DAY,
+        background_ports_per_ip_per_day=15.0,
+        eviction_after_hours=None,           # years-old entries served
+        duplicate_after_hours=None,          # ~99% unique
+        labeling="keyword",
+        keyword_labeler=KeywordLabeler(zoomeye_rules()),
+        region="asia",
+        seed=seed,
+    )
+
+
+def netlas_policy(seed: int = 229) -> BaselinePolicy:
+    return BaselinePolicy(
+        name="netlas",
+        ports=_top_tcp_ports(24),
+        cycle_hours=30 * DAY,
+        background_ports_per_ip_per_day=3.0,
+        eviction_after_hours=40 * DAY,
+        duplicate_after_hours=12 * DAY,      # ~63% unique
+        labeling="handshake",
+        ics_labels=frozenset({"S7"}),        # reports only S7 among ICS
+        region="eu",
+        seed=seed,
+    )
+
+
+def make_baseline_engines(internet: SimulatedInternet) -> List[BaselineEngine]:
+    """All four competitors over one simulated Internet."""
+    return [
+        BaselineEngine(internet, shodan_policy()),
+        BaselineEngine(internet, fofa_policy()),
+        BaselineEngine(internet, zoomeye_policy()),
+        BaselineEngine(internet, netlas_policy()),
+    ]

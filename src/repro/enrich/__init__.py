@@ -1,0 +1,46 @@
+"""Read-side enrichment: GeoIP, WHOIS, fingerprints, CVEs, labels, DSL."""
+
+from repro.enrich.dsl import DslError, compile_program, evaluate, parse
+from repro.enrich.enrichers import (
+    ip_index_of_entity,
+    make_label_enricher,
+    make_location_enricher,
+    make_routing_enricher,
+    make_software_enricher,
+    make_vulnerability_enricher,
+    standard_enrichers,
+)
+from repro.enrich.fingerprints import (
+    FingerprintEngine,
+    FingerprintRule,
+    SoftwareMatch,
+    default_fingerprints,
+)
+from repro.enrich.geoip import GeoIpRegistry, GeoRecord, WhoisRecord, WhoisRegistry
+from repro.enrich.vulns import CveEntry, VulnerabilityDatabase, default_cve_feed, parse_version
+
+__all__ = [
+    "DslError",
+    "parse",
+    "evaluate",
+    "compile_program",
+    "FingerprintRule",
+    "FingerprintEngine",
+    "SoftwareMatch",
+    "default_fingerprints",
+    "GeoIpRegistry",
+    "WhoisRegistry",
+    "GeoRecord",
+    "WhoisRecord",
+    "CveEntry",
+    "VulnerabilityDatabase",
+    "default_cve_feed",
+    "parse_version",
+    "ip_index_of_entity",
+    "make_location_enricher",
+    "make_routing_enricher",
+    "make_software_enricher",
+    "make_vulnerability_enricher",
+    "make_label_enricher",
+    "standard_enrichers",
+]

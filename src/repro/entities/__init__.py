@@ -1,0 +1,34 @@
+"""Typed entity views: the stable public shapes of the Internet Map.
+
+The pipeline stores entities as plain dicts (cheap to journal, snapshot,
+and flatten); downstream code, however, deserves typed objects.  This
+package wraps reconstructed views in frozen dataclasses with the fields
+the paper's data model exposes — hosts with services and derived context,
+web properties, and certificates.
+"""
+
+from repro.entities.schema import FIELD_CATALOG, FieldSpec, validate_record
+from repro.entities.views import (
+    AutonomousSystemInfo,
+    CertificateView,
+    HostView,
+    LocationInfo,
+    ServiceView,
+    SoftwareInfo,
+    VulnerabilityInfo,
+    WebPropertyView,
+)
+
+__all__ = [
+    "FIELD_CATALOG",
+    "FieldSpec",
+    "validate_record",
+    "HostView",
+    "ServiceView",
+    "SoftwareInfo",
+    "VulnerabilityInfo",
+    "LocationInfo",
+    "AutonomousSystemInfo",
+    "CertificateView",
+    "WebPropertyView",
+]

@@ -1,0 +1,226 @@
+"""The dataset field schema: every record field scanners may emit.
+
+Censys publishes dataset schemas so downstream users can rely on field
+names and types; this catalog is that contract for the reproduction.  It
+doubles as a consistency check: the test suite asserts that every
+protocol scanner only emits cataloged fields with the cataloged types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+__all__ = ["FieldSpec", "FIELD_CATALOG", "validate_record"]
+
+
+@dataclass(frozen=True, slots=True)
+class FieldSpec:
+    """One documented record field."""
+
+    name: str
+    type: type
+    protocol: str
+    description: str
+
+
+FIELD_CATALOG: Dict[str, FieldSpec] = {
+    "amqp.product": FieldSpec("amqp.product", str, "AMQP", "AMQP scanner: product."),
+    "amqp.version": FieldSpec("amqp.version", str, "AMQP", "Self-reported AMQP software version."),
+    "atg.firmware": FieldSpec("atg.firmware", str, "ATG", "Firmware revision reported by the ATG identity handshake."),
+    "atg.model": FieldSpec("atg.model", str, "ATG", "Device model reported by the ATG identity handshake."),
+    "atg.vendor": FieldSpec("atg.vendor", str, "ATG", "Device vendor reported by the ATG identity handshake."),
+    "bacnet.firmware": FieldSpec("bacnet.firmware", str, "BACNET", "Firmware revision reported by the BACNET identity handshake."),
+    "bacnet.firmware_revision": FieldSpec("bacnet.firmware_revision", str, "BACNET", "BACNET scanner: firmware revision."),
+    "bacnet.model": FieldSpec("bacnet.model", str, "BACNET", "Device model reported by the BACNET identity handshake."),
+    "bacnet.object_name": FieldSpec("bacnet.object_name", str, "BACNET", "BACNET scanner: object name."),
+    "bacnet.vendor": FieldSpec("bacnet.vendor", str, "BACNET", "Device vendor reported by the BACNET identity handshake."),
+    "bacnet.vendor_name": FieldSpec("bacnet.vendor_name", str, "BACNET", "BACNET scanner: vendor name."),
+    "cassandra.cql_version": FieldSpec("cassandra.cql_version", str, "CASSANDRA", "CASSANDRA scanner: cql version."),
+    "cassandra.release_version": FieldSpec("cassandra.release_version", str, "CASSANDRA", "CASSANDRA scanner: release version."),
+    "cimon_plc.firmware": FieldSpec("cimon_plc.firmware", str, "CIMON_PLC", "Firmware revision reported by the CIMON_PLC identity handshake."),
+    "cimon_plc.model": FieldSpec("cimon_plc.model", str, "CIMON_PLC", "Device model reported by the CIMON_PLC identity handshake."),
+    "cimon_plc.vendor": FieldSpec("cimon_plc.vendor", str, "CIMON_PLC", "Device vendor reported by the CIMON_PLC identity handshake."),
+    "cmore.firmware": FieldSpec("cmore.firmware", str, "CMORE", "Firmware revision reported by the CMORE identity handshake."),
+    "cmore.model": FieldSpec("cmore.model", str, "CMORE", "Device model reported by the CMORE identity handshake."),
+    "cmore.vendor": FieldSpec("cmore.vendor", str, "CMORE", "Device vendor reported by the CMORE identity handshake."),
+    "codesys.firmware": FieldSpec("codesys.firmware", str, "CODESYS", "Firmware revision reported by the CODESYS identity handshake."),
+    "codesys.model": FieldSpec("codesys.model", str, "CODESYS", "Device model reported by the CODESYS identity handshake."),
+    "codesys.vendor": FieldSpec("codesys.vendor", str, "CODESYS", "Device vendor reported by the CODESYS identity handshake."),
+    "digi.firmware": FieldSpec("digi.firmware", str, "DIGI", "Firmware revision reported by the DIGI identity handshake."),
+    "digi.model": FieldSpec("digi.model", str, "DIGI", "Device model reported by the DIGI identity handshake."),
+    "digi.vendor": FieldSpec("digi.vendor", str, "DIGI", "Device vendor reported by the DIGI identity handshake."),
+    "dnp3.firmware": FieldSpec("dnp3.firmware", str, "DNP3", "Firmware revision reported by the DNP3 identity handshake."),
+    "dnp3.model": FieldSpec("dnp3.model", str, "DNP3", "Device model reported by the DNP3 identity handshake."),
+    "dnp3.source_address": FieldSpec("dnp3.source_address", int, "DNP3", "DNP3 scanner: source address."),
+    "dnp3.vendor": FieldSpec("dnp3.vendor", str, "DNP3", "Device vendor reported by the DNP3 identity handshake."),
+    "dns.rcode": FieldSpec("dns.rcode", str, "DNS", "DNS scanner: rcode."),
+    "dns.recursive": FieldSpec("dns.recursive", bool, "DNS", "DNS scanner: recursive."),
+    "dns.version_bind": FieldSpec("dns.version_bind", str, "DNS", "version.bind TXT response, when the server discloses it."),
+    "docker.containers": FieldSpec("docker.containers", int, "DOCKER", "DOCKER scanner: containers."),
+    "docker.unauthenticated": FieldSpec("docker.unauthenticated", bool, "DOCKER", "DOCKER scanner: unauthenticated."),
+    "docker.version": FieldSpec("docker.version", str, "DOCKER", "Self-reported DOCKER software version."),
+    "eip.firmware": FieldSpec("eip.firmware", str, "EIP", "Firmware revision reported by the EIP identity handshake."),
+    "eip.model": FieldSpec("eip.model", str, "EIP", "Device model reported by the EIP identity handshake."),
+    "eip.vendor": FieldSpec("eip.vendor", str, "EIP", "Device vendor reported by the EIP identity handshake."),
+    "elasticsearch.cluster_name": FieldSpec("elasticsearch.cluster_name", str, "ELASTICSEARCH", "ELASTICSEARCH scanner: cluster name."),
+    "elasticsearch.open_access": FieldSpec("elasticsearch.open_access", bool, "ELASTICSEARCH", "ELASTICSEARCH scanner: open access."),
+    "elasticsearch.version": FieldSpec("elasticsearch.version", str, "ELASTICSEARCH", "Self-reported ELASTICSEARCH software version."),
+    "fins.firmware": FieldSpec("fins.firmware", str, "FINS", "Firmware revision reported by the FINS identity handshake."),
+    "fins.model": FieldSpec("fins.model", str, "FINS", "Device model reported by the FINS identity handshake."),
+    "fins.vendor": FieldSpec("fins.vendor", str, "FINS", "Device vendor reported by the FINS identity handshake."),
+    "fox.app_version": FieldSpec("fox.app_version", str, "FOX", "FOX scanner: app version."),
+    "fox.firmware": FieldSpec("fox.firmware", str, "FOX", "Firmware revision reported by the FOX identity handshake."),
+    "fox.host_name": FieldSpec("fox.host_name", str, "FOX", "FOX scanner: host name."),
+    "fox.model": FieldSpec("fox.model", str, "FOX", "Device model reported by the FOX identity handshake."),
+    "fox.vendor": FieldSpec("fox.vendor", str, "FOX", "Device vendor reported by the FOX identity handshake."),
+    "fox.version": FieldSpec("fox.version", str, "FOX", "Self-reported FOX software version."),
+    "ftp.anonymous": FieldSpec("ftp.anonymous", bool, "FTP", "FTP scanner: anonymous."),
+    "ftp.banner": FieldSpec("ftp.banner", str, "FTP", "Raw FTP greeting/banner line."),
+    "ge_srtp.firmware": FieldSpec("ge_srtp.firmware", str, "GE_SRTP", "Firmware revision reported by the GE_SRTP identity handshake."),
+    "ge_srtp.model": FieldSpec("ge_srtp.model", str, "GE_SRTP", "Device model reported by the GE_SRTP identity handshake."),
+    "ge_srtp.vendor": FieldSpec("ge_srtp.vendor", str, "GE_SRTP", "Device vendor reported by the GE_SRTP identity handshake."),
+    "hart.firmware": FieldSpec("hart.firmware", str, "HART", "Firmware revision reported by the HART identity handshake."),
+    "hart.model": FieldSpec("hart.model", str, "HART", "Device model reported by the HART identity handshake."),
+    "hart.vendor": FieldSpec("hart.vendor", str, "HART", "Device vendor reported by the HART identity handshake."),
+    "http.body_keywords": FieldSpec("http.body_keywords", tuple, "HTTP", "Notable keywords observed in the page body."),
+    "http.favicon_mmh3": FieldSpec("http.favicon_mmh3", int, "HTTP", "mmh3-style hash of the served favicon (fingerprint pivot)."),
+    "http.html_title": FieldSpec("http.html_title", str, "HTTP", "HTML <title> of the served page."),
+    "http.is_c2": FieldSpec("http.is_c2", bool, "HTTP", "Heuristic marker: response profile matches C2 panel behaviour."),
+    "http.redirect_location": FieldSpec("http.redirect_location", str, "HTTP", "HTTP scanner: redirect location."),
+    "http.server": FieldSpec("http.server", str, "HTTP", "HTTP scanner: server."),
+    "http.status": FieldSpec("http.status", int, "HTTP", "HTTP scanner: status."),
+    "http.virtual_host": FieldSpec("http.virtual_host", str, "HTTP", "Name that selected this page via SNI/Host header."),
+    "http.www_authenticate": FieldSpec("http.www_authenticate", str, "HTTP", "HTTP scanner: www authenticate."),
+    "iec60870.firmware": FieldSpec("iec60870.firmware", str, "IEC60870", "Firmware revision reported by the IEC60870 identity handshake."),
+    "iec60870.model": FieldSpec("iec60870.model", str, "IEC60870", "Device model reported by the IEC60870 identity handshake."),
+    "iec60870.vendor": FieldSpec("iec60870.vendor", str, "IEC60870", "Device vendor reported by the IEC60870 identity handshake."),
+    "imap.banner": FieldSpec("imap.banner", str, "IMAP", "Raw IMAP greeting/banner line."),
+    "imap.capabilities": FieldSpec("imap.capabilities", tuple, "IMAP", "Capabilities advertised by the IMAP server."),
+    "ipp.printer_make_and_model": FieldSpec("ipp.printer_make_and_model", str, "IPP", "IPP scanner: printer make and model."),
+    "ipp.printer_state": FieldSpec("ipp.printer_state", str, "IPP", "IPP scanner: printer state."),
+    "jetdirect.pjl_id": FieldSpec("jetdirect.pjl_id", str, "JETDIRECT", "JETDIRECT scanner: pjl id."),
+    "kubernetes.anonymous_auth": FieldSpec("kubernetes.anonymous_auth", bool, "KUBERNETES", "KUBERNETES scanner: anonymous auth."),
+    "kubernetes.version": FieldSpec("kubernetes.version", str, "KUBERNETES", "Self-reported KUBERNETES software version."),
+    "ldap.naming_contexts": FieldSpec("ldap.naming_contexts", tuple, "LDAP", "LDAP scanner: naming contexts."),
+    "ldap.result_code": FieldSpec("ldap.result_code", int, "LDAP", "LDAP scanner: result code."),
+    "lpd.queue_state": FieldSpec("lpd.queue_state", str, "LPD", "LPD scanner: queue state."),
+    "memcached.curr_items": FieldSpec("memcached.curr_items", int, "MEMCACHED", "MEMCACHED scanner: curr items."),
+    "memcached.version": FieldSpec("memcached.version", str, "MEMCACHED", "Self-reported MEMCACHED software version."),
+    "modbus.firmware": FieldSpec("modbus.firmware", str, "MODBUS", "Firmware revision reported by the MODBUS identity handshake."),
+    "modbus.model": FieldSpec("modbus.model", str, "MODBUS", "Device model reported by the MODBUS identity handshake."),
+    "modbus.product_code": FieldSpec("modbus.product_code", str, "MODBUS", "MODBUS scanner: product code."),
+    "modbus.revision": FieldSpec("modbus.revision", str, "MODBUS", "MODBUS scanner: revision."),
+    "modbus.vendor": FieldSpec("modbus.vendor", str, "MODBUS", "Device vendor reported by the MODBUS identity handshake."),
+    "modbus.vendor_name": FieldSpec("modbus.vendor_name", str, "MODBUS", "MODBUS scanner: vendor name."),
+    "mongodb.max_wire_version": FieldSpec("mongodb.max_wire_version", int, "MONGODB", "MONGODB scanner: max wire version."),
+    "mongodb.version": FieldSpec("mongodb.version", str, "MONGODB", "Self-reported MONGODB software version."),
+    "mqtt.anonymous_allowed": FieldSpec("mqtt.anonymous_allowed", bool, "MQTT", "MQTT scanner: anonymous allowed."),
+    "mqtt.connect_return_code": FieldSpec("mqtt.connect_return_code", int, "MQTT", "MQTT scanner: connect return code."),
+    "mysql.auth_plugin": FieldSpec("mysql.auth_plugin", str, "MYSQL", "MYSQL scanner: auth plugin."),
+    "mysql.error_code": FieldSpec("mysql.error_code", int, "MYSQL", "MYSQL scanner: error code."),
+    "mysql.server_version": FieldSpec("mysql.server_version", str, "MYSQL", "MYSQL scanner: server version."),
+    "ntp.monlist_open": FieldSpec("ntp.monlist_open", bool, "NTP", "True when the amplification-prone monlist query answers."),
+    "ntp.stratum": FieldSpec("ntp.stratum", int, "NTP", "NTP scanner: stratum."),
+    "ntp.version": FieldSpec("ntp.version", int, "NTP", "Self-reported NTP software version."),
+    "opc_ua.firmware": FieldSpec("opc_ua.firmware", str, "OPC_UA", "Firmware revision reported by the OPC_UA identity handshake."),
+    "opc_ua.model": FieldSpec("opc_ua.model", str, "OPC_UA", "Device model reported by the OPC_UA identity handshake."),
+    "opc_ua.vendor": FieldSpec("opc_ua.vendor", str, "OPC_UA", "Device vendor reported by the OPC_UA identity handshake."),
+    "pcom.firmware": FieldSpec("pcom.firmware", str, "PCOM", "Firmware revision reported by the PCOM identity handshake."),
+    "pcom.model": FieldSpec("pcom.model", str, "PCOM", "Device model reported by the PCOM identity handshake."),
+    "pcom.vendor": FieldSpec("pcom.vendor", str, "PCOM", "Device vendor reported by the PCOM identity handshake."),
+    "pcworx.firmware": FieldSpec("pcworx.firmware", str, "PCWORX", "Firmware revision reported by the PCWORX identity handshake."),
+    "pcworx.model": FieldSpec("pcworx.model", str, "PCWORX", "Device model reported by the PCWORX identity handshake."),
+    "pcworx.vendor": FieldSpec("pcworx.vendor", str, "PCWORX", "Device vendor reported by the PCWORX identity handshake."),
+    "pop3.banner": FieldSpec("pop3.banner", str, "POP3", "Raw POP3 greeting/banner line."),
+    "pop3.capabilities": FieldSpec("pop3.capabilities", tuple, "POP3", "Capabilities advertised by the POP3 server."),
+    "postgres.auth_method": FieldSpec("postgres.auth_method", str, "POSTGRES", "POSTGRES scanner: auth method."),
+    "postgres.ssl": FieldSpec("postgres.ssl", bool, "POSTGRES", "POSTGRES scanner: ssl."),
+    "proconos.firmware": FieldSpec("proconos.firmware", str, "PROCONOS", "Firmware revision reported by the PROCONOS identity handshake."),
+    "proconos.model": FieldSpec("proconos.model", str, "PROCONOS", "Device model reported by the PROCONOS identity handshake."),
+    "proconos.vendor": FieldSpec("proconos.vendor", str, "PROCONOS", "Device vendor reported by the PROCONOS identity handshake."),
+    "rdp.computer_name": FieldSpec("rdp.computer_name", str, "RDP", "RDP scanner: computer name."),
+    "rdp.os_version": FieldSpec("rdp.os_version", str, "RDP", "RDP scanner: os version."),
+    "rdp.security_protocols": FieldSpec("rdp.security_protocols", tuple, "RDP", "Security protocols offered in the connection confirm."),
+    "redis.auth_required": FieldSpec("redis.auth_required", bool, "REDIS", "REDIS scanner: auth required."),
+    "redis.mode": FieldSpec("redis.mode", str, "REDIS", "REDIS scanner: mode."),
+    "redis.version": FieldSpec("redis.version", str, "REDIS", "Self-reported REDIS software version."),
+    "redlion.firmware": FieldSpec("redlion.firmware", str, "REDLION", "Firmware revision reported by the REDLION identity handshake."),
+    "redlion.model": FieldSpec("redlion.model", str, "REDLION", "Device model reported by the REDLION identity handshake."),
+    "redlion.vendor": FieldSpec("redlion.vendor", str, "REDLION", "Device vendor reported by the REDLION identity handshake."),
+    "rlogin.prompt": FieldSpec("rlogin.prompt", str, "RLOGIN", "RLOGIN scanner: prompt."),
+    "rsync.banner": FieldSpec("rsync.banner", str, "RSYNC", "Raw RSYNC greeting/banner line."),
+    "rsync.modules": FieldSpec("rsync.modules", tuple, "RSYNC", "RSYNC scanner: modules."),
+    "rsync.open_modules": FieldSpec("rsync.open_modules", bool, "RSYNC", "RSYNC scanner: open modules."),
+    "rtsp.open_stream": FieldSpec("rtsp.open_stream", bool, "RTSP", "RTSP scanner: open stream."),
+    "rtsp.server": FieldSpec("rtsp.server", str, "RTSP", "RTSP scanner: server."),
+    "s7.firmware": FieldSpec("s7.firmware", str, "S7", "Firmware revision reported by the S7 identity handshake."),
+    "s7.model": FieldSpec("s7.model", str, "S7", "Device model reported by the S7 identity handshake."),
+    "s7.module_type": FieldSpec("s7.module_type", str, "S7", "S7 scanner: module type."),
+    "s7.serial_number": FieldSpec("s7.serial_number", str, "S7", "Module serial number from the SZL identity read."),
+    "s7.vendor": FieldSpec("s7.vendor", str, "S7", "Device vendor reported by the S7 identity handshake."),
+    "sip.status": FieldSpec("sip.status", str, "SIP", "SIP scanner: status."),
+    "sip.user_agent": FieldSpec("sip.user_agent", str, "SIP", "SIP scanner: user agent."),
+    "smb.dialect": FieldSpec("smb.dialect", str, "SMB", "SMB scanner: dialect."),
+    "smb.netbios_name": FieldSpec("smb.netbios_name", str, "SMB", "SMB scanner: netbios name."),
+    "smb.signing_required": FieldSpec("smb.signing_required", bool, "SMB", "SMB scanner: signing required."),
+    "smtp.banner": FieldSpec("smtp.banner", str, "SMTP", "Raw SMTP greeting/banner line."),
+    "smtp.ehlo_extensions": FieldSpec("smtp.ehlo_extensions", tuple, "SMTP", "SMTP scanner: ehlo extensions."),
+    "smtp.starttls": FieldSpec("smtp.starttls", bool, "SMTP", "SMTP scanner: starttls."),
+    "snmp.community": FieldSpec("snmp.community", str, "SNMP", "SNMP scanner: community."),
+    "snmp.sysdescr": FieldSpec("snmp.sysdescr", str, "SNMP", "sysDescr.0 returned for the public community."),
+    "socks5.auth_method": FieldSpec("socks5.auth_method", int, "SOCKS5", "SOCKS5 scanner: auth method."),
+    "socks5.open_proxy": FieldSpec("socks5.open_proxy", bool, "SOCKS5", "True when the proxy accepts the no-authentication method."),
+    "ssh.banner": FieldSpec("ssh.banner", str, "SSH", "Raw SSH greeting/banner line."),
+    "ssh.host_key_sha256": FieldSpec("ssh.host_key_sha256", str, "SSH", "SHA-256 fingerprint of the server host key (threat-hunting pivot)."),
+    "ssh.host_key_type": FieldSpec("ssh.host_key_type", str, "SSH", "SSH scanner: host key type."),
+    "ssh.kex_algorithms": FieldSpec("ssh.kex_algorithms", tuple, "SSH", "Key-exchange algorithms offered in KEXINIT."),
+    "telnet.banner": FieldSpec("telnet.banner", str, "TELNET", "Raw TELNET greeting/banner line."),
+    "tftp.open_read": FieldSpec("tftp.open_read", bool, "TFTP", "TFTP scanner: open read."),
+    "tls.certificate_sha256": FieldSpec("tls.certificate_sha256", str, "TLS", "SHA-256 fingerprint of the presented leaf certificate."),
+    "tls.ja4s": FieldSpec("tls.ja4s", str, "TLS", "JA4S server TLS-stack fingerprint (threat-hunting pivot)."),
+    "tls.self_signed": FieldSpec("tls.self_signed", bool, "TLS", "Whether the presented certificate is self-signed."),
+    "tls.subject_names": FieldSpec("tls.subject_names", tuple, "TLS", "SAN dNSNames of the presented certificate."),
+    "upnp.server": FieldSpec("upnp.server", str, "UPNP", "UPNP scanner: server."),
+    "vnc.rfb_version": FieldSpec("vnc.rfb_version", str, "VNC", "VNC scanner: rfb version."),
+    "vnc.security_types": FieldSpec("vnc.security_types", tuple, "VNC", "VNC scanner: security types."),
+    "wdbrpc.firmware": FieldSpec("wdbrpc.firmware", str, "WDBRPC", "Firmware revision reported by the WDBRPC identity handshake."),
+    "wdbrpc.model": FieldSpec("wdbrpc.model", str, "WDBRPC", "Device model reported by the WDBRPC identity handshake."),
+    "wdbrpc.vendor": FieldSpec("wdbrpc.vendor", str, "WDBRPC", "Device vendor reported by the WDBRPC identity handshake."),
+    "web.fronting_ip_index": FieldSpec("web.fronting_ip_index", int, "WEB", "Scaled address index of the host fronting the name."),
+    "web.name": FieldSpec("web.name", str, "WEB", "The web property name this record was fetched under."),
+    "winrm.auth_schemes": FieldSpec("winrm.auth_schemes", str, "WINRM", "WINRM scanner: auth schemes."),
+    "winrm.server": FieldSpec("winrm.server", str, "WINRM", "WINRM scanner: server."),
+    "x11.open_access": FieldSpec("x11.open_access", bool, "X11", "X11 scanner: open access."),
+    "x11.release": FieldSpec("x11.release", str, "X11", "X11 scanner: release."),
+    "x11.vendor": FieldSpec("x11.vendor", str, "X11", "Device vendor reported by the X11 identity handshake."),
+}
+
+
+def validate_record(record: Dict[str, object], strict: bool = True) -> list:
+    """Check a service record against the catalog.
+
+    Returns a list of problem strings (empty = valid).  With
+    ``strict=False``, unknown fields are tolerated (forward compatibility)
+    but type mismatches on known fields still fail.
+    """
+    problems = []
+    for name, value in record.items():
+        spec = FIELD_CATALOG.get(name)
+        if spec is None:
+            if strict:
+                problems.append(f"unknown field: {name}")
+            continue
+        if value is None:
+            continue
+        expected = spec.type
+        if expected is tuple and isinstance(value, (list, tuple)):
+            continue
+        if expected is int and isinstance(value, bool):
+            problems.append(f"{name}: bool where int expected")
+            continue
+        if not isinstance(value, expected):
+            problems.append(
+                f"{name}: {type(value).__name__} where {expected.__name__} expected"
+            )
+    return problems

@@ -1,0 +1,256 @@
+"""Frozen dataclass views over reconstructed entity dicts.
+
+Constructed with :meth:`HostView.from_view` (etc.) from the read side's
+output; every field is a stable, documented part of the public data model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "SoftwareInfo",
+    "VulnerabilityInfo",
+    "LocationInfo",
+    "AutonomousSystemInfo",
+    "ServiceView",
+    "HostView",
+    "CertificateView",
+    "WebPropertyView",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SoftwareInfo:
+    """Fingerprinted software identity of one service."""
+
+    vendor: str
+    product: str
+    version: Optional[str]
+    cpe: str
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SoftwareInfo":
+        return cls(
+            vendor=data.get("vendor", ""),
+            product=data.get("product", ""),
+            version=data.get("version"),
+            cpe=data.get("cpe", ""),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class VulnerabilityInfo:
+    """One CVE affecting a fingerprinted service."""
+
+    cve_id: str
+    cvss: float
+    known_exploited: bool
+    summary: str
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VulnerabilityInfo":
+        return cls(
+            cve_id=data.get("cve_id", ""),
+            cvss=float(data.get("cvss", 0.0)),
+            known_exploited=bool(data.get("kev", False)),
+            summary=data.get("summary", ""),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LocationInfo:
+    country: str
+    region: str
+    city: str
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LocationInfo":
+        return cls(
+            country=data.get("country", ""),
+            region=data.get("region", ""),
+            city=data.get("city", ""),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AutonomousSystemInfo:
+    asn: int
+    name: str
+    organization: str
+    cidr: str
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AutonomousSystemInfo":
+        return cls(
+            asn=int(data.get("asn", 0)),
+            name=data.get("as_name", ""),
+            organization=data.get("organization", ""),
+            cidr=data.get("cidr", ""),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceView:
+    """One service on a host, as served to users."""
+
+    port: int
+    transport: str
+    service_name: Optional[str]
+    protocol: Optional[str]
+    first_seen: Optional[float]
+    last_seen: Optional[float]
+    pending_removal: bool
+    record: Mapping[str, Any]
+    software: Optional[SoftwareInfo]
+    vulnerabilities: Tuple[VulnerabilityInfo, ...]
+
+    @classmethod
+    def from_dict(cls, key: str, service: Mapping[str, Any]) -> "ServiceView":
+        port_text, _, transport = key.partition("/")
+        software = service.get("software")
+        return cls(
+            port=int(port_text),
+            transport=transport,
+            service_name=service.get("service_name"),
+            protocol=service.get("protocol"),
+            first_seen=service.get("first_seen"),
+            last_seen=service.get("last_seen"),
+            pending_removal=service.get("pending_removal_since") is not None,
+            record=dict(service.get("record", {})),
+            software=SoftwareInfo.from_dict(software) if software else None,
+            vulnerabilities=tuple(
+                VulnerabilityInfo.from_dict(v) for v in service.get("vulnerabilities", ())
+            ),
+        )
+
+    @property
+    def is_tls(self) -> bool:
+        return "tls.certificate_sha256" in self.record
+
+    @property
+    def certificate_sha256(self) -> Optional[str]:
+        return self.record.get("tls.certificate_sha256")
+
+
+@dataclass(frozen=True, slots=True)
+class HostView:
+    """One IP-addressed host: services plus derived context."""
+
+    entity_id: str
+    ip: str
+    at: Optional[float]
+    services: Tuple[ServiceView, ...]
+    location: Optional[LocationInfo]
+    autonomous_system: Optional[AutonomousSystemInfo]
+    labels: Tuple[str, ...]
+    cve_ids: Tuple[str, ...]
+    device_types: Tuple[str, ...]
+
+    @classmethod
+    def from_view(cls, view: Mapping[str, Any]) -> "HostView":
+        entity_id = view["entity_id"]
+        derived = view.get("derived", {})
+        location = derived.get("location")
+        asys = derived.get("autonomous_system")
+        return cls(
+            entity_id=entity_id,
+            ip=entity_id.split(":", 1)[1] if ":" in entity_id else entity_id,
+            at=view.get("at"),
+            services=tuple(
+                ServiceView.from_dict(key, service)
+                for key, service in sorted(view.get("services", {}).items())
+            ),
+            location=LocationInfo.from_dict(location) if location else None,
+            autonomous_system=AutonomousSystemInfo.from_dict(asys) if asys else None,
+            labels=tuple(derived.get("labels", ())),
+            cve_ids=tuple(derived.get("cve_ids", ())),
+            device_types=tuple(derived.get("device_types", ())),
+        )
+
+    @property
+    def service_count(self) -> int:
+        return len(self.services)
+
+    def service_on(self, port: int, transport: str = "tcp") -> Optional[ServiceView]:
+        for service in self.services:
+            if service.port == port and service.transport == transport:
+                return service
+        return None
+
+    @property
+    def open_ports(self) -> Tuple[int, ...]:
+        return tuple(s.port for s in self.services)
+
+    @property
+    def has_known_exploited_vulnerability(self) -> bool:
+        return any(v.known_exploited for s in self.services for v in s.vulnerabilities)
+
+
+@dataclass(frozen=True, slots=True)
+class CertificateView:
+    """One certificate entity as journaled by the certificate pipeline."""
+
+    sha256: str
+    subject_cn: str
+    names: Tuple[str, ...]
+    issuer_cn: str
+    not_before: float
+    not_after: float
+    self_signed: bool
+    valid_in: Tuple[str, ...]
+    validation_errors: Tuple[str, ...]
+    revoked: bool
+    lint_findings: Tuple[str, ...]
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "CertificateView":
+        meta = state.get("meta", {})
+        validation = meta.get("validation", {})
+        return cls(
+            sha256=meta.get("sha256", ""),
+            subject_cn=meta.get("subject_cn", ""),
+            names=tuple(meta.get("subject_names", ())),
+            issuer_cn=meta.get("issuer_cn", ""),
+            not_before=float(meta.get("not_before", 0.0)),
+            not_after=float(meta.get("not_after", 0.0)),
+            self_signed=bool(meta.get("self_signed", False)),
+            valid_in=tuple(validation.get("valid_in", ())),
+            validation_errors=tuple(validation.get("errors", ())),
+            revoked=bool(meta.get("revoked", False)),
+            lint_findings=tuple(meta.get("lint", ())),
+        )
+
+    @property
+    def trusted(self) -> bool:
+        return bool(self.valid_in) and not self.revoked
+
+
+@dataclass(frozen=True, slots=True)
+class WebPropertyView:
+    """One name-addressed web property."""
+
+    entity_id: str
+    name: str
+    services: Tuple[ServiceView, ...]
+
+    @classmethod
+    def from_view(cls, view: Mapping[str, Any]) -> "WebPropertyView":
+        entity_id = view["entity_id"]
+        return cls(
+            entity_id=entity_id,
+            name=entity_id.split(":", 1)[1] if ":" in entity_id else entity_id,
+            services=tuple(
+                ServiceView.from_dict(key, service)
+                for key, service in sorted(view.get("services", {}).items())
+            ),
+        )
+
+    @property
+    def page_title(self) -> Optional[str]:
+        for service in self.services:
+            title = service.record.get("http.html_title")
+            if title:
+                return title
+        return None

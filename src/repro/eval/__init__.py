@@ -1,0 +1,60 @@
+"""Evaluation harness: the paper's tables and figures as runnable experiments."""
+
+from repro.eval.coverage import (
+    AccuracyRow,
+    TierCoverage,
+    ground_truth_coverage,
+    random_ip_accuracy,
+    union_tier_coverage,
+)
+from repro.eval.freshness import (
+    FreshnessResult,
+    age_cdf,
+    collect_freshness,
+    rank_order_correlation,
+)
+from repro.eval.groundtruth import GroundTruthSample, GroundTruthService, collect_ground_truth
+from repro.eval.honeypots import DiscoveryStats, discovery_table, run_honeypot_experiment
+from repro.eval.ics import ICS_PROTOCOL_ORDER, IcsCell, ics_census, ics_ground_truth_counts
+from repro.eval.liveness import oracle_liveness, probe_liveness, validate_protocol
+from repro.eval.overlap import mean_coverage_by_others, mean_coverage_of_others, overlap_matrix
+from repro.eval.portpop import decay_smoothness, port_population_series, tier_shares
+from repro.eval.sampling import ConvergencePoint, convergence_curve, required_sample_size
+from repro.eval.world import EVAL_VANTAGE, EvalConfig, EvaluationWorld
+
+__all__ = [
+    "EvalConfig",
+    "EvaluationWorld",
+    "EVAL_VANTAGE",
+    "AccuracyRow",
+    "TierCoverage",
+    "random_ip_accuracy",
+    "union_tier_coverage",
+    "ground_truth_coverage",
+    "FreshnessResult",
+    "collect_freshness",
+    "age_cdf",
+    "rank_order_correlation",
+    "GroundTruthSample",
+    "GroundTruthService",
+    "collect_ground_truth",
+    "DiscoveryStats",
+    "run_honeypot_experiment",
+    "discovery_table",
+    "ICS_PROTOCOL_ORDER",
+    "IcsCell",
+    "ics_census",
+    "ics_ground_truth_counts",
+    "probe_liveness",
+    "oracle_liveness",
+    "validate_protocol",
+    "overlap_matrix",
+    "mean_coverage_of_others",
+    "mean_coverage_by_others",
+    "port_population_series",
+    "decay_smoothness",
+    "tier_shares",
+    "ConvergencePoint",
+    "convergence_curve",
+    "required_sample_size",
+]

@@ -1,0 +1,186 @@
+"""Coverage and accuracy measurements (Tables 1, 2, and 3).
+
+Three methodologies from §6:
+
+* **random-IP comparison** (Table 2): sample random addresses, query every
+  engine for their current state, re-scan what they return, and derive
+  self-reported totals, estimated accuracy, uniqueness, and the estimated
+  number of accurate services;
+* **union coverage by port tier** (Table 1): pool every engine's
+  currently-active services and measure each engine's share per
+  (top-10 / top-100 / all-65K) port tier;
+* **ground-truth coverage** (Table 3): each engine's coverage of the
+  independent sub-sampled scan, grouped by country and protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.engines.base import ReportedService, ScanEngineHarness
+from repro.eval.groundtruth import GroundTruthSample
+from repro.eval.liveness import oracle_liveness, probe_liveness
+from repro.simnet import SimulatedInternet
+from repro.simnet.ports import PortModel
+
+__all__ = [
+    "AccuracyRow",
+    "random_ip_accuracy",
+    "TierCoverage",
+    "union_tier_coverage",
+    "ground_truth_coverage",
+]
+
+Binding = Tuple[int, int, str]
+
+
+@dataclass(slots=True)
+class AccuracyRow:
+    """One engine's row of Table 2."""
+
+    engine: str
+    self_reported: int
+    sampled_entries: int
+    pct_accurate: float
+    pct_unique: float
+
+    @property
+    def est_accurate(self) -> int:
+        return round(self.self_reported * self.pct_accurate * self.pct_unique)
+
+
+def random_ip_accuracy(
+    internet: SimulatedInternet,
+    engines: Sequence[ScanEngineHarness],
+    now: float,
+    sample_size: int = 4000,
+    seed: int = 51,
+    use_probe_liveness: bool = True,
+) -> List[AccuracyRow]:
+    """The Table 2 methodology over ``sample_size`` random addresses."""
+    rng = random.Random(seed)
+    sample_size = min(sample_size, internet.space.size)
+    sample_ips = rng.sample(range(internet.space.size), sample_size)
+    rows: List[AccuracyRow] = []
+    check = probe_liveness if use_probe_liveness else oracle_liveness
+    for engine in engines:
+        returned: List[ReportedService] = []
+        for ip_index in sample_ips:
+            returned.extend(engine.query_ip(ip_index, now))
+        live = sum(1 for service in returned if check(internet, service, now))
+        bindings = {service.binding for service in returned}
+        pct_accurate = live / len(returned) if returned else 0.0
+        pct_unique = len(bindings) / len(returned) if returned else 1.0
+        rows.append(
+            AccuracyRow(
+                engine=engine.name,
+                self_reported=engine.self_reported_count(now),
+                sampled_entries=len(returned),
+                pct_accurate=pct_accurate,
+                pct_unique=pct_unique,
+            )
+        )
+    return rows
+
+
+@dataclass(slots=True)
+class TierCoverage:
+    """One engine's row of Table 1."""
+
+    engine: str
+    top10: float
+    top100: float
+    all_ports: float
+
+
+def union_tier_coverage(
+    internet: SimulatedInternet,
+    engines: Sequence[ScanEngineHarness],
+    now: float,
+    port_model: Optional[PortModel] = None,
+) -> Tuple[List[TierCoverage], Dict[str, Set[Binding]]]:
+    """Table 1: per-tier coverage over the union of active services.
+
+    Every engine's served entries are pooled, filtered to those still
+    alive (the follow-up scan step, done via ground truth so probe loss
+    does not double-count), and each engine is scored per port tier.
+    Returns the rows plus the per-engine live binding sets (reused by the
+    Figure 3 overlap matrix).
+    """
+    port_model = port_model or internet.workload.port_model
+    live_sets: Dict[str, Set[Binding]] = {}
+    for engine in engines:
+        live = set()
+        for service in engine.all_entries(now):
+            if oracle_liveness(internet, service, now):
+                live.add(service.binding)
+        live_sets[engine.name] = live
+    union: Set[Binding] = set()
+    for bindings in live_sets.values():
+        union |= bindings
+    top10 = set(port_model.top_ports(10))
+    top100 = set(port_model.top_ports(100))
+    tiers = {
+        "top10": {b for b in union if b[1] in top10},
+        "top100": {b for b in union if b[1] in top100},
+        "all": union,
+    }
+    rows = []
+    for engine in engines:
+        mine = live_sets[engine.name]
+        rows.append(
+            TierCoverage(
+                engine=engine.name,
+                top10=_share(mine, tiers["top10"]),
+                top100=_share(mine, tiers["top100"]),
+                all_ports=_share(mine, tiers["all"]),
+            )
+        )
+    return rows, live_sets
+
+
+def _share(mine: Set[Binding], tier: Set[Binding]) -> float:
+    if not tier:
+        return 0.0
+    return len(mine & tier) / len(tier)
+
+
+def ground_truth_coverage(
+    sample: GroundTruthSample,
+    engines: Sequence[ScanEngineHarness],
+    now: float,
+    group_by: str = "country",
+    min_group_size: int = 10,
+) -> Dict[str, Dict[str, float]]:
+    """Table 3: engine coverage of the ground-truth sample, grouped.
+
+    ``group_by`` is "country", "protocol", or "all".  A ground-truth
+    service counts as covered when the engine currently serves *that
+    binding* (labels may differ; the paper checks presence).
+    """
+    if group_by == "country":
+        groups = sample.by_country()
+    elif group_by == "protocol":
+        groups = sample.by_protocol()
+    elif group_by == "all":
+        groups = {"all": sample.services}
+    else:
+        raise ValueError(f"unknown grouping: {group_by}")
+    groups = {k: v for k, v in groups.items() if len(v) >= min_group_size}
+    result: Dict[str, Dict[str, float]] = {}
+    for name, services in sorted(groups.items(), key=lambda kv: -len(kv[1])):
+        row: Dict[str, float] = {"_count": float(len(services))}
+        for engine in engines:
+            covered = 0
+            for service in services:
+                served = engine.query_ip(service.ip_index, now)
+                if any(
+                    s.port == service.port and s.transport == service.transport
+                    for s in served
+                ):
+                    covered += 1
+            row[engine.name] = covered / len(services)
+        result[name] = row
+    return result

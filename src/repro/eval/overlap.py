@@ -1,0 +1,45 @@
+"""Coverage-overlap matrix between engines (Figure 3).
+
+Cell (A, B): the fraction of B's *confirmed-active* services that A also
+serves.  The paper's reading: Censys has the greatest coverage of every
+other engine, and every other engine covers Censys least.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set, Tuple
+
+__all__ = ["overlap_matrix"]
+
+Binding = Tuple[int, int, str]
+
+
+def overlap_matrix(live_sets: Dict[str, Set[Binding]]) -> Dict[str, Dict[str, float]]:
+    """matrix[a][b] = |live(a) & live(b)| / |live(b)| (A's coverage of B)."""
+    names = list(live_sets)
+    matrix: Dict[str, Dict[str, float]] = {}
+    for a in names:
+        matrix[a] = {}
+        for b in names:
+            theirs = live_sets[b]
+            if not theirs:
+                matrix[a][b] = 0.0
+                continue
+            matrix[a][b] = len(live_sets[a] & theirs) / len(theirs)
+    return matrix
+
+
+def mean_coverage_of_others(matrix: Dict[str, Dict[str, float]], engine: str) -> float:
+    """Average of engine's coverage over every other engine's services."""
+    others = [b for b in matrix[engine] if b != engine]
+    if not others:
+        return 0.0
+    return sum(matrix[engine][b] for b in others) / len(others)
+
+
+def mean_coverage_by_others(matrix: Dict[str, Dict[str, float]], engine: str) -> float:
+    """Average of other engines' coverage of this engine's services."""
+    others = [a for a in matrix if a != engine]
+    if not others:
+        return 0.0
+    return sum(matrix[a][engine] for a in others) / len(others)

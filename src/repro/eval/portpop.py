@@ -1,0 +1,52 @@
+"""Service population by port (Figure 4, Appendix B).
+
+From a sampled scan of all ports, the per-port service population follows a
+smoothly decaying distribution with no knee separating "popular" from
+"unpopular" ports — the observation that led Censys to drop its fixed
+top-5000-port scan in favour of the full-65K background plus prediction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from repro.eval.groundtruth import GroundTruthSample
+
+__all__ = ["port_population_series", "decay_smoothness"]
+
+
+def port_population_series(sample: GroundTruthSample) -> List[Tuple[int, int, int]]:
+    """(rank, port, observed service count), rank 1 = most populated."""
+    counts = Counter(service.port for service in sample.services)
+    series = []
+    for rank, (port, count) in enumerate(counts.most_common(), start=1):
+        series.append((rank, port, count))
+    return series
+
+
+def decay_smoothness(series: Sequence[Tuple[int, int, int]]) -> float:
+    """Largest single-step drop ratio in the sorted populations.
+
+    A hard cut-off between popular and unpopular ports would show as one
+    step where the population falls by a large factor; a smooth power-law
+    decay keeps successive ratios near one.  Returns the max ratio
+    count[i]/count[i+1] over the (noise-robust) top of the distribution.
+    """
+    counts = [count for _, _, count in series if count >= 3]
+    if len(counts) < 3:
+        return 1.0
+    worst = 1.0
+    for a, b in zip(counts, counts[1:]):
+        worst = max(worst, a / b)
+    return worst
+
+
+def tier_shares(series: Sequence[Tuple[int, int, int]]) -> Tuple[float, float, float]:
+    """Population shares of rank tiers (top-10, 11–100, beyond)."""
+    total = sum(count for _, _, count in series)
+    if total == 0:
+        return (0.0, 0.0, 0.0)
+    top10 = sum(count for rank, _, count in series if rank <= 10)
+    top100 = sum(count for rank, _, count in series if rank <= 100)
+    return (top10 / total, (top100 - top10) / total, (total - top100) / total)

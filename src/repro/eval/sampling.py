@@ -1,0 +1,66 @@
+"""Sample-size convergence of the freshness/liveness estimator (Figure 5).
+
+Appendix C shows that ~50 sampled services suffice for the
+expected-percent-responsive estimate to reach its asymptote.  This module
+bootstraps the estimator at increasing sample sizes and reports the
+spread, reproducing that convergence curve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["ConvergencePoint", "convergence_curve"]
+
+
+@dataclass(slots=True)
+class ConvergencePoint:
+    """Bootstrap behaviour of the estimator at one sample size."""
+
+    sample_size: int
+    mean_estimate: float
+    spread: float          # std-dev across bootstrap resamples
+
+    @property
+    def converged(self) -> bool:
+        return self.spread < 0.05
+
+
+def convergence_curve(
+    liveness_outcomes: Sequence[bool],
+    sample_sizes: Sequence[int] = (5, 10, 25, 50, 100, 200, 400),
+    bootstrap_rounds: int = 200,
+    seed: int = 81,
+) -> List[ConvergencePoint]:
+    """Bootstrap the percent-responsive estimator at each sample size.
+
+    ``liveness_outcomes`` are the follow-up-scan results (responded or
+    not) for one engine's returned services — the raw material of the
+    freshness estimate.
+    """
+    if not liveness_outcomes:
+        raise ValueError("need at least one liveness outcome")
+    rng = random.Random(seed)
+    outcomes = list(liveness_outcomes)
+    points = []
+    for size in sample_sizes:
+        estimates = []
+        for _ in range(bootstrap_rounds):
+            resample = [outcomes[rng.randrange(len(outcomes))] for _ in range(size)]
+            estimates.append(sum(resample) / size)
+        mean = sum(estimates) / len(estimates)
+        variance = sum((e - mean) ** 2 for e in estimates) / len(estimates)
+        points.append(
+            ConvergencePoint(sample_size=size, mean_estimate=mean, spread=variance**0.5)
+        )
+    return points
+
+
+def required_sample_size(points: Sequence[ConvergencePoint], tolerance: float = 0.05) -> int:
+    """The smallest evaluated sample size whose spread is within tolerance."""
+    for point in points:
+        if point.spread < tolerance:
+            return point.sample_size
+    return points[-1].sample_size if points else 0

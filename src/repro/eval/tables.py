@@ -1,0 +1,129 @@
+"""Text rendering of the paper's tables and figures from measured data."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.coverage import AccuracyRow, TierCoverage
+from repro.eval.freshness import FreshnessResult
+from repro.eval.honeypots import DiscoveryStats, overall_stats
+from repro.eval.ics import ICS_PROTOCOL_ORDER, IcsCell
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_figure2",
+    "render_figure3",
+]
+
+
+def _pct(x: float) -> str:
+    return f"{100 * x:.0f}%"
+
+
+def render_table1(rows: List[TierCoverage]) -> str:
+    lines = ["Table 1: Coverage of Services in Engines (union of active services)"]
+    header = f"{'Coverage':<14}" + "".join(f"{r.engine:>10}" for r in rows)
+    lines.append(header)
+    for tier, attr in (("Top 10 Ports", "top10"), ("Top 100 Ports", "top100"), ("All 65K Ports", "all_ports")):
+        lines.append(f"{tier:<14}" + "".join(f"{_pct(getattr(r, attr)):>10}" for r in rows))
+    return "\n".join(lines)
+
+
+def render_table2(rows: List[AccuracyRow]) -> str:
+    lines = ["Table 2: Coverage of Current IPv4 Services"]
+    header = f"{'':<16}" + "".join(f"{r.engine:>10}" for r in rows)
+    lines.append(header)
+    lines.append(f"{'Self-Reported':<16}" + "".join(f"{r.self_reported:>10}" for r in rows))
+    lines.append(f"{'Est. % Accurate':<16}" + "".join(f"{_pct(r.pct_accurate):>10}" for r in rows))
+    lines.append(f"{'Est. % Unique':<16}" + "".join(f"{_pct(r.pct_unique):>10}" for r in rows))
+    lines.append(f"{'Est. # Accurate':<16}" + "".join(f"{r.est_accurate:>10}" for r in rows))
+    return "\n".join(lines)
+
+
+def render_table3(
+    country_rows: Dict[str, Dict[str, float]],
+    protocol_rows: Dict[str, Dict[str, float]],
+    engine_names: Sequence[str],
+) -> str:
+    lines = ["Table 3: Country and Protocol Coverage (vs. ground-truth sample)"]
+    header = f"{'Category':<16}" + "".join(f"{n:>10}" for n in engine_names)
+    lines.append(header)
+    for rows in (country_rows, protocol_rows):
+        for name, row in rows.items():
+            label = f"{name} ({int(row['_count'])})"
+            lines.append(
+                f"{label:<16}" + "".join(f"{_pct(row[n]):>10}" for n in engine_names)
+            )
+    return "\n".join(lines)
+
+
+def render_table4(
+    table: Dict[str, Dict[str, IcsCell]],
+    engine_names: Sequence[str],
+    protocols: Optional[Sequence[str]] = None,
+) -> str:
+    protocols = list(protocols or ICS_PROTOCOL_ORDER)
+    lines = ["Table 4: ICS Coverage (Accurate / Reported per engine)"]
+    header = f"{'Protocol':<12}" + "".join(f"{n + ' A/R':>16}" for n in engine_names)
+    lines.append(header)
+    for protocol in protocols:
+        row = table.get(protocol, {})
+        cells = []
+        for name in engine_names:
+            cell = row.get(name)
+            if cell is None or cell.reported == 0:
+                cells.append(f"{'-':>16}")
+            else:
+                cells.append(f"{f'{cell.accurate}/{cell.reported}':>16}")
+        lines.append(f"{protocol:<12}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_table5(table: Dict[str, List[DiscoveryStats]], engine_names: Sequence[str]) -> str:
+    lines = ["Table 5: Time To Discovery (hours)"]
+    header = f"{'Port/Proto':<16}" + "".join(f"{n + ' mean/med':>20}" for n in engine_names)
+    lines.append(header)
+    ports = [(r.port, r.protocol) for r in table[engine_names[0]]]
+    for i, (port, protocol) in enumerate(ports):
+        cells = []
+        for name in engine_names:
+            row = table[name][i]
+            if row.mean is None:
+                cells.append(f"{'-':>20}")
+            else:
+                cells.append(f"{f'{row.mean:.1f}/{row.median:.1f}':>20}")
+        lines.append(f"{f'{port}/{protocol}':<16}" + "".join(cells))
+    summary = []
+    for name in engine_names:
+        mean, median = overall_stats(table[name])
+        summary.append(
+            f"{name}: overall mean {mean:.1f}h median {median:.1f}h"
+            if mean is not None
+            else f"{name}: found nothing"
+        )
+    lines.append(" | ".join(summary))
+    return "\n".join(lines)
+
+
+def render_figure2(results: List[FreshnessResult]) -> str:
+    lines = ["Figure 2: Service Data Freshness (age of returned services)"]
+    for result in results:
+        lines.append(
+            f"  {result.engine:<10} n={len(result.ages):>6}  "
+            f"median={result.median_age:>8.1f}h  mean={result.mean_age:>8.1f}h  "
+            f"max={result.max_age:>8.1f}h  <48h={_pct(result.fraction_fresher_than(48.0)):>5}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure3(matrix: Dict[str, Dict[str, float]]) -> str:
+    names = list(matrix)
+    lines = ["Figure 3: Scan Engine Coverage Overlap (column engine's coverage of row engine)"]
+    lines.append(f"{'':<10}" + "".join(f"{a:>10}" for a in names))
+    for b in names:
+        lines.append(f"{b:<10}" + "".join(f"{_pct(matrix[a][b]):>10}" for a in names))
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""The evaluation world: one simulated Internet, five scan engines.
+
+Builds the substrate, runs the Censys platform and the four competitor
+engines side by side through a warm-up period (engines carry accumulated
+state into any measurement, exactly like production systems), and hands the
+evaluation modules a uniform set of engine harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import CensysPlatform, PlatformConfig
+from repro.engines import BaselineEngine, CensysHarness, make_baseline_engines
+from repro.engines.base import ScanEngineHarness
+from repro.simnet import (
+    DAY,
+    SimulatedInternet,
+    Vantage,
+    WorkloadConfig,
+    build_simnet,
+)
+
+__all__ = ["EvalConfig", "EvaluationWorld"]
+
+
+@dataclass(slots=True)
+class EvalConfig:
+    """Scale and timing of an evaluation run."""
+
+    bits: int = 15
+    services_target: int = 2500
+    warmup_days: float = 60.0
+    #: Extra ground-truth horizon after t=0 (honeypot experiments run here).
+    post_days: float = 30.0
+    tick_hours: float = 6.0
+    seed: int = 7
+    with_baselines: bool = True
+    platform_config: Optional[PlatformConfig] = None
+
+    @property
+    def t_start(self) -> float:
+        return -self.warmup_days * DAY
+
+    @property
+    def t_end(self) -> float:
+        return self.post_days * DAY
+
+
+#: The vantage the evaluation's follow-up liveness scans run from — a
+#: different network than any engine's production scanning, per §6.1.
+EVAL_VANTAGE = Vantage("eval-recheck", "us", provider="eval", loss_rate=0.01, vantage_id=99)
+
+
+class EvaluationWorld:
+    """Substrate plus all five engines, advanced in lock-step."""
+
+    def __init__(self, config: Optional[EvalConfig] = None) -> None:
+        self.config = config or EvalConfig()
+        cfg = self.config
+        self.internet: SimulatedInternet = build_simnet(
+            bits=cfg.bits,
+            workload_config=WorkloadConfig(
+                seed=cfg.seed,
+                services_target=cfg.services_target,
+                t_start=cfg.t_start,
+                t_end=cfg.t_end,
+            ),
+            seed=cfg.seed,
+        )
+        self.platform = CensysPlatform(
+            self.internet,
+            cfg.platform_config or PlatformConfig(seed=cfg.seed),
+            start_time=cfg.t_start,
+        )
+        self.censys = CensysHarness(self.platform)
+        self.baselines: List[BaselineEngine] = (
+            make_baseline_engines(self.internet) if cfg.with_baselines else []
+        )
+        self._baseline_time = cfg.t_start
+        self.now = cfg.t_start
+
+    # ------------------------------------------------------------------
+
+    def run_until(self, t_end: float) -> None:
+        """Advance every engine to ``t_end`` in shared ticks."""
+        dt = self.config.tick_hours
+        while self.now < t_end - 1e-9:
+            step = min(dt, t_end - self.now)
+            self.platform.run_until(self.now + step, tick_hours=step)
+            for baseline in self.baselines:
+                baseline.tick(self.now, step)
+            self.now += step
+
+    def run_warmup(self) -> None:
+        self.run_until(0.0)
+
+    # ------------------------------------------------------------------
+
+    def engines(self) -> List[ScanEngineHarness]:
+        """Censys first, then the baselines (Table order)."""
+        return [self.censys, *self.baselines]
+
+    def engine(self, name: str) -> ScanEngineHarness:
+        for engine in self.engines():
+            if engine.name == name:
+                return engine
+        raise KeyError(f"no engine named {name!r}")
+
+    def notify_new_instances(self, instances) -> None:
+        """Tell every running engine about endpoints injected mid-run."""
+        self.platform.on_new_endpoints(instances)
+        for baseline in self.baselines:
+            baseline.notify_new_instances(instances)

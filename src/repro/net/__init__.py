@@ -1,0 +1,36 @@
+"""Networking primitives: addresses, CIDR sets, scan permutations, probe spaces."""
+
+from repro.net.cyclic import (
+    AffinePermutation,
+    MultiplicativeCyclicGroup,
+    ProbePermutation,
+    is_prime,
+    next_prime,
+)
+from repro.net.ip import (
+    MAX_IPV4,
+    PORT_COUNT,
+    AddressSpace,
+    Cidr,
+    CidrSet,
+    ip_to_str,
+    str_to_ip,
+)
+from repro.net.probespace import ProbeSpace, ProbeTarget
+
+__all__ = [
+    "MAX_IPV4",
+    "PORT_COUNT",
+    "AddressSpace",
+    "Cidr",
+    "CidrSet",
+    "ip_to_str",
+    "str_to_ip",
+    "AffinePermutation",
+    "MultiplicativeCyclicGroup",
+    "ProbePermutation",
+    "is_prime",
+    "next_prime",
+    "ProbeSpace",
+    "ProbeTarget",
+]

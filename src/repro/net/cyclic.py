@@ -1,0 +1,262 @@
+"""ZMap-style address-space permutations for stateless scan iteration.
+
+ZMap iterates the multiplicative cyclic group of integers modulo a prime to
+visit every (address, port) pair exactly once in a pseudorandom order while
+storing only a cursor.  We provide two interchangeable permutations:
+
+* :class:`MultiplicativeCyclicGroup` — the faithful ZMap construction.  It
+  walks a generator of ``(Z/pZ)*`` for the smallest prime ``p > n``, skipping
+  out-of-range elements.  Positions (discrete logarithms) are resolved with
+  baby-step giant-step, so it is only used for small probe spaces and tests.
+
+* :class:`AffinePermutation` — ``i -> (a*i + b) mod n`` with ``gcd(a, n) = 1``.
+  Statistically it serves the same purpose (pseudorandom full-cycle order,
+  O(1) cursor state) and, crucially for the simulator, its inverse is also
+  O(1), which lets the simulated Internet answer "when will element x be
+  probed?" without walking the whole cycle.
+
+Both implement the :class:`ProbePermutation` interface used by the scan
+engine; DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Protocol
+
+__all__ = [
+    "ProbePermutation",
+    "AffinePermutation",
+    "MultiplicativeCyclicGroup",
+    "is_prime",
+    "next_prime",
+]
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin primality test (valid for n < 3.3e24)."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+class ProbePermutation(Protocol):
+    """A bijection over ``range(n)`` with O(1) forward evaluation."""
+
+    n: int
+
+    def element(self, index: int) -> int:
+        """The element visited at position ``index`` (0-based)."""
+
+    def position(self, element: int) -> int:
+        """The position at which ``element`` is visited (inverse map)."""
+
+    def iterate(self, start: int = 0, count: int | None = None) -> Iterator[int]:
+        """Yield elements for positions ``start, start+1, ...`` (wrapping)."""
+
+
+class AffinePermutation:
+    """Full-cycle affine permutation ``i -> (a*i + b) mod n``.
+
+    The multiplier and offset are derived from a seed so that distinct scans
+    (and distinct permutation epochs) visit the space in unrelated orders,
+    mirroring ZMap's per-scan random generator selection.
+    """
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError("permutation domain must be non-empty")
+        self.n = n
+        # Derive a multiplier coprime with n from the seed.  Mixing with a
+        # splitmix64-style finalizer decorrelates consecutive seeds.
+        a = _mix64(seed) % n
+        if a < 2:
+            a = 2 if n > 2 else 1
+        while math.gcd(a, n) != 1:
+            a += 1
+            if a >= n:
+                a = 1
+        self._a = a
+        self._b = _mix64(seed ^ 0x9E3779B97F4A7C15) % n
+        self._a_inv = pow(a, -1, n)
+
+    def element(self, index: int) -> int:
+        return (self._a * (index % self.n) + self._b) % self.n
+
+    def position(self, element: int) -> int:
+        if not 0 <= element < self.n:
+            raise ValueError(f"element {element} outside domain of size {self.n}")
+        return (element - self._b) * self._a_inv % self.n
+
+    def iterate(self, start: int = 0, count: int | None = None) -> Iterator[int]:
+        count = self.n if count is None else count
+        a, b, n = self._a, self._b, self.n
+        value = (a * (start % n) + b) % n
+        for _ in range(count):
+            yield value
+            value = (value + a) % n
+
+    @property
+    def coefficients(self) -> tuple[int, int]:
+        """The (multiplier, offset) pair — exposed for journaling/debugging."""
+        return (self._a, self._b)
+
+
+class MultiplicativeCyclicGroup:
+    """Faithful ZMap iteration: a generator of ``(Z/pZ)*`` for prime p > n.
+
+    Elements outside ``range(n)`` (p is slightly larger than the domain) are
+    skipped during iteration, exactly as ZMap blacklists out-of-range
+    addresses.  ``position`` uses baby-step giant-step and is O(sqrt(p)), so
+    keep domains small (tests use this class to validate the affine stand-in).
+    """
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError("permutation domain must be non-empty")
+        self.n = n
+        self.p = next_prime(max(n, 2))
+        self._g = self._find_generator(seed)
+        self._bsgs_table: dict[int, int] | None = None
+
+    def _find_generator(self, seed: int) -> int:
+        p = self.p
+        if p == 2:
+            return 1
+        factors = _factorize(p - 1)
+        candidate = 2 + _mix64(seed) % (p - 2)
+        for _ in range(p):
+            if all(pow(candidate, (p - 1) // q, p) != 1 for q in factors):
+                return candidate
+            candidate += 1
+            if candidate >= p:
+                candidate = 2
+        raise RuntimeError(f"no generator found for p={p}")  # pragma: no cover
+
+    @property
+    def generator(self) -> int:
+        return self._g
+
+    def _raw_element(self, index: int) -> int:
+        """The group element at ``index`` before range-skipping (1..p-1)."""
+        return pow(self._g, index + 1, self.p)
+
+    def element(self, index: int) -> int:
+        # The group walks p-1 elements of which exactly n fall in range(n)
+        # (group elements are 1..p-1; element value v maps to domain v-1 when
+        # v-1 < n).  Iterate with skipping; element() must stay consistent
+        # with iterate(), so it walks from the start.  O(index) — small
+        # domains only.
+        for i, value in enumerate(self.iterate()):
+            if i == index:
+                return value
+        raise IndexError(index)
+
+    def position(self, element: int) -> int:
+        if not 0 <= element < self.n:
+            raise ValueError(f"element {element} outside domain of size {self.n}")
+        raw_index = self._discrete_log(element + 1)
+        # Count in-range elements strictly before raw_index in the raw walk.
+        position = 0
+        for i in range(raw_index):
+            if self._raw_element(i) - 1 < self.n:
+                position += 1
+        return position
+
+    def _discrete_log(self, target: int) -> int:
+        """Index i (0-based in the raw walk) with g^(i+1) = target mod p."""
+        p, g = self.p, self._g
+        m = math.isqrt(p) + 1
+        if self._bsgs_table is None:
+            table: dict[int, int] = {}
+            e = 1
+            for j in range(m):
+                table.setdefault(e, j)
+                e = e * g % p
+            self._bsgs_table = table
+        table = self._bsgs_table
+        factor = pow(g, -m, p)
+        gamma = target
+        for i in range(m):
+            j = table.get(gamma)
+            if j is not None:
+                k = i * m + j  # g^k = target
+                return (k - 1) % (p - 1)
+            gamma = gamma * factor % p
+        raise ValueError(f"{target} is not in the group")  # pragma: no cover
+
+    def iterate(self, start: int = 0, count: int | None = None) -> Iterator[int]:
+        count = self.n if count is None else count
+        produced = 0
+        raw = 0
+        skipped_to_start = 0
+        value = self._g % self.p
+        # Walk the raw cycle, skipping out-of-range values and the first
+        # ``start`` in-range ones.
+        while produced < count:
+            if raw >= self.p - 1 and skipped_to_start + produced >= self.n:
+                raw = 0
+                value = self._g % self.p
+                skipped_to_start = 0
+            domain_value = value - 1
+            if 0 <= domain_value < self.n:
+                if skipped_to_start < start % self.n:
+                    skipped_to_start += 1
+                else:
+                    yield domain_value
+                    produced += 1
+            raw += 1
+            value = value * self._g % self.p
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: decorrelates nearby integer seeds."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+def _factorize(n: int) -> list[int]:
+    """Distinct prime factors of ``n`` by trial division (p-1 is small here)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors

@@ -1,0 +1,197 @@
+"""IPv4 address and CIDR primitives for the scaled scan space.
+
+The simulated Internet lives in a *scaled* IPv4 space: a contiguous block of
+``2**k`` addresses carved out of the real 32-bit space (by default rooted at
+1.0.0.0).  All library code manipulates addresses as integers for speed and
+converts to dotted-quad notation only at presentation boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+__all__ = [
+    "MAX_IPV4",
+    "PORT_COUNT",
+    "ip_to_str",
+    "str_to_ip",
+    "Cidr",
+    "CidrSet",
+    "AddressSpace",
+]
+
+MAX_IPV4 = 2**32 - 1
+#: Number of TCP/UDP ports; probe spaces are (address x port) products.
+PORT_COUNT = 65536
+
+
+def ip_to_str(ip: int) -> str:
+    """Render an integer IPv4 address in dotted-quad notation."""
+    if not 0 <= ip <= MAX_IPV4:
+        raise ValueError(f"not an IPv4 address: {ip!r}")
+    return f"{(ip >> 24) & 0xFF}.{(ip >> 16) & 0xFF}.{(ip >> 8) & 0xFF}.{ip & 0xFF}"
+
+
+def str_to_ip(text: str) -> int:
+    """Parse dotted-quad notation into an integer IPv4 address."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"not an IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class Cidr:
+    """A CIDR block, e.g. ``10.0.0.0/8``, stored as (base, prefix length)."""
+
+    base: int
+    prefix: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix <= 32:
+            raise ValueError(f"invalid prefix length: {self.prefix}")
+        mask = self.mask
+        if self.base & ~mask & MAX_IPV4:
+            raise ValueError(
+                f"base {ip_to_str(self.base)} has host bits set for /{self.prefix}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Cidr":
+        """Parse ``a.b.c.d/len`` notation."""
+        addr, _, prefix = text.partition("/")
+        if not prefix:
+            raise ValueError(f"missing prefix length: {text!r}")
+        return cls(str_to_ip(addr), int(prefix))
+
+    @property
+    def mask(self) -> int:
+        return (MAX_IPV4 << (32 - self.prefix)) & MAX_IPV4
+
+    @property
+    def size(self) -> int:
+        return 1 << (32 - self.prefix)
+
+    @property
+    def first(self) -> int:
+        return self.base
+
+    @property
+    def last(self) -> int:
+        return self.base + self.size - 1
+
+    def __contains__(self, ip: int) -> bool:
+        return (ip & self.mask) == self.base
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.first, self.last + 1))
+
+    def __str__(self) -> str:
+        return f"{ip_to_str(self.base)}/{self.prefix}"
+
+    def subnets(self, new_prefix: int) -> Iterator["Cidr"]:
+        """Yield the sub-blocks of this block at ``new_prefix``."""
+        if new_prefix < self.prefix or new_prefix > 32:
+            raise ValueError(f"cannot split /{self.prefix} into /{new_prefix}")
+        step = 1 << (32 - new_prefix)
+        for base in range(self.first, self.last + 1, step):
+            yield Cidr(base, new_prefix)
+
+
+class CidrSet:
+    """A set of disjoint CIDR blocks supporting fast membership tests.
+
+    Used for cloud-network targeting, scan exclusion lists (the paper's
+    opt-out prefixes), and per-country address allocations.  Membership is a
+    binary search over the sorted, merged interval list.
+    """
+
+    def __init__(self, blocks: Iterable[Cidr] = ()) -> None:
+        intervals = sorted((b.first, b.last) for b in blocks)
+        merged: List[List[int]] = []
+        for first, last in intervals:
+            if merged and first <= merged[-1][1] + 1:
+                merged[-1][1] = max(merged[-1][1], last)
+            else:
+                merged.append([first, last])
+        self._starts = [m[0] for m in merged]
+        self._ends = [m[1] for m in merged]
+
+    @classmethod
+    def parse(cls, texts: Sequence[str]) -> "CidrSet":
+        return cls(Cidr.parse(t) for t in texts)
+
+    def __contains__(self, ip: int) -> bool:
+        starts = self._starts
+        lo, hi = 0, len(starts)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if starts[mid] <= ip:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo > 0 and ip <= self._ends[lo - 1]
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    @property
+    def address_count(self) -> int:
+        """Total number of addresses covered."""
+        return sum(e - s + 1 for s, e in zip(self._starts, self._ends))
+
+    def intervals(self) -> List[tuple[int, int]]:
+        """The merged (first, last) intervals, sorted ascending."""
+        return list(zip(self._starts, self._ends))
+
+
+@dataclass(frozen=True, slots=True)
+class AddressSpace:
+    """The scaled address space the simulated Internet occupies.
+
+    ``size`` must be a power of two so that the space maps onto a clean CIDR
+    block; index ``i`` corresponds to real address ``base + i``.
+    """
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.size & (self.size - 1):
+            raise ValueError(f"size must be a power of two: {self.size}")
+        if self.base % self.size:
+            raise ValueError("base must be aligned to size")
+        if self.base + self.size - 1 > MAX_IPV4:
+            raise ValueError("space exceeds the IPv4 range")
+
+    @classmethod
+    def of_bits(cls, bits: int, base: int = 0x01000000) -> "AddressSpace":
+        """A space of ``2**bits`` addresses rooted at ``base`` (1.0.0.0)."""
+        return cls(base, 1 << bits)
+
+    @property
+    def cidr(self) -> Cidr:
+        prefix = 32 - (self.size.bit_length() - 1)
+        return Cidr(self.base, prefix)
+
+    def index_of(self, ip: int) -> int:
+        """Map a real address to its index in the space."""
+        if not self.base <= ip < self.base + self.size:
+            raise ValueError(f"{ip_to_str(ip)} outside the scan space")
+        return ip - self.base
+
+    def ip_at(self, index: int) -> int:
+        """Map an index back to a real address."""
+        if not 0 <= index < self.size:
+            raise IndexError(index)
+        return self.base + index
+
+    def __contains__(self, ip: int) -> bool:
+        return self.base <= ip < self.base + self.size

@@ -1,0 +1,25 @@
+"""CQRS data pipeline: events, journal, snapshots, write/read sides, queues."""
+
+from repro.pipeline.events import Event, EventKind, service_key
+from repro.pipeline.journal import EventJournal, JournalStats
+from repro.pipeline.queues import EventBus
+from repro.pipeline.read_side import Enricher, ReadSide
+from repro.pipeline.state import apply_event, live_services, new_entity_state
+from repro.pipeline.write_side import ScanObservation, WriteSideProcessor, host_entity_id
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "service_key",
+    "EventJournal",
+    "JournalStats",
+    "EventBus",
+    "ReadSide",
+    "Enricher",
+    "apply_event",
+    "new_entity_state",
+    "live_services",
+    "ScanObservation",
+    "WriteSideProcessor",
+    "host_entity_id",
+]

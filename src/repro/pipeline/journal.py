@@ -1,0 +1,160 @@
+"""The Bigtable-style event journal with snapshots and storage tiering.
+
+Rows are keyed by (entity id, monotonic sequence number).  The journal
+stores delta-encoded events plus periodic state snapshots; reconstruction
+finds the latest snapshot at or before the queried time and replays the
+events after it.  Snapshot-or-older rows migrate from the (simulated) SSD
+tier to the HDD tier, mirroring how Censys keeps only the hot tail of each
+entity's history on fast storage.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.pipeline.events import Event
+from repro.pipeline.state import apply_event, new_entity_state, snapshot_state
+
+__all__ = ["JournalStats", "EventJournal"]
+
+
+@dataclass(slots=True)
+class JournalStats:
+    """Storage accounting (bytes are modeled, not measured)."""
+
+    events: int = 0
+    snapshots: int = 0
+    event_bytes: int = 0
+    snapshot_bytes: int = 0
+    ssd_bytes: int = 0
+    hdd_bytes: int = 0
+    replayed_events: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.event_bytes + self.snapshot_bytes
+
+
+@dataclass(slots=True)
+class _EntityLog:
+    """Per-entity journal rows."""
+
+    events: List[Event] = field(default_factory=list)
+    #: (seq_after, time, state) triples; a snapshot at index i reflects all
+    #: events with seq < seq_after.
+    snapshots: List[Tuple[int, float, Dict[str, Any]]] = field(default_factory=list)
+    next_seq: int = 0
+    #: Sequence numbers at or below this are on the HDD tier.
+    hdd_watermark: int = -1
+    #: Materialized current state (the hot serving row).
+    current: Optional[Dict[str, Any]] = None
+
+
+class EventJournal:
+    """Append-only journal of entity events plus snapshot management."""
+
+    def __init__(self, snapshot_every: int = 32) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.snapshot_every = snapshot_every
+        self._logs: Dict[str, _EntityLog] = {}
+        self.stats = JournalStats()
+
+    # -- write path -------------------------------------------------------
+
+    def append(self, entity_id: str, time: float, kind: str, payload: Dict[str, Any]) -> Event:
+        """Journal one event; snapshots and tiering happen automatically."""
+        log = self._logs.setdefault(entity_id, _EntityLog())
+        event = Event(entity_id=entity_id, seq=log.next_seq, time=time, kind=kind, payload=payload)
+        if log.events and time < log.events[-1].time:
+            raise ValueError(
+                f"event time {time} precedes journal head {log.events[-1].time} for {entity_id}"
+            )
+        log.events.append(event)
+        log.next_seq += 1
+        if log.current is None:
+            log.current = new_entity_state(entity_id)
+        apply_event(log.current, event)
+        size = event.encoded_size()
+        self.stats.events += 1
+        self.stats.event_bytes += size
+        self.stats.ssd_bytes += size
+        if log.next_seq % self.snapshot_every == 0:
+            self._snapshot(entity_id, log, time)
+        return event
+
+    def _snapshot(self, entity_id: str, log: _EntityLog, time: float) -> None:
+        state = log.current if log.current is not None else new_entity_state(entity_id)
+        log.snapshots.append((log.next_seq, time, snapshot_state(state)))
+        size = len(json.dumps(state, default=str))
+        self.stats.snapshots += 1
+        self.stats.snapshot_bytes += size
+        # Everything covered by the snapshot moves to the HDD tier.
+        migrated = [e for e in log.events if log.hdd_watermark < e.seq < log.next_seq]
+        moved = sum(e.encoded_size() for e in migrated)
+        self.stats.ssd_bytes -= moved
+        self.stats.hdd_bytes += moved
+        self.stats.ssd_bytes += size  # the fresh snapshot itself stays hot
+        log.hdd_watermark = log.next_seq - 1
+
+    # -- read path ---------------------------------------------------------
+
+    def reconstruct(self, entity_id: str, at: Optional[float] = None) -> Dict[str, Any]:
+        """Entity state at time ``at`` (None: current state).
+
+        Finds the newest snapshot not after ``at`` and replays subsequent
+        events with time <= ``at``.
+        """
+        log = self._logs.get(entity_id)
+        if log is None:
+            return new_entity_state(entity_id)
+        if at is None:
+            # Fast path: the materialized serving row.
+            return snapshot_state(log.current) if log.current is not None else new_entity_state(entity_id)
+        base_seq = 0
+        state = new_entity_state(entity_id)
+        usable = [
+            s for s in log.snapshots if at is None or s[1] <= at
+        ]
+        if usable:
+            base_seq, _, snapped = usable[-1]
+            state = snapshot_state(snapped)
+        for event in log.events[base_seq:]:
+            if at is not None and event.time > at:
+                break
+            apply_event(state, event)
+            self.stats.replayed_events += 1
+        return state
+
+    def peek_current(self, entity_id: str) -> Dict[str, Any]:
+        """The live materialized state, WITHOUT copying.
+
+        Write-side hot path only; callers must treat the result as
+        read-only and mutate exclusively through :meth:`append`.
+        """
+        log = self._logs.get(entity_id)
+        if log is None or log.current is None:
+            return new_entity_state(entity_id)
+        return log.current
+
+    def events_for(self, entity_id: str, since_seq: int = 0) -> List[Event]:
+        log = self._logs.get(entity_id)
+        if log is None:
+            return []
+        return log.events[since_seq:]
+
+    def entity_ids(self) -> Iterator[str]:
+        return iter(self._logs.keys())
+
+    def has_entity(self, entity_id: str) -> bool:
+        return entity_id in self._logs
+
+    def event_count(self, entity_id: str) -> int:
+        log = self._logs.get(entity_id)
+        return log.next_seq if log else 0
+
+    def __len__(self) -> int:
+        return len(self._logs)

@@ -1,0 +1,56 @@
+"""In-process topic queues (the Pub/Sub substitute).
+
+The write side publishes follow-up work (reindexing, certificate
+processing, predictive-model updates) instead of doing it inline — the
+paper's "minimal processing during initial data ingestion".  Delivery is
+deferred until :meth:`EventBus.pump`, which the platform calls once per
+tick, so ingestion stays cheap and ordering across topics is explicit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Tuple
+
+__all__ = ["EventBus"]
+
+Handler = Callable[[Dict[str, Any]], None]
+
+
+class EventBus:
+    """Topic-based fan-out with deferred delivery."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[Handler]] = {}
+        self._pending: Deque[Tuple[str, Dict[str, Any]]] = deque()
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, topic: str, handler: Handler) -> None:
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def publish(self, topic: str, message: Dict[str, Any]) -> None:
+        self._pending.append((topic, message))
+        self.published += 1
+
+    def pump(self, max_messages: int | None = None) -> int:
+        """Deliver queued messages to subscribers; returns count delivered.
+
+        Messages published *during* delivery are processed in the same pump
+        unless ``max_messages`` caps the batch.
+        """
+        delivered = 0
+        while self._pending:
+            if max_messages is not None and delivered >= max_messages:
+                break
+            topic, message = self._pending.popleft()
+            for handler in self._subscribers.get(topic, ()):  # fan-out
+                handler(message)
+            delivered += 1
+            self.delivered += 1
+        return delivered
+
+    @property
+    def backlog(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,213 @@
+"""The CQRS write (command) side: turning scan results into journal events.
+
+For each inbound scan the processor (1) retrieves the entity's current
+state, (2) computes the delta command, (3) journals the resulting event,
+and (4) enqueues follow-up work on the bus — the paper's four write-side
+steps.  It also implements two Censys data-quality policies:
+
+* *eviction staging*: a failed scan of a known service marks it pending
+  removal; actual removal is a separate command issued by the scheduler
+  after the 72-hour window;
+* *pseudo-service filtering*: hosts answering identically on many ports are
+  flagged and excluded from serving (competitor engines skip this, which
+  is one source of their inflated self-reported counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.pipeline.events import EventKind, service_key
+from repro.pipeline.journal import EventJournal
+from repro.pipeline.queues import EventBus
+from repro.protocols.interrogate import InterrogationResult
+
+__all__ = ["ScanObservation", "WriteSideProcessor", "host_entity_id"]
+
+
+def host_entity_id(ip_text: str) -> str:
+    return f"host:{ip_text}"
+
+
+@dataclass(slots=True)
+class ScanObservation:
+    """One completed interrogation (successful or failed) of one binding."""
+
+    entity_id: str
+    time: float
+    port: int
+    transport: str
+    result: InterrogationResult
+    source: str = "scan"   # "discovery" | "refresh" | "predictive" | "name"
+
+
+@dataclass(slots=True)
+class WriteStats:
+    observations: int = 0
+    found: int = 0
+    changed: int = 0
+    refreshed: int = 0
+    pending: int = 0
+    removed: int = 0
+    pseudo_flagged: int = 0
+
+
+class WriteSideProcessor:
+    """Applies scan observations to the journal and emits follow-up work."""
+
+    #: A host answering identically on more than this many ports is pseudo.
+    PSEUDO_PORT_THRESHOLD = 20
+
+    def __init__(
+        self,
+        journal: EventJournal,
+        bus: Optional[EventBus] = None,
+        filter_pseudo_services: bool = True,
+        delta_encoding: bool = True,
+    ) -> None:
+        self.journal = journal
+        self.bus = bus or EventBus()
+        self.filter_pseudo_services = filter_pseudo_services
+        #: False journals the full record on every rescan instead of the
+        #: field-level diff — the storage-cost ablation's strawman.
+        self.delta_encoding = delta_encoding
+        self.stats = WriteStats()
+
+    # ------------------------------------------------------------------
+
+    def process(self, obs: ScanObservation) -> Optional[str]:
+        """Apply one observation; returns the journal event kind (or None)."""
+        self.stats.observations += 1
+        state = self.journal.peek_current(obs.entity_id)
+        if self.filter_pseudo_services and state["meta"].get("pseudo_host"):
+            return None  # filtered: pseudo hosts are not part of the map
+        key = service_key(obs.port, obs.transport)
+        existing = state["services"].get(key)
+        if obs.result.success and obs.result.service_name:
+            return self._apply_success(obs, key, existing)
+        return self._apply_failure(obs, key, existing)
+
+    def _apply_success(
+        self, obs: ScanObservation, key: str, existing: Optional[Dict[str, Any]]
+    ) -> str:
+        record = dict(obs.result.record)
+        service_name = obs.result.service_name
+        if existing is None:
+            self.journal.append(
+                obs.entity_id,
+                obs.time,
+                EventKind.SERVICE_FOUND,
+                {
+                    "key": key,
+                    "protocol": obs.result.protocol,
+                    "service_name": service_name,
+                    "record": record,
+                    "source": obs.source,
+                },
+            )
+            self.stats.found += 1
+            self.bus.publish(
+                "service_found",
+                {"entity_id": obs.entity_id, "key": key, "record": record, "time": obs.time,
+                 "service_name": service_name, "source": obs.source},
+            )
+            if self.filter_pseudo_services:
+                self._check_pseudo(obs, record)
+            return EventKind.SERVICE_FOUND
+
+        # Change detection against the previous scan of this binding.
+        changed, removed_fields = _diff_records(existing["record"], record)
+        name_changed = existing.get("service_name") != service_name
+        if not changed and not removed_fields and not name_changed:
+            refresh_payload: Dict[str, Any] = {"key": key}
+            if not self.delta_encoding:
+                refresh_payload["record"] = record  # full-record strawman
+            self.journal.append(
+                obs.entity_id, obs.time, EventKind.SERVICE_REFRESHED, refresh_payload
+            )
+            self.stats.refreshed += 1
+            return EventKind.SERVICE_REFRESHED
+        if not self.delta_encoding:
+            changed = record  # store everything, not the diff
+        payload: Dict[str, Any] = {"key": key, "changed": changed, "removed_fields": removed_fields}
+        if name_changed:
+            payload["service_name"] = service_name
+            payload["protocol"] = obs.result.protocol
+        self.journal.append(obs.entity_id, obs.time, EventKind.SERVICE_CHANGED, payload)
+        self.stats.changed += 1
+        self.bus.publish(
+            "service_changed",
+            {"entity_id": obs.entity_id, "key": key, "changed": changed, "time": obs.time,
+             "record": record, "service_name": service_name},
+        )
+        return EventKind.SERVICE_CHANGED
+
+    def _apply_failure(
+        self, obs: ScanObservation, key: str, existing: Optional[Dict[str, Any]]
+    ) -> Optional[str]:
+        if existing is None:
+            return None  # nothing known to stage for removal
+        first_failure = existing.get("pending_removal_since") is None
+        # Repeated failures are journaled too: they record the scan attempt
+        # (last_checked) while the original staging time keeps the eviction
+        # clock running.
+        self.journal.append(
+            obs.entity_id, obs.time, EventKind.SERVICE_PENDING_REMOVAL, {"key": key}
+        )
+        if first_failure:
+            self.stats.pending += 1
+            self.bus.publish(
+                "service_unresponsive",
+                {"entity_id": obs.entity_id, "key": key, "time": obs.time},
+            )
+        return EventKind.SERVICE_PENDING_REMOVAL
+
+    # ------------------------------------------------------------------
+
+    def remove_service(self, entity_id: str, key: str, time: float) -> bool:
+        """Evict a staged service (scheduler command after the 72 h window)."""
+        state = self.journal.peek_current(entity_id)
+        service = state["services"].get(key)
+        if service is None:
+            return False
+        self.journal.append(entity_id, time, EventKind.SERVICE_REMOVED, {"key": key})
+        self.stats.removed += 1
+        self.bus.publish("service_removed", {"entity_id": entity_id, "key": key, "time": time})
+        return True
+
+    def _check_pseudo(self, obs: ScanObservation, new_record: Dict[str, Any]) -> None:
+        state = self.journal.peek_current(obs.entity_id)
+        if state["meta"].get("pseudo_host"):
+            return
+        services = state["services"]
+        if len(services) <= self.PSEUDO_PORT_THRESHOLD:
+            return
+        signatures = set()
+        for service in services.values():
+            signatures.add(_record_signature(service["record"]))
+            if len(signatures) > 2:
+                return
+        self.journal.append(
+            obs.entity_id, obs.time, EventKind.HOST_META, {"meta": {"pseudo_host": True}}
+        )
+        self.bus.publish(
+            "host_pseudo_flagged", {"entity_id": obs.entity_id, "time": obs.time}
+        )
+        self.stats.pseudo_flagged += 1
+
+
+def _diff_records(old: Dict[str, Any], new: Dict[str, Any]) -> Tuple[Dict[str, Any], list]:
+    """Field-level delta: (changed/added fields, removed field names)."""
+    changed = {k: v for k, v in new.items() if old.get(k, _MISSING) != v}
+    removed = [k for k in old if k not in new]
+    return changed, removed
+
+
+def _record_signature(record: Dict[str, Any]) -> str:
+    """A loose identity for pseudo-service detection (raw banner shape)."""
+    interesting = {k: v for k, v in sorted(record.items()) if not k.startswith("tls.")}
+    return repr(interesting)
+
+
+_MISSING = object()

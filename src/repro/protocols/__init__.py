@@ -1,0 +1,34 @@
+"""Application-layer protocol models, detection, and interrogation."""
+
+from repro.protocols.base import (
+    Probe,
+    ProtocolSpec,
+    Reply,
+    ServerProfile,
+    TlsEndpointProfile,
+    reset,
+    silence,
+)
+from repro.protocols.detect import Connection, DetectionResult, ProtocolDetector
+from repro.protocols.interrogate import InterrogationResult, Interrogator
+from repro.protocols.registry import ProtocolRegistry, default_registry
+from repro.protocols.tlslayer import make_ja4s, tls_server_hello
+
+__all__ = [
+    "Probe",
+    "Reply",
+    "ServerProfile",
+    "TlsEndpointProfile",
+    "ProtocolSpec",
+    "silence",
+    "reset",
+    "Connection",
+    "DetectionResult",
+    "ProtocolDetector",
+    "InterrogationResult",
+    "Interrogator",
+    "ProtocolRegistry",
+    "default_registry",
+    "make_ja4s",
+    "tls_server_hello",
+]

@@ -1,0 +1,121 @@
+"""Phase-2 service interrogation: detection plus the full protocol handshake.
+
+Mirrors the paper's five scanner steps: fetch candidates (caller), detect the
+L7 protocol, complete the associated handshakes, build a structured record,
+and hand the record to downstream processing (caller).  Failed scans are
+reported too — the write side journals removals from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.protocols.base import Probe
+from repro.protocols.detect import Connection, DetectionResult, ProtocolDetector
+from repro.protocols.registry import ProtocolRegistry
+
+__all__ = ["InterrogationResult", "Interrogator"]
+
+
+@dataclass(slots=True)
+class InterrogationResult:
+    """The structured outcome of one service interrogation."""
+
+    port: int
+    transport: str
+    success: bool
+    protocol: Optional[str] = None
+    #: Structured, non-ephemeral service data (the paper's service record).
+    record: Dict[str, Any] = field(default_factory=dict)
+    #: TLS parameters when the service is TLS-wrapped.
+    tls: Optional[Dict[str, Any]] = None
+    #: Raw capture when data was seen but no protocol fingerprinted.
+    raw_response: Optional[Dict[str, Any]] = None
+    probes_sent: int = 0
+
+    @property
+    def service_name(self) -> Optional[str]:
+        """The label Censys would expose, e.g. ``HTTPS`` for HTTP-over-TLS."""
+        if self.protocol is None:
+            return "UNKNOWN" if self.raw_response is not None else None
+        if self.protocol == "HTTP" and self.tls is not None:
+            return "HTTPS"
+        return self.protocol
+
+
+class Interrogator:
+    """Runs detection and the deep handshake over a connection."""
+
+    def __init__(self, registry: ProtocolRegistry) -> None:
+        self._registry = registry
+        self._detector = ProtocolDetector(registry)
+
+    def interrogate(self, conn: Connection) -> InterrogationResult:
+        detection = self._detector.detect(conn)
+        result = InterrogationResult(
+            port=conn.port,
+            transport=conn.transport,
+            success=detection.identified or detection.raw_response is not None,
+            protocol=detection.protocol,
+            tls=detection.tls,
+            raw_response=detection.raw_response,
+            probes_sent=detection.probes_sent,
+        )
+        if detection.protocol is None:
+            return result
+        spec = self._registry.get(detection.protocol)
+        replies = list(detection.observed)
+        for probe in spec.handshake_probes(conn.port):
+            reply = conn.send(probe)
+            result.probes_sent += 1
+            if reply.has_data:
+                replies.append(reply)
+        result.record = spec.build_record(replies)
+        if result.tls is not None:
+            result.record["tls.ja4s"] = result.tls.get("ja4s")
+            result.record["tls.certificate_sha256"] = result.tls.get("certificate_sha256")
+            result.record["tls.subject_names"] = tuple(result.tls.get("subject_names", ()))
+            result.record["tls.self_signed"] = bool(result.tls.get("self_signed"))
+        return result
+
+    def refresh(self, conn: Connection, expected_protocol: str) -> InterrogationResult:
+        """Re-interrogate a known service, trying its protocol first.
+
+        Refresh scans re-perform interrogation "as if the service had been
+        found through an L4 discovery scan", but a sane implementation tries
+        the known protocol before the full detection ladder.
+        """
+        spec = self._registry.get(expected_protocol) if expected_protocol in self._registry else None
+        if spec is not None:
+            probes = spec.handshake_probes(conn.port) or [Probe("banner-wait")]
+            # Establish TLS first if the service historically required it.
+            replies = []
+            probes_sent = 0
+            hello = conn.start_tls()
+            probes_sent += 1
+            tls_fields = dict(hello.fields) if hello is not None else None
+            for probe in probes:
+                reply = conn.send(probe)
+                probes_sent += 1
+                if reply.has_data:
+                    replies.append(reply)
+            fingerprinted = any(spec.fingerprint(r) for r in replies)
+            if fingerprinted:
+                record = spec.build_record(replies)
+                if tls_fields is not None:
+                    record["tls.ja4s"] = tls_fields.get("ja4s")
+                    record["tls.certificate_sha256"] = tls_fields.get("certificate_sha256")
+                    record["tls.subject_names"] = tuple(tls_fields.get("subject_names", ()))
+                    record["tls.self_signed"] = bool(tls_fields.get("self_signed"))
+                return InterrogationResult(
+                    port=conn.port,
+                    transport=conn.transport,
+                    success=True,
+                    protocol=spec.name,
+                    record=record,
+                    tls=tls_fields,
+                    probes_sent=probes_sent,
+                )
+        # Protocol changed (or unknown): fall back to full interrogation.
+        return self.interrogate(conn)

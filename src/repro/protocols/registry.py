@@ -1,0 +1,140 @@
+"""The protocol registry: every spec, indexed by name and by assigned port.
+
+The registry is the single source of truth for which protocols exist; the
+workload generator, the detector, the deep scanners, and the evaluation
+harness all resolve specs through it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.protocols.base import ProtocolSpec
+from repro.protocols.cloudnative import (
+    AmqpSpec,
+    CassandraSpec,
+    DockerApiSpec,
+    ElasticsearchSpec,
+    KubernetesApiSpec,
+    MemcachedSpec,
+)
+from repro.protocols.databases import MongoSpec, MqttSpec, MysqlSpec, PostgresSpec, RedisSpec
+from repro.protocols.media import RsyncSpec, RtspSpec, Socks5Spec, WinrmSpec
+from repro.protocols.printers import IppSpec, JetDirectSpec, LpdSpec
+from repro.protocols.ics import make_ics_specs
+from repro.protocols.infra import (
+    DnsSpec,
+    FtpSpec,
+    LdapSpec,
+    NtpSpec,
+    SipSpec,
+    SmbSpec,
+    SnmpSpec,
+    TftpSpec,
+    UpnpSpec,
+)
+from repro.protocols.mail import ImapSpec, Pop3Spec, SmtpSpec
+from repro.protocols.remote import RdpSpec, RloginSpec, SshSpec, TelnetSpec, VncSpec, X11Spec
+from repro.protocols.web import HttpSpec
+
+__all__ = ["ProtocolRegistry", "default_registry"]
+
+
+class ProtocolRegistry:
+    """Immutable collection of protocol specs with name/port lookups."""
+
+    def __init__(self, specs: List[ProtocolSpec]) -> None:
+        self._specs = list(specs)
+        self._by_name: Dict[str, ProtocolSpec] = {}
+        for spec in specs:
+            if spec.name in self._by_name:
+                raise ValueError(f"duplicate protocol name: {spec.name}")
+            self._by_name[spec.name] = spec
+        # A port maps to the first spec claiming it (IANA-style assignment).
+        self._by_port: Dict[Tuple[str, int], ProtocolSpec] = {}
+        for spec in specs:
+            for port in spec.default_ports:
+                self._by_port.setdefault((spec.transport, port), spec)
+
+    @property
+    def specs(self) -> List[ProtocolSpec]:
+        return list(self._specs)
+
+    @property
+    def names(self) -> List[str]:
+        return [s.name for s in self._specs]
+
+    @property
+    def ics_specs(self) -> List[ProtocolSpec]:
+        return [s for s in self._specs if s.is_ics]
+
+    def get(self, name: str) -> ProtocolSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown protocol: {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def assigned_to_port(self, port: int, transport: str = "tcp") -> Optional[ProtocolSpec]:
+        """The protocol IANA-assigns (or convention associates) to a port."""
+        return self._by_port.get((transport, port))
+
+    def assigned_ports(self, transport: str = "tcp") -> List[int]:
+        """All ports with an assigned protocol for the transport."""
+        return sorted(port for (t, port) in self._by_port if t == transport)
+
+
+_DEFAULT: ProtocolRegistry | None = None
+
+
+def default_registry() -> ProtocolRegistry:
+    """The registry with every protocol this reproduction implements."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        specs: List[ProtocolSpec] = [
+            HttpSpec(),
+            SshSpec(),
+            TelnetSpec(),
+            RdpSpec(),
+            VncSpec(),
+            RloginSpec(),
+            X11Spec(),
+            SmtpSpec(),
+            Pop3Spec(),
+            ImapSpec(),
+            MysqlSpec(),
+            PostgresSpec(),
+            RedisSpec(),
+            MongoSpec(),
+            MqttSpec(),
+            FtpSpec(),
+            DnsSpec(),
+            NtpSpec(),
+            SnmpSpec(),
+            SipSpec(),
+            TftpSpec(),
+            UpnpSpec(),
+            LdapSpec(),
+            SmbSpec(),
+            ElasticsearchSpec(),
+            MemcachedSpec(),
+            DockerApiSpec(),
+            KubernetesApiSpec(),
+            AmqpSpec(),
+            CassandraSpec(),
+            RtspSpec(),
+            Socks5Spec(),
+            RsyncSpec(),
+            WinrmSpec(),
+            IppSpec(),
+            JetDirectSpec(),
+            LpdSpec(),
+        ]
+        specs.extend(make_ics_specs())
+        _DEFAULT = ProtocolRegistry(specs)
+    return _DEFAULT

@@ -1,0 +1,51 @@
+"""The TLS session layer wrapped around TLS-enabled services.
+
+TLS is modeled as a connection property rather than a protocol of its own: a
+service whose profile carries a :class:`~repro.protocols.base.TlsEndpointProfile`
+answers ``tls-hello`` with a server-hello (certificate fingerprint, JA4S) and
+rejects plaintext probes, and the inner protocol only becomes reachable once
+the scanner establishes the session — matching how Censys re-runs protocol
+detection inside TLS.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict
+
+from repro.protocols.base import Probe, Reply, ServerProfile, TlsEndpointProfile, reset
+
+__all__ = ["tls_server_hello", "tls_reject_plaintext", "make_ja4s", "TlsEndpointProfile"]
+
+
+def make_ja4s(software: tuple[str, str, str], tls_version: str = "TLSv1.3") -> str:
+    """Derive a stable JA4S-style server fingerprint from the TLS stack.
+
+    Real JA4S hashes the ServerHello parameters, which are determined by the
+    server's TLS library and configuration; deriving from the software triple
+    preserves the property threat hunters rely on — identical deployments
+    share a fingerprint.
+    """
+    basis = f"{software[0]}:{software[1]}:{tls_version}"
+    digest = hashlib.sha256(basis.encode()).hexdigest()
+    prefix = "t13d" if tls_version == "TLSv1.3" else "t12d"
+    return f"{prefix}{digest[:4]}_{digest[4:8]}_{digest[8:20]}"
+
+
+def tls_server_hello(tls: TlsEndpointProfile, sni: str | None = None) -> Reply:
+    """The reply to a ``tls-hello`` probe."""
+    fields: Dict[str, Any] = {
+        "tls_version": tls.version,
+        "certificate_sha256": tls.certificate_sha256,
+        "subject_names": tls.subject_names,
+        "ja4s": tls.ja4s,
+        "self_signed": tls.self_signed,
+    }
+    if sni is not None:
+        fields["sni"] = sni
+    return Reply("tls-server-hello", "TLS", fields)
+
+
+def tls_reject_plaintext(profile: ServerProfile, probe: Probe) -> Reply:
+    """What a TLS port does with a plaintext application probe: alert+close."""
+    return reset()

@@ -1,0 +1,34 @@
+"""Scanning machinery: PoPs, discovery tiers, the scan queue, prediction."""
+
+from repro.scan.exclusions import ExclusionList, ExclusionRequest
+from repro.scan.pop import PointOfPresence, default_pops, single_pop
+from repro.scan.predictive import Prediction, PredictiveEngine
+from repro.scan.queue import ScanCandidate, ScanQueue
+from repro.scan.tiers import (
+    DiscoveryTier,
+    cloud_ports,
+    make_background_tier,
+    make_cloud_tier,
+    make_priority_tier,
+    make_udp_tier,
+    priority_ports,
+)
+
+__all__ = [
+    "ExclusionList",
+    "ExclusionRequest",
+    "PointOfPresence",
+    "default_pops",
+    "single_pop",
+    "PredictiveEngine",
+    "Prediction",
+    "ScanQueue",
+    "ScanCandidate",
+    "DiscoveryTier",
+    "make_priority_tier",
+    "make_udp_tier",
+    "make_cloud_tier",
+    "make_background_tier",
+    "priority_ports",
+    "cloud_ports",
+]

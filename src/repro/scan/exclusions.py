@@ -1,0 +1,102 @@
+"""Scan exclusion lists — the opt-out process of §8 and Appendix D.
+
+Operators who verify network ownership through WHOIS can request exclusion
+of their prefixes; requests expire after one year and must be renewed.
+Exclusions are enforced at the lowest level of the engine: excluded
+addresses are neither L4-probed (discovery hits are suppressed) nor
+L7-connected, and the platform drops any previously collected services for
+them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.net import AddressSpace, Cidr
+
+__all__ = ["ExclusionRequest", "ExclusionList"]
+
+#: Requests expire after one year (§8: "we expire exclusion requests
+#: after one year").
+EXCLUSION_TTL_HOURS = 365 * 24.0
+
+
+@dataclass(frozen=True, slots=True)
+class ExclusionRequest:
+    """One verified opt-out."""
+
+    start: int                 # first excluded address index (inclusive)
+    stop: int                  # past-the-end address index
+    organization: str
+    requested_at: float
+    verified_via: str = "whois"
+    expires_at: float = 0.0
+
+    def active_at(self, t: float) -> bool:
+        return self.requested_at <= t < self.expires_at
+
+    @property
+    def address_count(self) -> int:
+        return self.stop - self.start
+
+
+class ExclusionList:
+    """The set of active opt-outs, queried on every probe decision."""
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        self._requests: List[ExclusionRequest] = []
+
+    def request_exclusion(
+        self,
+        cidr: Cidr | Tuple[int, int],
+        organization: str,
+        t: float,
+        whois_verified: bool = True,
+        ttl_hours: float = EXCLUSION_TTL_HOURS,
+    ) -> Optional[ExclusionRequest]:
+        """File an opt-out; returns None when verification fails.
+
+        Only requests from publicly verifiable WHOIS contacts are honored
+        (the two-phase policy of Appendix D); the caller performs the
+        verification and reports it here.
+        """
+        if not whois_verified:
+            return None
+        if isinstance(cidr, Cidr):
+            start = self.space.index_of(max(cidr.first, self.space.base))
+            stop = self.space.index_of(min(cidr.last, self.space.base + self.space.size - 1)) + 1
+        else:
+            start, stop = cidr
+        if stop <= start:
+            raise ValueError("empty exclusion range")
+        request = ExclusionRequest(
+            start=start,
+            stop=stop,
+            organization=organization,
+            requested_at=t,
+            expires_at=t + ttl_hours,
+        )
+        self._requests.append(request)
+        return request
+
+    def is_excluded(self, ip_index: int, t: float) -> bool:
+        return any(r.active_at(t) and r.start <= ip_index < r.stop for r in self._requests)
+
+    def active_requests(self, t: float) -> List[ExclusionRequest]:
+        return [r for r in self._requests if r.active_at(t)]
+
+    def excluded_address_count(self, t: float) -> int:
+        """Addresses currently excluded (the paper reports 0.03% of IPv4)."""
+        covered = set()
+        for request in self.active_requests(t):
+            covered.update(range(request.start, request.stop))
+        return len(covered)
+
+    def excluded_fraction(self, t: float) -> float:
+        return self.excluded_address_count(t) / self.space.size
+
+    def __len__(self) -> int:
+        return len(self._requests)

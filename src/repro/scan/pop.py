@@ -1,0 +1,63 @@
+"""Points of Presence: the scanning vantage points.
+
+Censys scans from PoPs at IXPs in Chicago, Frankfurt, and Hong Kong, each
+routing through regionally dominant Tier-1 providers, optimizing for route
+diversity.  Each PoP maps to a :class:`~repro.simnet.internet.Vantage` with
+its own loss profile; scan tiers rotate probes across PoPs, and failed
+refreshes are retried from the other PoPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.simnet.internet import Vantage
+
+__all__ = ["PointOfPresence", "default_pops", "single_pop"]
+
+
+@dataclass(frozen=True, slots=True)
+class PointOfPresence:
+    """A physical scanning location and its upstream providers."""
+
+    name: str
+    exchange: str
+    providers: tuple
+    vantage: Vantage
+
+
+def default_pops(loss_rate: float = 0.03) -> List[PointOfPresence]:
+    """The paper's three PoPs."""
+    return [
+        PointOfPresence(
+            name="chicago",
+            exchange="Equinix Chicago",
+            providers=("Hurricane Electric", "Arelion"),
+            vantage=Vantage("chicago", "us", provider="he", loss_rate=loss_rate, vantage_id=1),
+        ),
+        PointOfPresence(
+            name="frankfurt",
+            exchange="DE-CIX Frankfurt",
+            providers=("Orange S.A.", "Arelion"),
+            vantage=Vantage("frankfurt", "eu", provider="orange", loss_rate=loss_rate, vantage_id=2),
+        ),
+        PointOfPresence(
+            name="hongkong",
+            exchange="HKIX",
+            providers=("NTT", "PCCW"),
+            vantage=Vantage("hongkong", "asia", provider="ntt", loss_rate=loss_rate, vantage_id=3),
+        ),
+    ]
+
+
+def single_pop(region: str = "us", loss_rate: float = 0.03, vantage_id: int = 9) -> List[PointOfPresence]:
+    """A one-PoP deployment (baseline engines; the multi-PoP ablation)."""
+    return [
+        PointOfPresence(
+            name=f"single-{region}",
+            exchange="",
+            providers=("GenericTransit",),
+            vantage=Vantage(f"single-{region}", region, loss_rate=loss_rate, vantage_id=vantage_id),
+        )
+    ]

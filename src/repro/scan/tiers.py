@@ -1,0 +1,198 @@
+"""Discovery scan tiers: continuous cyclic-group walks over probe spaces.
+
+A tier owns one probe space, one permutation, a probes-per-hour rate, and a
+cursor; :meth:`DiscoveryTier.advance` consumes a tick of wall-clock and
+yields the responsive endpoints the segment hit.  Tiers rotate across PoPs
+probe-segment by probe-segment, which distributes traffic over source
+addresses and vantage points exactly as the paper's continuous engine does.
+
+Factories build the paper's three TCP tiers (priority ports, cloud
+networks, background 65K) plus the UDP priority tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.net import AffinePermutation, ProbeSpace
+from repro.scan.pop import PointOfPresence
+from repro.simnet.internet import PreparedScanIndex, ProbeHit, SimulatedInternet
+from repro.simnet.ports import TOP_PORT_TABLE
+
+__all__ = [
+    "DiscoveryTier",
+    "priority_ports",
+    "cloud_ports",
+    "make_priority_tier",
+    "make_udp_tier",
+    "make_cloud_tier",
+    "make_background_tier",
+]
+
+
+class DiscoveryTier:
+    """One continuous discovery scan (ZMap-style, never stops)."""
+
+    def __init__(
+        self,
+        name: str,
+        internet: SimulatedInternet,
+        space: ProbeSpace,
+        rate_per_hour: float,
+        transport: str = "tcp",
+        seed: int = 0,
+        scanner_id: str = "",
+    ) -> None:
+        if rate_per_hour <= 0:
+            raise ValueError("scan rate must be positive")
+        self.name = name
+        self.internet = internet
+        self.space = space
+        self.rate = rate_per_hour
+        self.transport = transport
+        self.scanner_id = scanner_id
+        self._seed = seed
+        self._permutation = AffinePermutation(space.size, seed=seed)
+        self._index: PreparedScanIndex = internet.prepare_scan(space, self._permutation, transport)
+        self._cursor = 0
+        self._residual = 0.0
+        self.cycles_completed = 0
+        self.probes_sent = 0
+
+    @property
+    def index(self) -> PreparedScanIndex:
+        """The live scan index (honeypot deployments hook in here)."""
+        return self._index
+
+    @property
+    def cycle_hours(self) -> float:
+        """Time to cover the full probe space once at the configured rate."""
+        return self.space.size / self.rate
+
+    def notify_new_instance(self, inst) -> bool:
+        """Index an endpoint that appeared after the tier started.
+
+        Instances already present in the workload are picked up on the next
+        permutation re-key automatically; this closes the window until then
+        (honeypot deployments mid-run).
+        """
+        return self._index.add_instance(inst)
+
+    def advance(self, t0: float, dt: float, pop: PointOfPresence) -> List[ProbeHit]:
+        """Scan for ``dt`` hours starting at ``t0`` from ``pop``."""
+        exact = self.rate * dt + self._residual
+        count = int(exact)
+        self._residual = exact - count
+        if count <= 0:
+            return []
+        hits = self._index.query(
+            self._cursor, count, t0, self.rate, pop.vantage, scanner=self.scanner_id
+        )
+        new_cursor = self._cursor + count
+        if new_cursor >= self.space.size:
+            self.cycles_completed += new_cursor // self.space.size
+            # Re-key the permutation each cycle so consecutive sweeps visit
+            # the space in unrelated orders (fresh ZMap generator per scan).
+            self._seed += 1
+            self._permutation = AffinePermutation(self.space.size, seed=self._seed)
+            self._index = self.internet.prepare_scan(self.space, self._permutation, self.transport)
+        self._cursor = new_cursor % self.space.size
+        self.probes_sent += count
+        return hits
+
+
+def priority_ports(count: int = 100) -> List[int]:
+    """The most responsive ports plus IANA-assigned protocols of interest.
+
+    Mirrors the paper's daily tier: ~100 popular ports and ~100 assigned
+    ports (which is where the ICS default ports live).
+    """
+    popular = [entry[0] for entry in TOP_PORT_TABLE if entry[2] == "tcp"][:count]
+    from repro.protocols.registry import default_registry
+
+    assigned = default_registry().assigned_ports("tcp")
+    merged = list(dict.fromkeys(popular + assigned))
+    return merged
+
+
+def cloud_ports() -> List[int]:
+    """Ports associated with cloud infrastructure (the 300-port tier)."""
+    base = priority_ports()
+    extras = [
+        3000, 3001, 4000, 5000, 5001, 7000, 7001, 8001, 8002, 8088, 8090,
+        8181, 8280, 8500, 8600, 8800, 8880, 9000, 9001, 9090, 9091, 9200,
+        9300, 9999, 10250, 2375, 2376, 4243, 6443, 8472, 5601, 5672, 15672,
+        11211, 2379, 2380, 7199, 7473, 7474, 8086, 8125, 8126, 9042, 9160,
+    ]
+    merged = list(dict.fromkeys(base + extras))
+    return merged[:300]
+
+
+def make_priority_tier(
+    internet: SimulatedInternet,
+    cycle_hours: float = 24.0,
+    seed: int = 11,
+    scanner_id: str = "",
+    ports: Optional[Sequence[int]] = None,
+) -> DiscoveryTier:
+    """Daily scans of common + assigned ports across the whole space."""
+    port_list = list(ports) if ports is not None else priority_ports()
+    space = ProbeSpace.single_range(0, internet.space.size, port_list)
+    return DiscoveryTier(
+        "priority", internet, space, rate_per_hour=space.size / cycle_hours,
+        seed=seed, scanner_id=scanner_id,
+    )
+
+
+def make_udp_tier(
+    internet: SimulatedInternet,
+    cycle_hours: float = 24.0,
+    seed: int = 13,
+    scanner_id: str = "",
+) -> DiscoveryTier:
+    """Daily protocol-specific UDP probes on assigned UDP ports."""
+    from repro.protocols.registry import default_registry
+
+    ports = default_registry().assigned_ports("udp")
+    space = ProbeSpace.single_range(0, internet.space.size, ports)
+    return DiscoveryTier(
+        "udp-priority", internet, space, rate_per_hour=space.size / cycle_hours,
+        transport="udp", seed=seed, scanner_id=scanner_id,
+    )
+
+
+def make_cloud_tier(
+    internet: SimulatedInternet,
+    cycle_hours: float = 24.0,
+    seed: int = 17,
+    scanner_id: str = "",
+) -> Optional[DiscoveryTier]:
+    """Daily scans of known cloud networks on ~300 cloud-associated ports."""
+    from repro.simnet.topology import NetworkKind
+
+    intervals = internet.topology.intervals_of_kind(NetworkKind.CLOUD)
+    if not intervals:
+        return None
+    space = ProbeSpace(intervals, cloud_ports())
+    return DiscoveryTier(
+        "cloud", internet, space, rate_per_hour=space.size / cycle_hours,
+        seed=seed, scanner_id=scanner_id,
+    )
+
+
+def make_background_tier(
+    internet: SimulatedInternet,
+    ports_per_ip_per_day: float = 100.0,
+    seed: int = 19,
+    scanner_id: str = "",
+) -> DiscoveryTier:
+    """The continuous 65K-port background scan.
+
+    At the paper's pace every address sees ~100 random ports per day; a
+    full sweep of all 65,536 ports takes months — which is exactly why the
+    predictive engine exists.
+    """
+    space = ProbeSpace.single_range(0, internet.space.size, list(range(65536)))
+    rate = internet.space.size * ports_per_ip_per_day / 24.0
+    return DiscoveryTier("background-65k", internet, space, rate_per_hour=rate, seed=seed, scanner_id=scanner_id)

@@ -1,0 +1,39 @@
+"""Search and access layer: query language, index, analytics snapshots."""
+
+from repro.search.analytics import SnapshotStore
+from repro.search.flatten import (
+    flatten_certificate_state,
+    flatten_host_view,
+    flatten_webproperty_view,
+)
+from repro.search.index import SearchIndex
+from repro.search.query import (
+    Bool,
+    Compare,
+    Not,
+    QueryError,
+    QueryNode,
+    Range,
+    Term,
+    matches,
+    parse_query,
+    render_query,
+)
+
+__all__ = [
+    "SearchIndex",
+    "SnapshotStore",
+    "parse_query",
+    "render_query",
+    "matches",
+    "QueryError",
+    "QueryNode",
+    "Term",
+    "Compare",
+    "Range",
+    "Bool",
+    "Not",
+    "flatten_host_view",
+    "flatten_certificate_state",
+    "flatten_webproperty_view",
+]

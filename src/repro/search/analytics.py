@@ -1,0 +1,100 @@
+"""The analytics engine (the BigQuery substitute).
+
+Censys snapshots the whole Internet Map daily into a serverless analytics
+store and retains one weekday snapshot per week after three months.  This
+store replicates the snapshot/retention policy and offers scan-style
+queries (filter/map/group) over any retained snapshot for longitudinal
+analysis that the interactive index cannot answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = ["SnapshotStore"]
+
+Doc = Dict[str, List[Any]]
+
+
+class SnapshotStore:
+    """Daily full-map snapshots with three-month-then-weekly retention."""
+
+    def __init__(self, daily_retention_days: int = 90) -> None:
+        self.daily_retention_days = daily_retention_days
+        self._snapshots: Dict[int, List[Doc]] = {}
+
+    # -- writing ------------------------------------------------------------
+
+    def store(self, day: int, docs: Iterable[Doc]) -> None:
+        """Store the snapshot for one (integer) simulation day."""
+        self._snapshots[day] = list(docs)
+        self._apply_retention(day)
+
+    def _apply_retention(self, current_day: int) -> None:
+        cutoff = current_day - self.daily_retention_days
+        for day in list(self._snapshots):
+            if day < cutoff and day % 7 != 0:
+                del self._snapshots[day]
+
+    # -- reading -------------------------------------------------------------
+
+    def days(self) -> List[int]:
+        return sorted(self._snapshots)
+
+    def snapshot(self, day: int) -> List[Doc]:
+        if day not in self._snapshots:
+            raise KeyError(f"no snapshot retained for day {day}")
+        return self._snapshots[day]
+
+    def latest(self) -> List[Doc]:
+        if not self._snapshots:
+            return []
+        return self._snapshots[max(self._snapshots)]
+
+    def scan(
+        self,
+        day: int,
+        where: Optional[Callable[[Doc], bool]] = None,
+        select: Optional[Callable[[Doc], Any]] = None,
+    ) -> List[Any]:
+        """Filter + project over one snapshot (the SELECT ... WHERE shape)."""
+        rows = self.snapshot(day)
+        if where is not None:
+            rows = [r for r in rows if where(r)]
+        if select is not None:
+            return [select(r) for r in rows]
+        return list(rows)
+
+    def group_count(
+        self,
+        day: int,
+        field: str,
+        where: Optional[Callable[[Doc], bool]] = None,
+    ) -> Dict[Any, int]:
+        """GROUP BY field, COUNT(*) over one snapshot."""
+        counts: Dict[Any, int] = {}
+        for row in self.scan(day, where=where):
+            for value in row.get(field, ()):
+                counts[value] = counts.get(value, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
+
+    def timeseries(
+        self,
+        field: str,
+        value: Any,
+        where: Optional[Callable[[Doc], bool]] = None,
+    ) -> List[tuple[int, int]]:
+        """(day, count of docs with field==value) across retained snapshots."""
+        series = []
+        for day in self.days():
+            count = sum(
+                1
+                for row in self.scan(day, where=where)
+                if value in row.get(field, ())
+            )
+            series.append((day, count))
+        return series
+
+    @property
+    def snapshot_count(self) -> int:
+        return len(self._snapshots)

@@ -1,0 +1,97 @@
+"""Flattening entity views into searchable multi-valued documents.
+
+The read side's nested entity view becomes a flat ``field -> [values]``
+document with Censys-style field names (``services.service_name``,
+``services.http.html_title``, ``location.country``, ``cve_ids`` ...), which
+is what the index stores and queries evaluate against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["flatten_host_view", "flatten_certificate_state", "flatten_webproperty_view"]
+
+
+def _add(doc: Dict[str, List[Any]], field: str, value: Any) -> None:
+    if value is None:
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            _add(doc, field, item)
+        return
+    doc.setdefault(field, []).append(value)
+
+
+def flatten_host_view(view: Dict[str, Any]) -> Dict[str, List[Any]]:
+    """Flatten an enriched host view."""
+    doc: Dict[str, List[Any]] = {}
+    entity_id = view["entity_id"]
+    _add(doc, "entity_id", entity_id)
+    if entity_id.startswith("host:"):
+        _add(doc, "ip", entity_id[len("host:"):])
+    derived = view.get("derived", {})
+    location = derived.get("location") or {}
+    _add(doc, "location.country", location.get("country"))
+    _add(doc, "location.city", location.get("city"))
+    asys = derived.get("autonomous_system") or {}
+    _add(doc, "autonomous_system.asn", asys.get("asn"))
+    _add(doc, "autonomous_system.name", asys.get("as_name"))
+    _add(doc, "autonomous_system.organization", asys.get("organization"))
+    _add(doc, "labels", derived.get("labels"))
+    _add(doc, "cve_ids", derived.get("cve_ids"))
+    _add(doc, "device_types", derived.get("device_types"))
+    for key, service in view.get("services", {}).items():
+        port_text, _, transport = key.partition("/")
+        _add(doc, "services.port", int(port_text))
+        _add(doc, "services.transport", transport)
+        _add(doc, "services.service_name", service.get("service_name"))
+        _add(doc, "services.protocol", service.get("protocol"))
+        _add(doc, "services.last_seen", service.get("last_seen"))
+        software = service.get("software") or {}
+        _add(doc, "services.software.vendor", software.get("vendor"))
+        _add(doc, "services.software.product", software.get("product"))
+        _add(doc, "services.software.version", software.get("version"))
+        _add(doc, "services.software.cpe", software.get("cpe"))
+        for vuln in service.get("vulnerabilities", ()):  # per-service CVEs
+            _add(doc, "services.cve_ids", vuln.get("cve_id"))
+        for field_name, value in service.get("record", {}).items():
+            _add(doc, f"services.{field_name}", value)
+    return doc
+
+
+def flatten_certificate_state(state: Dict[str, Any]) -> Dict[str, List[Any]]:
+    """Flatten a certificate entity's journal state."""
+    doc: Dict[str, List[Any]] = {}
+    meta = state.get("meta", {})
+    _add(doc, "entity_id", state.get("entity_id"))
+    _add(doc, "fingerprint_sha256", meta.get("sha256"))
+    _add(doc, "parsed.subject_cn", meta.get("subject_cn"))
+    _add(doc, "names", meta.get("subject_names"))
+    _add(doc, "parsed.issuer_cn", meta.get("issuer_cn"))
+    _add(doc, "parsed.not_before", meta.get("not_before"))
+    _add(doc, "parsed.not_after", meta.get("not_after"))
+    _add(doc, "self_signed", meta.get("self_signed"))
+    _add(doc, "lint", meta.get("lint"))
+    validation = meta.get("validation") or {}
+    _add(doc, "validation.valid_in", validation.get("valid_in"))
+    _add(doc, "validation.errors", validation.get("errors"))
+    _add(doc, "revoked", meta.get("revoked"))
+    return doc
+
+
+def flatten_webproperty_view(view: Dict[str, Any]) -> Dict[str, List[Any]]:
+    """Flatten a web-property entity view."""
+    doc: Dict[str, List[Any]] = {}
+    entity_id = view["entity_id"]
+    _add(doc, "entity_id", entity_id)
+    if entity_id.startswith("web:"):
+        _add(doc, "name", entity_id[len("web:"):])
+    for key, service in view.get("services", {}).items():
+        _add(doc, "services.service_name", service.get("service_name"))
+        for field_name, value in service.get("record", {}).items():
+            _add(doc, f"services.{field_name}", value)
+    meta = view.get("meta", {})
+    for field_name, value in meta.items():
+        _add(doc, f"meta.{field_name}", value)
+    return doc

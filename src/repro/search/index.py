@@ -1,0 +1,133 @@
+"""The interactive search index (the Elasticsearch substitute).
+
+An inverted index over flattened documents: token postings per field plus a
+full-text posting list.  Term clauses resolve through postings; comparisons,
+ranges, wildcards, and NOT fall back to candidate filtering.  Documents are
+replaced atomically by id, which is how the asynchronous reindex handler
+keeps search in sync with the write side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+from repro.search.query import Bool, Compare, Not, QueryNode, Range, Term, matches, parse_query
+
+__all__ = ["SearchIndex"]
+
+
+def _tokens_of(value: Any) -> Set[str]:
+    text = str(value).lower()
+    tokens = {text}
+    tokens.update(text.split())
+    return tokens
+
+
+class SearchIndex:
+    """In-memory inverted index with Lucene-like querying."""
+
+    def __init__(self) -> None:
+        self._docs: Dict[str, Dict[str, List[Any]]] = {}
+        #: (field, token) -> doc ids;  full text lives under field "".
+        self._postings: Dict[tuple, Set[str]] = {}
+        self.queries_run = 0
+
+    # -- document management ------------------------------------------------
+
+    def put(self, doc_id: str, doc: Dict[str, List[Any]]) -> None:
+        """Insert or replace a document."""
+        if doc_id in self._docs:
+            self.delete(doc_id)
+        self._docs[doc_id] = doc
+        for field, values in doc.items():
+            for value in values:
+                for token in _tokens_of(value):
+                    self._postings.setdefault((field, token), set()).add(doc_id)
+                    self._postings.setdefault(("", token), set()).add(doc_id)
+
+    def delete(self, doc_id: str) -> bool:
+        doc = self._docs.pop(doc_id, None)
+        if doc is None:
+            return False
+        for field, values in doc.items():
+            for value in values:
+                for token in _tokens_of(value):
+                    for key in ((field, token), ("", token)):
+                        postings = self._postings.get(key)
+                        if postings is not None:
+                            postings.discard(doc_id)
+                            if not postings:
+                                del self._postings[key]
+        return True
+
+    def get(self, doc_id: str) -> Optional[Dict[str, List[Any]]]:
+        return self._docs.get(doc_id)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._docs
+
+    def doc_ids(self) -> Iterable[str]:
+        return self._docs.keys()
+
+    # -- querying ---------------------------------------------------------------
+
+    def search(self, query: str, limit: Optional[int] = None) -> List[str]:
+        """Run a query; returns matching doc ids (deterministic order)."""
+        self.queries_run += 1
+        node = parse_query(query)
+        candidates = self._candidates(node)
+        if candidates is None:
+            candidates = set(self._docs.keys())
+        hits = [doc_id for doc_id in sorted(candidates) if matches(node, self._docs[doc_id])]
+        return hits[:limit] if limit is not None else hits
+
+    def count(self, query: str) -> int:
+        return len(self.search(query))
+
+    def aggregate(self, query: str, field: str) -> Dict[Any, int]:
+        """Value counts of ``field`` across matching documents."""
+        counts: Dict[Any, int] = {}
+        for doc_id in self.search(query):
+            for value in self._docs[doc_id].get(field, ()):
+                counts[value] = counts.get(value, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
+
+    # -- candidate narrowing -------------------------------------------------------
+
+    def _candidates(self, node: QueryNode) -> Optional[Set[str]]:
+        """An over-approximation of matching ids (None = everything)."""
+        if isinstance(node, Term):
+            if node.is_wildcard:
+                return self._wildcard_candidates(node)
+            key = (node.field or "", node.value.lower())
+            return set(self._postings.get(key, set()))
+        if isinstance(node, Bool):
+            child_sets = [self._candidates(c) for c in node.children]
+            if node.op == "and":
+                known = [s for s in child_sets if s is not None]
+                if not known:
+                    return None
+                result = known[0]
+                for s in known[1:]:
+                    result = result & s
+                return result
+            if any(s is None for s in child_sets):
+                return None
+            union: Set[str] = set()
+            for s in child_sets:
+                union |= s
+            return union
+        # Compare / Range / Not: no cheap postings — scan.
+        return None
+
+    def _wildcard_candidates(self, term: Term) -> Optional[Set[str]]:
+        prefix = term.value[:-1].lower()
+        field = term.field or ""
+        result: Set[str] = set()
+        for (f, token), ids in self._postings.items():
+            if f == field and token.startswith(prefix):
+                result |= ids
+        return result

@@ -1,0 +1,319 @@
+"""The Lucene-like search query language.
+
+Supports the query shapes Censys' interactive search exposes::
+
+    services.service_name: MODBUS
+    services.http.html_title: "MOVEit Transfer" and location.country: US
+    services.port: [1000 to 2000]
+    not labels: c2-server
+    services.software.product: moveit* or cve_ids: CVE-2023-34362
+    nginx                       # bare full-text term
+
+Operators: ``and``/``or``/``not`` (case-insensitive), parentheses,
+``field: value`` (match any value of the field), quoted phrases, trailing
+``*`` wildcards, numeric comparisons ``field > 5`` / ``>=`` / ``<`` /
+``<=``, and inclusive ranges ``field: [a to b]``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+__all__ = ["QueryError", "QueryNode", "Term", "Compare", "Range", "Bool", "Not", "parse_query", "render_query"]
+
+
+class QueryError(ValueError):
+    """Raised on malformed query syntax."""
+
+
+@dataclass(frozen=True, slots=True)
+class Term:
+    """``field: value`` (field None => full-text), optional * wildcard."""
+
+    field: Optional[str]
+    value: str
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.value.endswith("*")
+
+
+@dataclass(frozen=True, slots=True)
+class Compare:
+    field: str
+    op: str          # > >= < <=
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class Range:
+    field: str
+    low: float
+    high: float
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    child: "QueryNode"
+
+
+@dataclass(frozen=True, slots=True)
+class Bool:
+    op: str          # "and" | "or"
+    children: tuple
+
+
+QueryNode = Union[Term, Compare, Range, Not, Bool]
+
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<lbracket>\[) |
+        (?P<rbracket>\]) |
+        (?P<colon>:) |
+        (?P<cmp>>=|<=|>|<) |
+        (?P<quoted>"(?:[^"\\]|\\.)*") |
+        (?P<word>[^\s()\[\]:"<>]+)
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if m is None:
+            raise QueryError(f"bad character at position {pos}: {text[pos]!r}")
+        pos = m.end()
+        for kind, value in m.groupdict().items():
+            if value is not None:
+                tokens.append((kind, value))
+                break
+        if pos == m.start():  # pragma: no cover - safety against zero-width
+            raise QueryError("tokenizer stalled")
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    # grammar: or_expr := and_expr ("or" and_expr)*
+    #          and_expr := unary (("and")? unary)*   -- implicit AND
+    #          unary := "not" unary | primary
+    #          primary := "(" or_expr ")" | clause
+
+    def parse(self) -> QueryNode:
+        node = self.or_expr()
+        if self.peek() is not None:
+            raise QueryError(f"trailing tokens after query: {self.peek()[1]!r}")
+        return node
+
+    def or_expr(self) -> QueryNode:
+        children = [self.and_expr()]
+        while self._keyword("or"):
+            children.append(self.and_expr())
+        return children[0] if len(children) == 1 else Bool("or", tuple(children))
+
+    def and_expr(self) -> QueryNode:
+        children = [self.unary()]
+        while True:
+            token = self.peek()
+            if token is None or token[0] == "rparen":
+                break
+            if token[0] == "word" and token[1].lower() == "or":
+                break
+            self._keyword("and")  # optional explicit AND
+            token = self.peek()
+            if token is None or token[0] == "rparen":
+                break
+            children.append(self.unary())
+        return children[0] if len(children) == 1 else Bool("and", tuple(children))
+
+    def unary(self) -> QueryNode:
+        if self._keyword("not"):
+            return Not(self.unary())
+        return self.primary()
+
+    def primary(self) -> QueryNode:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        if token[0] == "lparen":
+            self.next()
+            node = self.or_expr()
+            closing = self.next()
+            if closing[0] != "rparen":
+                raise QueryError("expected ')'")
+            return node
+        return self.clause()
+
+    def clause(self) -> QueryNode:
+        kind, value = self.next()
+        if kind == "quoted":
+            return Term(None, _unquote(value))
+        if kind != "word":
+            raise QueryError(f"unexpected token {value!r}")
+        token = self.peek()
+        if token is not None and token[0] == "colon":
+            self.next()
+            return self._field_clause(value)
+        if token is not None and token[0] == "cmp":
+            _, op = self.next()
+            number = self._number()
+            return Compare(value, op, number)
+        return Term(None, value)
+
+    def _field_clause(self, field: str) -> QueryNode:
+        token = self.peek()
+        if token is None:
+            raise QueryError(f"missing value for field {field!r}")
+        if token[0] == "lbracket":
+            self.next()
+            low = self._number()
+            keyword = self.next()
+            if keyword[0] != "word" or keyword[1].lower() != "to":
+                raise QueryError("expected 'to' in range")
+            high = self._number()
+            closing = self.next()
+            if closing[0] != "rbracket":
+                raise QueryError("expected ']'")
+            return Range(field, low, high)
+        kind, value = self.next()
+        if kind == "quoted":
+            return Term(field, _unquote(value))
+        if kind == "word":
+            return Term(field, value)
+        raise QueryError(f"bad value for field {field!r}: {value!r}")
+
+    def _number(self) -> float:
+        kind, value = self.next()
+        if kind != "word":
+            raise QueryError(f"expected a number, got {value!r}")
+        try:
+            return float(value)
+        except ValueError:
+            raise QueryError(f"expected a number, got {value!r}") from None
+
+    def _keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == "word" and token[1].lower() == word:
+            self.pos += 1
+            return True
+        return False
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_query(text: str) -> QueryNode:
+    """Parse a query string into its AST."""
+    if not text or not text.strip():
+        raise QueryError("empty query")
+    return _Parser(_tokenize(text)).parse()
+
+
+def render_query(node: QueryNode) -> str:
+    """Render an AST back to query syntax (``parse_query``'s inverse)."""
+    if isinstance(node, Term):
+        value = node.value
+        if any(c in value for c in ' ()[]:"<>') or value.lower() in ("and", "or", "not", "to"):
+            value = '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+        return value if node.field is None else f"{node.field}: {value}"
+    if isinstance(node, Compare):
+        return f"{node.field} {node.op} {_num(node.value)}"
+    if isinstance(node, Range):
+        return f"{node.field}: [{_num(node.low)} to {_num(node.high)}]"
+    if isinstance(node, Not):
+        return f"not {_group(node.child)}"
+    if isinstance(node, Bool):
+        joiner = f" {node.op} "
+        return joiner.join(_group(c) for c in node.children)
+    raise TypeError(f"unknown node: {node!r}")  # pragma: no cover
+
+
+def _group(node: QueryNode) -> str:
+    text = render_query(node)
+    return f"({text})" if isinstance(node, Bool) else text
+
+
+def _num(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else str(value)
+
+
+# ----------------------------------------------------------------------
+# Evaluation against multi-valued documents
+# ----------------------------------------------------------------------
+
+
+def matches(node: QueryNode, doc: Dict[str, List[Any]]) -> bool:
+    """Evaluate a parsed query against a flattened document."""
+    if isinstance(node, Term):
+        return _term_matches(node, doc)
+    if isinstance(node, Compare):
+        return any(_cmp(node.op, v, node.value) for v in _numeric_values(doc.get(node.field, ())))
+    if isinstance(node, Range):
+        return any(
+            node.low <= v <= node.high for v in _numeric_values(doc.get(node.field, ()))
+        )
+    if isinstance(node, Not):
+        return not matches(node.child, doc)
+    if isinstance(node, Bool):
+        if node.op == "and":
+            return all(matches(c, doc) for c in node.children)
+        return any(matches(c, doc) for c in node.children)
+    raise TypeError(f"unknown node: {node!r}")  # pragma: no cover
+
+
+def _term_matches(term: Term, doc: Dict[str, List[Any]]) -> bool:
+    if term.field is not None:
+        values = doc.get(term.field, ())
+        return any(_value_matches(term, v) for v in values)
+    return any(
+        _value_matches(term, v) for values in doc.values() for v in values
+    )
+
+
+def _value_matches(term: Term, value: Any) -> bool:
+    text = str(value).lower()
+    needle = term.value.lower()
+    if term.is_wildcard:
+        return text.startswith(needle[:-1])
+    # Exact match on the value or on a whitespace token within it.
+    return text == needle or needle in text.split()
+
+
+def _numeric_values(values: Sequence[Any]):
+    for value in values:
+        try:
+            yield float(value)
+        except (TypeError, ValueError):
+            continue
+
+
+def _cmp(op: str, left: float, right: float) -> bool:
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "<":
+        return left < right
+    return left <= right

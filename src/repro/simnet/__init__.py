@@ -1,0 +1,65 @@
+"""The simulated IPv4 Internet: topology, workload, clock, and access physics."""
+
+from repro.net import AddressSpace
+from repro.simnet.clock import DAY, HOUR, WEEK, SimClock
+from repro.simnet.honeypot import HONEYPOT_PORTS, HoneypotDeployment, deploy_honeypots
+from repro.simnet.instances import PseudoHost, ServiceInstance, WebProperty
+from repro.simnet.internet import (
+    PreparedScanIndex,
+    ProbeHit,
+    SimConnection,
+    SimulatedInternet,
+    Vantage,
+)
+from repro.simnet.ports import PortModel, TOP_PORT_TABLE
+from repro.simnet.topology import Network, NetworkKind, Topology, TopologyConfig
+from repro.simnet.workload import (
+    DEFAULT_ICS_COUNTS,
+    Workload,
+    WorkloadConfig,
+    generate_workload,
+)
+
+__all__ = [
+    "DAY",
+    "HOUR",
+    "WEEK",
+    "SimClock",
+    "ServiceInstance",
+    "PseudoHost",
+    "WebProperty",
+    "SimulatedInternet",
+    "SimConnection",
+    "PreparedScanIndex",
+    "ProbeHit",
+    "Vantage",
+    "PortModel",
+    "TOP_PORT_TABLE",
+    "Network",
+    "NetworkKind",
+    "Topology",
+    "TopologyConfig",
+    "Workload",
+    "WorkloadConfig",
+    "generate_workload",
+    "DEFAULT_ICS_COUNTS",
+    "HONEYPOT_PORTS",
+    "HoneypotDeployment",
+    "deploy_honeypots",
+    "build_simnet",
+]
+
+
+def build_simnet(
+    bits: int = 18,
+    workload_config: WorkloadConfig | None = None,
+    topology_config: TopologyConfig | None = None,
+    seed: int = 0,
+) -> SimulatedInternet:
+    """Convenience constructor: space -> topology -> workload -> internet."""
+    space = AddressSpace.of_bits(bits)
+    topo_cfg = topology_config or TopologyConfig(seed=seed)
+    topology = Topology.generate(space, topo_cfg)
+    wl_cfg = workload_config or WorkloadConfig(seed=seed)
+    workload = generate_workload(topology, wl_cfg)
+    return SimulatedInternet(space, topology, workload, seed=seed)

@@ -1,0 +1,127 @@
+"""Honeypot deployment for the Table 5 time-to-discovery experiment.
+
+Deploys T-Pot-style honeypots listening on the paper's twelve ports,
+staggered in batches, and computes each engine's discovery delay from the
+contact log the simulated Internet keeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.protocols.base import ServerProfile
+from repro.simnet.clock import DAY
+from repro.simnet.instances import INFINITY, ServiceInstance
+from repro.simnet.internet import PreparedScanIndex, SimulatedInternet
+from repro.simnet.topology import NetworkKind
+
+__all__ = ["HONEYPOT_PORTS", "HoneypotDeployment", "deploy_honeypots"]
+
+#: The paper's honeypot listeners: (port, protocol) as in Table 5.
+HONEYPOT_PORTS: List[Tuple[int, str]] = [
+    (80, "HTTP"),
+    (443, "HTTP"),      # served over TLS
+    (161, "SNMP"),
+    (3389, "RDP"),
+    (21, "FTP"),
+    (2082, "HTTP"),
+    (3306, "MYSQL"),
+    (2222, "SSH"),
+    (23, "TELNET"),
+    (5060, "SIP"),
+    (7547, "HTTP"),
+    (60000, "HTTP"),
+    (500, "HTTP"),
+]
+
+
+@dataclass(slots=True)
+class HoneypotDeployment:
+    """The deployed honeypot fleet and its service instances."""
+
+    internet: SimulatedInternet
+    hosts: List[int] = field(default_factory=list)           # ip indexes
+    instances: List[ServiceInstance] = field(default_factory=list)
+    deploy_times: Dict[int, float] = field(default_factory=dict)  # ip -> t
+
+    def first_contact(self, scanner: str, layer: str = "l4") -> Dict[Tuple[int, int], float]:
+        """Earliest contact per (ip, port) by ``scanner`` at ``layer``."""
+        first: Dict[Tuple[int, int], float] = {}
+        for contact in self.internet.honeypot_contacts:
+            if contact.scanner != scanner or contact.layer != layer:
+                continue
+            key = (contact.ip_index, contact.port)
+            if key not in first or contact.time < first[key]:
+                first[key] = contact.time
+        return first
+
+    def discovery_delays(self, scanner: str, layer: str = "l4") -> Dict[int, List[float]]:
+        """Per-port lists of (first contact - deploy time), hours."""
+        first = self.first_contact(scanner, layer)
+        delays: Dict[int, List[float]] = {port: [] for port, _ in HONEYPOT_PORTS}
+        for (ip_index, port), t in first.items():
+            deployed = self.deploy_times.get(ip_index)
+            if deployed is not None and port in delays:
+                delays[port].append(t - deployed)
+        return delays
+
+
+def deploy_honeypots(
+    internet: SimulatedInternet,
+    count: int = 100,
+    start_time: float = 0.0,
+    stagger_hours: float = 8.0,
+    batch_size: Optional[int] = None,
+    seed: int = 7,
+    indexes_to_update: Sequence[PreparedScanIndex] = (),
+) -> HoneypotDeployment:
+    """Deploy ``count`` honeypots on cloud addresses, staggered in batches.
+
+    The paper staggered 100 honeypots every eight hours over September
+    19–27, 2024; ``batch_size`` defaults to spreading the fleet over ~8 days.
+    ``indexes_to_update`` are live scan indexes that must learn about the
+    new endpoints (running engines' permutation walks pick them up).
+    """
+    rng = random.Random(seed)
+    deployment = HoneypotDeployment(internet=internet)
+    cloud = internet.topology.networks_of_kind(NetworkKind.CLOUD)
+    if not cloud:
+        raise ValueError("topology has no cloud networks to deploy honeypots in")
+    if batch_size is None:
+        batch_size = max(1, count // 24)
+    registry = internet.registry
+    deployed = 0
+    batch_index = 0
+    while deployed < count:
+        t = start_time + batch_index * stagger_hours
+        for _ in range(min(batch_size, count - deployed)):
+            network = rng.choices(cloud, weights=[n.size for n in cloud], k=1)[0]
+            ip_index = network.start + rng.randrange(network.size)
+            if any(ip_index == h for h in deployment.hosts):
+                continue
+            deployment.hosts.append(ip_index)
+            deployment.deploy_times[ip_index] = t
+            for port, protocol in HONEYPOT_PORTS:
+                spec = registry.get(protocol)
+                profile = spec.make_profile(rng)
+                inst = ServiceInstance(
+                    instance_id=internet.allocate_instance_id(),
+                    ip_index=ip_index,
+                    port=port,
+                    transport=spec.transport,
+                    protocol=protocol,
+                    profile=profile,
+                    birth=t,
+                    death=INFINITY,
+                    device_id=-ip_index - 1,
+                    is_honeypot=True,
+                )
+                internet.add_instance(inst)
+                deployment.instances.append(inst)
+                for index in indexes_to_update:
+                    index.add_instance(inst)
+            deployed += 1
+        batch_index += 1
+    return deployment

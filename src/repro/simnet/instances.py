@@ -1,0 +1,96 @@
+"""Service instances: the ground-truth population of the simulated Internet.
+
+A :class:`ServiceInstance` is one service bound to one (address, port) for a
+time interval.  DHCP/cloud churn is represented as *chains* of instances
+sharing a ``device_id``: the device and its configuration persist while its
+address changes, which is exactly the phenomenon that ruins engines that
+never prune stale address bindings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.protocols.base import ServerProfile
+
+__all__ = ["ServiceInstance", "PseudoHost", "WebProperty"]
+
+INFINITY = math.inf
+
+
+@dataclass(slots=True)
+class ServiceInstance:
+    """One service at one (ip, port) over [birth, death) in hours."""
+
+    instance_id: int
+    ip_index: int
+    port: int
+    transport: str
+    protocol: str
+    profile: ServerProfile
+    birth: float
+    death: float = INFINITY
+    #: Stable across address moves of the same underlying device.
+    device_id: int = -1
+    is_honeypot: bool = False
+
+    def alive_at(self, t: float) -> bool:
+        return self.birth <= t < self.death
+
+    @property
+    def lifetime(self) -> float:
+        return self.death - self.birth
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The (ip, port) binding this instance occupies."""
+        return (self.ip_index, self.port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ServiceInstance #{self.instance_id} {self.protocol} "
+            f"ip={self.ip_index} port={self.port} [{self.birth:.1f},{self.death:.1f})>"
+        )
+
+
+@dataclass(slots=True)
+class PseudoHost:
+    """A host answering (nearly identically) on *every* port.
+
+    Middleboxes and some CPE behave this way; the paper filters hosts that
+    respond on more than 20 ports with nearly identical "pseudo" services
+    out of its ground truth because they otherwise outnumber legitimate
+    services in 65K-port scans.
+    """
+
+    pseudo_id: int
+    ip_index: int
+    birth: float
+    death: float = INFINITY
+    banner: str = "220 ready"
+
+    def alive_at(self, t: float) -> bool:
+        return self.birth <= t < self.death
+
+
+@dataclass(slots=True)
+class WebProperty:
+    """A name-addressed HTTP(S) entity served by some host via SNI/Host.
+
+    ``device_id`` ties the name to the device chain fronting it, so the name
+    keeps resolving across the device's address moves (CDN-like behaviour).
+    """
+
+    name: str
+    device_id: int
+    #: Where the name is discoverable from, per the paper's sources.
+    in_ct_log: bool = False
+    in_passive_dns: bool = False
+    via_redirect: bool = False
+    #: First time the name became discoverable (CT entry timestamp).
+    published_at: float = 0.0
+    page_title: str = ""
+    is_phishing: bool = False
+    impersonates: Optional[str] = None

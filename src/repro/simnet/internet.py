@@ -1,0 +1,452 @@
+"""The simulated Internet: probe-level and connection-level access to the
+ground-truth population.
+
+Two access paths mirror the paper's two scan phases:
+
+* **L4 segment queries** — a scan tier walks a permutation over a probe
+  space; :class:`PreparedScanIndex` answers "which live endpoints fall in
+  permutation positions [s, s+L)?" in O(log n + hits) using the inverse
+  permutation, so full-space scans never enumerate dead probes.
+
+* **L7 connections** — :meth:`SimulatedInternet.connect` establishes a
+  connection to one endpoint, applying vantage-dependent reachability
+  (packet loss, weekly routing anomalies, geoblocking), and returns a
+  :class:`SimConnection` speaking the probe/reply protocol model (with TLS
+  session gating).
+
+Honeypot contacts are logged with the observing engine's identity, feeding
+the Table 5 time-to-discovery experiment.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net import AddressSpace, AffinePermutation, ProbeSpace, ProbeTarget
+from repro.net.cyclic import _mix64
+from repro.protocols.base import Probe, Reply, ServerProfile, reset, silence
+from repro.protocols.registry import ProtocolRegistry, default_registry
+from repro.protocols.tlslayer import tls_server_hello
+from repro.simnet.instances import PseudoHost, ServiceInstance, WebProperty
+from repro.simnet.topology import Topology
+from repro.simnet.workload import Workload
+
+__all__ = ["Vantage", "ProbeHit", "PreparedScanIndex", "SimConnection", "SimulatedInternet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Vantage:
+    """A scanning vantage point's network identity."""
+
+    name: str
+    region: str           # "us" | "eu" | "asia"
+    provider: str = ""
+    loss_rate: float = 0.03
+    vantage_id: int = 0
+
+
+@dataclass(slots=True)
+class ProbeHit:
+    """One responsive L4 probe inside a queried segment."""
+
+    target: ProbeTarget
+    probe_time: float
+    instance: Optional[ServiceInstance] = None
+    pseudo: Optional[PseudoHost] = None
+
+
+@dataclass(slots=True)
+class HoneypotContact:
+    """A probe or connection observed by a honeypot."""
+
+    time: float
+    scanner: str
+    ip_index: int
+    port: int
+    layer: str  # "l4" or "l7"
+
+
+class PreparedScanIndex:
+    """Position index of a probe space under one permutation.
+
+    Regular instances contribute single (position, instance) entries;
+    pseudo-hosts contribute one sorted position array per host covering
+    every port of the space.  Instances added later (honeypots) land in a
+    small linear-scan overflow list.
+    """
+
+    def __init__(
+        self,
+        internet: "SimulatedInternet",
+        space: ProbeSpace,
+        permutation: AffinePermutation,
+        transport: str = "tcp",
+    ) -> None:
+        self.internet = internet
+        self.space = space
+        self.permutation = permutation
+        self.transport = transport
+        positions: List[int] = []
+        refs: List[ServiceInstance] = []
+        for inst in internet.workload.instances:
+            if self._covers(inst):
+                positions.append(permutation.position(space.flatten(inst.ip_index, inst.port)))
+                refs.append(inst)
+        order = np.argsort(np.asarray(positions, dtype=np.uint64)) if positions else np.array([], dtype=np.int64)
+        self._positions = np.asarray(positions, dtype=np.uint64)[order]
+        self._refs: List[ServiceInstance] = [refs[i] for i in order]
+        self._pseudo: List[Tuple[PseudoHost, np.ndarray, np.ndarray]] = []
+        if transport == "tcp":
+            self._index_pseudo_hosts()
+        self._extras: List[Tuple[int, ServiceInstance]] = []
+
+    def _covers(self, inst: ServiceInstance) -> bool:
+        return (
+            inst.transport == self.transport
+            and self.space.contains_port(inst.port)
+            and self.space.contains_ip(inst.ip_index)
+        )
+
+    def _index_pseudo_hosts(self) -> None:
+        ports = np.asarray(self.space.ports, dtype=np.uint64)
+        a, b = self.permutation.coefficients
+        m = self.permutation.n
+        a_inv = pow(a, -1, m)
+        for pseudo in self.internet.workload.pseudo_hosts:
+            if not self.space.contains_ip(pseudo.ip_index):
+                continue
+            # Elements for one IP are the contiguous block [base, base+P);
+            # their positions form an arithmetic progression with stride
+            # a_inv (mod m), which vectorizes without per-port flattening.
+            base = self.space.flatten(pseudo.ip_index, self.space.ports[0])
+            pos0 = (base - b) * a_inv % m
+            k = np.arange(len(ports), dtype=np.uint64)
+            positions = (np.uint64(pos0) + k * np.uint64(a_inv)) % np.uint64(m)
+            order = np.argsort(positions)
+            self._pseudo.append((pseudo, positions[order], ports[order]))
+
+    def add_instance(self, inst: ServiceInstance) -> bool:
+        """Index a late-added instance (honeypots); False if out of space."""
+        if not self._covers(inst):
+            return False
+        position = self.permutation.position(self.space.flatten(inst.ip_index, inst.port))
+        self._extras.append((position, inst))
+        return True
+
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        start: int,
+        count: int,
+        t0: float,
+        rate: float,
+        vantage: Vantage,
+        scanner: str = "",
+    ) -> List[ProbeHit]:
+        """Responsive endpoints among positions [start, start+count).
+
+        ``t0`` is the time the probe at ``start`` is sent and ``rate`` the
+        probes-per-hour pace; each hit carries its interpolated probe time.
+        Unreachable endpoints (loss, routing, geoblocking) are dropped, like
+        lost SYN-ACKs in a stateless scan.
+        """
+        m = self.permutation.n
+        count = min(count, m)
+        hits: List[ProbeHit] = []
+
+        def offset_of(position: int) -> int:
+            return (position - start) % m
+
+        for lo, hi in _mod_ranges(start, count, m):
+            left = int(np.searchsorted(self._positions, np.uint64(lo), side="left"))
+            right = int(np.searchsorted(self._positions, np.uint64(hi), side="left"))
+            for i in range(left, right):
+                inst = self._refs[i]
+                probe_time = t0 + offset_of(int(self._positions[i])) / rate
+                if not inst.alive_at(probe_time):
+                    continue
+                if not self.internet.reachable(inst.ip_index, vantage, probe_time, salt=inst.instance_id):
+                    continue
+                target = ProbeTarget(inst.ip_index, inst.port)
+                hits.append(ProbeHit(target, probe_time, instance=inst))
+                if inst.is_honeypot:
+                    self.internet.log_honeypot_contact(inst, probe_time, scanner, "l4")
+            for pseudo, positions, ports in self._pseudo:
+                p_left = int(np.searchsorted(positions, np.uint64(lo), side="left"))
+                p_right = int(np.searchsorted(positions, np.uint64(hi), side="left"))
+                for j in range(p_left, p_right):
+                    probe_time = t0 + offset_of(int(positions[j])) / rate
+                    if not pseudo.alive_at(probe_time):
+                        continue
+                    if not self.internet.reachable(pseudo.ip_index, vantage, probe_time, salt=-pseudo.pseudo_id - 1):
+                        continue
+                    hits.append(
+                        ProbeHit(ProbeTarget(pseudo.ip_index, int(ports[j])), probe_time, pseudo=pseudo)
+                    )
+        for position, inst in self._extras:
+            if any(lo <= position < hi for lo, hi in _mod_ranges(start, count, m)):
+                probe_time = t0 + offset_of(position) / rate
+                if inst.alive_at(probe_time) and self.internet.reachable(
+                    inst.ip_index, vantage, probe_time, salt=inst.instance_id
+                ):
+                    hits.append(ProbeHit(ProbeTarget(inst.ip_index, inst.port), probe_time, instance=inst))
+                    if inst.is_honeypot:
+                        self.internet.log_honeypot_contact(inst, probe_time, scanner, "l4")
+        hits.sort(key=lambda h: h.probe_time)
+        return hits
+
+
+def _mod_ranges(start: int, count: int, m: int) -> List[Tuple[int, int]]:
+    """[start, start+count) mod m as one or two half-open ranges."""
+    start %= m
+    if count >= m:
+        return [(0, m)]
+    end = start + count
+    if end <= m:
+        return [(start, end)]
+    return [(start, m), (0, end - m)]
+
+
+class SimConnection:
+    """An established L4 connection to one simulated endpoint."""
+
+    def __init__(
+        self,
+        internet: "SimulatedInternet",
+        port: int,
+        transport: str,
+        time: float,
+        instance: Optional[ServiceInstance] = None,
+        pseudo: Optional[PseudoHost] = None,
+        scanner: str = "",
+        sni: Optional[str] = None,
+    ) -> None:
+        self.internet = internet
+        self.port = port
+        self.transport = transport
+        self.time = time
+        self.instance = instance
+        self.pseudo = pseudo
+        self.scanner = scanner
+        self.sni = sni
+        self._in_tls = False
+
+    @property
+    def in_tls(self) -> bool:
+        return self._in_tls
+
+    @property
+    def _profile(self) -> Optional[ServerProfile]:
+        return self.instance.profile if self.instance is not None else None
+
+    def send(self, probe: Probe) -> Reply:
+        if self.pseudo is not None:
+            # Pseudo-hosts answer everything with the same opaque banner.
+            return Reply("banner", "PSEUDO", {"banner": self.pseudo.banner})
+        profile = self._profile
+        if profile is None or profile.protocol == "NONE":
+            return silence()
+        if profile.tls is not None and not self._in_tls:
+            # Plaintext data at a TLS endpoint: alert + close.  A passive
+            # wait sees nothing (the server awaits a ClientHello).
+            if probe.kind == "banner-wait":
+                return silence()
+            return reset()
+        spec = self.internet.registry.get(profile.protocol)
+        if self.sni is not None and probe.kind == "http-get" and "host" not in probe.payload:
+            probe = Probe(probe.kind, dict(probe.payload, host=self.sni))
+        return spec.respond(profile, probe)
+
+    def start_tls(self) -> Optional[Reply]:
+        profile = self._profile
+        if profile is None or profile.tls is None:
+            return None
+        self._in_tls = True
+        return tls_server_hello(profile.tls, sni=self.sni)
+
+
+class SimulatedInternet:
+    """Ground-truth population plus visibility physics."""
+
+    #: Probability a network is unreachable from a given vantage for a week
+    #: (routing anomalies / transient blocking, per Wan et al.).
+    ROUTING_BLOCK_RATE = 0.02
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        topology: Topology,
+        workload: Workload,
+        registry: ProtocolRegistry | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.space = space
+        self.topology = topology
+        self.workload = workload
+        self.registry = registry or default_registry()
+        self.seed = seed
+        self.honeypot_contacts: List[HoneypotContact] = []
+        self._by_binding: Dict[Tuple[int, int], List[ServiceInstance]] = {}
+        self._by_device: Dict[int, List[ServiceInstance]] = {}
+        for inst in workload.instances:
+            self._by_binding.setdefault(inst.key, []).append(inst)
+            self._by_device.setdefault(inst.device_id, []).append(inst)
+        for chain in self._by_binding.values():
+            chain.sort(key=lambda i: i.birth)
+        self._pseudo_by_ip: Dict[int, PseudoHost] = {p.ip_index: p for p in workload.pseudo_hosts}
+        self._webprops_by_name: Dict[str, WebProperty] = {p.name: p for p in workload.web_properties}
+        # Dual-stack: ~60% of devices fronting web properties also hold an
+        # IPv6 address, discoverable only through DNS on known names (the
+        # paper does not run comprehensive IPv6 scans either).
+        self._v6_by_device: Dict[int, str] = {}
+        self._device_by_v6: Dict[str, int] = {}
+        for prop in workload.web_properties:
+            if prop.device_id in self._v6_by_device:
+                continue
+            if _mix64(seed ^ prop.device_id * 0xD1CE) % 100 < 60:
+                address = f"2001:db8::{prop.device_id:x}"
+                self._v6_by_device[prop.device_id] = address
+                self._device_by_v6[address] = prop.device_id
+        self._next_instance_id = max((i.instance_id for i in workload.instances), default=0) + 1
+
+    # -- population access -------------------------------------------------
+
+    def instance_at(self, ip_index: int, port: int, t: float) -> Optional[ServiceInstance]:
+        for inst in self._by_binding.get((ip_index, port), ()):
+            if inst.alive_at(t):
+                return inst
+        return None
+
+    def pseudo_at(self, ip_index: int, t: float) -> Optional[PseudoHost]:
+        pseudo = self._pseudo_by_ip.get(ip_index)
+        if pseudo is not None and pseudo.alive_at(t):
+            return pseudo
+        return None
+
+    def services_alive_at(self, t: float) -> List[ServiceInstance]:
+        return self.workload.services_alive_at(t)
+
+    def device_instances(self, device_id: int) -> List[ServiceInstance]:
+        return list(self._by_device.get(device_id, ()))
+
+    def add_instance(self, inst: ServiceInstance) -> None:
+        """Inject an instance at runtime (honeypot deployments)."""
+        self.workload.instances.append(inst)
+        self._by_binding.setdefault(inst.key, []).append(inst)
+        self._by_binding[inst.key].sort(key=lambda i: i.birth)
+        self._by_device.setdefault(inst.device_id, []).append(inst)
+
+    def allocate_instance_id(self) -> int:
+        self._next_instance_id += 1
+        return self._next_instance_id
+
+    # -- reachability -------------------------------------------------------
+
+    def reachable(self, ip_index: int, vantage: Vantage, t: float, salt: int = 0) -> bool:
+        """Whether a probe from ``vantage`` reaches ``ip_index`` at ``t``."""
+        network = self.topology.network_of(ip_index)
+        if vantage.region in network.blocked_regions:
+            return False
+        week = int(t // (7 * 24.0))
+        block_draw = _mix64(self.seed ^ network.network_id * 0x9E37 ^ vantage.vantage_id * 0x79B9 ^ week)
+        if (block_draw % 10_000) < self.ROUTING_BLOCK_RATE * 10_000:
+            return False
+        window = int(t // 6.0)  # transient loss re-rolls every 6 hours
+        loss_draw = _mix64(self.seed ^ salt * 0xC2B2 ^ vantage.vantage_id * 0x85EB ^ window)
+        return (loss_draw % 10_000) >= vantage.loss_rate * 10_000
+
+    # -- connections ----------------------------------------------------------
+
+    def connect(
+        self,
+        ip_index: int,
+        port: int,
+        t: float,
+        vantage: Vantage,
+        transport: str = "tcp",
+        scanner: str = "",
+        sni: Optional[str] = None,
+    ) -> Optional[SimConnection]:
+        """Open a connection; None when nothing answers (down/unreachable)."""
+        inst = self.instance_at(ip_index, port, t)
+        if inst is not None and inst.transport == transport:
+            if not self.reachable(ip_index, vantage, t, salt=inst.instance_id):
+                return None
+            if inst.is_honeypot:
+                self.log_honeypot_contact(inst, t, scanner, "l7")
+            return SimConnection(self, port, transport, t, instance=inst, scanner=scanner, sni=sni)
+        if transport == "tcp":
+            pseudo = self.pseudo_at(ip_index, t)
+            if pseudo is not None and self.reachable(ip_index, vantage, t, salt=-pseudo.pseudo_id - 1):
+                return SimConnection(self, port, transport, t, pseudo=pseudo, scanner=scanner)
+        return None
+
+    # -- names ---------------------------------------------------------------
+
+    def resolve_name(self, name: str, t: float) -> Optional[Tuple[int, int]]:
+        """DNS: resolve a web-property name to its current (ip, port)."""
+        prop = self._webprops_by_name.get(name)
+        if prop is None:
+            return None
+        for inst in self._by_device.get(prop.device_id, ()):
+            if inst.alive_at(t) and inst.protocol == "HTTP":
+                return (inst.ip_index, inst.port)
+        return None
+
+    def web_property(self, name: str) -> Optional[WebProperty]:
+        return self._webprops_by_name.get(name)
+
+    def resolve_name_v6(self, name: str, t: float) -> Optional[str]:
+        """DNS AAAA: the IPv6 address of a dual-stack web property."""
+        prop = self._webprops_by_name.get(name)
+        if prop is None:
+            return None
+        address = self._v6_by_device.get(prop.device_id)
+        if address is None:
+            return None
+        if any(i.alive_at(t) and i.protocol == "HTTP" for i in self._by_device.get(prop.device_id, ())):
+            return address
+        return None
+
+    def connect_v6(
+        self,
+        address: str,
+        t: float,
+        vantage: Vantage,
+        scanner: str = "",
+        sni: Optional[str] = None,
+    ) -> Optional[SimConnection]:
+        """Connect to a dual-stack device over IPv6 (port follows the
+        fronting v4 service; dual-stack serves the same content)."""
+        device_id = self._device_by_v6.get(address)
+        if device_id is None:
+            return None
+        for inst in self._by_device.get(device_id, ()):
+            if inst.alive_at(t) and inst.protocol == "HTTP":
+                if not self.reachable(inst.ip_index, vantage, t, salt=inst.instance_id ^ 0x6666):
+                    return None
+                return SimConnection(self, inst.port, "tcp", t, instance=inst, scanner=scanner, sni=sni)
+        return None
+
+    @property
+    def dual_stack_device_count(self) -> int:
+        return len(self._v6_by_device)
+
+    # -- scanning -------------------------------------------------------------
+
+    def prepare_scan(
+        self, space: ProbeSpace, permutation: AffinePermutation, transport: str = "tcp"
+    ) -> PreparedScanIndex:
+        return PreparedScanIndex(self, space, permutation, transport)
+
+    # -- honeypots --------------------------------------------------------------
+
+    def log_honeypot_contact(self, inst: ServiceInstance, t: float, scanner: str, layer: str) -> None:
+        self.honeypot_contacts.append(
+            HoneypotContact(time=t, scanner=scanner, ip_index=inst.ip_index, port=inst.port, layer=layer)
+        )

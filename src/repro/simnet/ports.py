@@ -1,0 +1,194 @@
+"""The port-popularity model (Appendix B, Figure 4).
+
+Port populations follow a smoothly decaying power law with no inflection
+between "popular" and "unpopular" ports: rank ``r`` carries weight
+``(r + s)^-alpha``.  The first ~48 ranks map to well-known ports with their
+conventional protocols; tail ranks map to a stable pseudorandom shuffle of
+the remaining port numbers and carry the *diffused* protocol mix (mostly
+HTTP/HTTPS — under 3% of HTTP ends up on TCP/80, per Izhikevich et al.).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.net import PORT_COUNT, AffinePermutation
+
+__all__ = ["PortAssignment", "PortModel", "TOP_PORT_TABLE", "TAIL_PROTOCOL_MIX"]
+
+
+@dataclass(frozen=True, slots=True)
+class PortAssignment:
+    """A sampled (port, protocol) placement for a new service."""
+
+    port: int
+    protocol: str
+    transport: str
+    tls: bool
+    rank: int
+
+
+#: (port, protocol, transport, tls) in descending responsiveness order.
+TOP_PORT_TABLE: List[Tuple[int, str, str, bool]] = [
+    (80, "HTTP", "tcp", False),
+    (443, "HTTP", "tcp", True),
+    (22, "SSH", "tcp", False),
+    (7547, "HTTP", "tcp", False),
+    (21, "FTP", "tcp", False),
+    (25, "SMTP", "tcp", False),
+    (8080, "HTTP", "tcp", False),
+    (23, "TELNET", "tcp", False),
+    (3389, "RDP", "tcp", False),
+    (53, "DNS", "udp", False),
+    (110, "POP3", "tcp", False),
+    (445, "SMB", "tcp", False),
+    (143, "IMAP", "tcp", False),
+    (8443, "HTTP", "tcp", True),
+    (993, "IMAP", "tcp", True),
+    (995, "POP3", "tcp", True),
+    (587, "SMTP", "tcp", False),
+    (465, "SMTP", "tcp", True),
+    (3306, "MYSQL", "tcp", False),
+    (5060, "SIP", "udp", False),
+    (161, "SNMP", "udp", False),
+    (123, "NTP", "udp", False),
+    (8000, "HTTP", "tcp", False),
+    (8888, "HTTP", "tcp", False),
+    (5900, "VNC", "tcp", False),
+    (2222, "SSH", "tcp", False),
+    (139, "SMB", "tcp", False),
+    (389, "LDAP", "tcp", False),
+    (6379, "REDIS", "tcp", False),
+    (5432, "POSTGRES", "tcp", False),
+    (81, "HTTP", "tcp", False),
+    (8081, "HTTP", "tcp", False),
+    (1883, "MQTT", "tcp", False),
+    (27017, "MONGODB", "tcp", False),
+    (1900, "UPNP", "udp", False),
+    (69, "TFTP", "udp", False),
+    (2082, "HTTP", "tcp", False),
+    (4443, "HTTP", "tcp", True),
+    (60000, "HTTP", "tcp", False),
+    (636, "LDAP", "tcp", True),
+    (2525, "SMTP", "tcp", False),
+    (10000, "HTTP", "tcp", True),
+    (5061, "SIP", "udp", False),
+    (2323, "TELNET", "tcp", False),
+    (6000, "X11", "tcp", False),
+    (513, "RLOGIN", "tcp", False),
+    (3388, "RDP", "tcp", False),
+    (2121, "FTP", "tcp", False),
+    (554, "RTSP", "tcp", False),
+    (9200, "ELASTICSEARCH", "tcp", False),
+    (11211, "MEMCACHED", "tcp", False),
+    (1080, "SOCKS5", "tcp", False),
+    (873, "RSYNC", "tcp", False),
+    (5985, "WINRM", "tcp", False),
+    (2375, "DOCKER", "tcp", False),
+    (6443, "KUBERNETES", "tcp", True),
+    (5672, "AMQP", "tcp", False),
+    (9042, "CASSANDRA", "tcp", False),
+    (631, "IPP", "tcp", False),
+    (9100, "JETDIRECT", "tcp", False),
+    (515, "LPD", "tcp", False),
+]
+
+#: Protocol mix for services diffused onto non-standard (tail) ports.
+TAIL_PROTOCOL_MIX: List[Tuple[Tuple[str, bool], float]] = [
+    (("HTTP", False), 0.47),
+    (("HTTP", True), 0.24),
+    (("SSH", False), 0.08),
+    (("TELNET", False), 0.03),
+    (("FTP", False), 0.02),
+    (("REDIS", False), 0.02),
+    (("VNC", False), 0.02),
+    (("RDP", False), 0.02),
+    (("SMTP", False), 0.02),
+    (("MQTT", False), 0.02),
+    (("MYSQL", False), 0.02),
+    (("POSTGRES", False), 0.01),
+    (("MONGODB", False), 0.01),
+    (("SMB", False), 0.01),
+    (("LDAP", False), 0.01),
+    (("ELASTICSEARCH", False), 0.005),
+    (("MEMCACHED", False), 0.005),
+    (("DOCKER", False), 0.005),
+    (("RTSP", False), 0.01),
+    (("SOCKS5", False), 0.005),
+    (("RSYNC", False), 0.005),
+]
+
+
+class PortModel:
+    """Samples (port, protocol) placements under the Figure 4 power law."""
+
+    def __init__(self, alpha: float = 1.2, shift: float = 2.0, seed: int = 0) -> None:
+        self.alpha = alpha
+        self.shift = shift
+        ranks = np.arange(1, PORT_COUNT + 1, dtype=np.float64)
+        weights = (ranks + shift) ** -alpha
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        # Stable shuffle assigning tail ranks to the remaining port numbers.
+        top_ports = {entry[0] for entry in TOP_PORT_TABLE}
+        perm = AffinePermutation(PORT_COUNT, seed=seed ^ 0x5EED)
+        self._tail_ports: List[int] = []
+        for element in perm.iterate():
+            if element not in top_ports and element > 0:
+                self._tail_ports.append(element)
+        self._tail_mix_values = [v for v, _ in TAIL_PROTOCOL_MIX]
+        self._tail_mix_weights = [w for _, w in TAIL_PROTOCOL_MIX]
+        #: Highest valid rank: port 0 is unusable, so one fewer than 65536.
+        self.max_rank = len(TOP_PORT_TABLE) + len(self._tail_ports)
+
+    def rank_weight(self, rank: int) -> float:
+        """The unnormalized population weight of a port rank (1-based)."""
+        return float((rank + self.shift) ** -self.alpha)
+
+    def sample_rank(self, rng: random.Random) -> int:
+        """Draw a 1-based port rank from the power law."""
+        rank = int(np.searchsorted(self._cdf, rng.random(), side="right")) + 1
+        return min(rank, self.max_rank)
+
+    def port_for_rank(self, rank: int) -> Tuple[int, Optional[Tuple[str, str, bool]]]:
+        """The port number for a rank, plus its fixed protocol if top-ranked."""
+        if not 1 <= rank <= self.max_rank:
+            raise ValueError(f"rank {rank} outside [1, {self.max_rank}]")
+        if rank <= len(TOP_PORT_TABLE):
+            port, protocol, transport, tls = TOP_PORT_TABLE[rank - 1]
+            return port, (protocol, transport, tls)
+        return self._tail_ports[rank - len(TOP_PORT_TABLE) - 1], None
+
+    def rank_of_port(self, port: int) -> int:
+        """Inverse of :meth:`port_for_rank` (1-based)."""
+        for i, entry in enumerate(TOP_PORT_TABLE):
+            if entry[0] == port:
+                return i + 1
+        return len(TOP_PORT_TABLE) + self._tail_ports.index(port) + 1
+
+    def top_ports(self, count: int) -> List[int]:
+        """The ``count`` most populated ports, in rank order."""
+        return [self.port_for_rank(r)[0] for r in range(1, count + 1)]
+
+    def sample(self, rng: random.Random) -> PortAssignment:
+        """Draw a service placement: port plus protocol."""
+        rank = self.sample_rank(rng)
+        port, fixed = self.port_for_rank(rank)
+        if fixed is not None:
+            protocol, transport, tls = fixed
+        else:
+            (protocol, tls) = rng.choices(
+                self._tail_mix_values, weights=self._tail_mix_weights, k=1
+            )[0]
+            transport = "tcp"
+        return PortAssignment(port=port, protocol=protocol, transport=transport, tls=tls, rank=rank)
+
+    def expected_tier_shares(self) -> Tuple[float, float, float]:
+        """Population shares of (top-10, ranks 11–100, tail) — Figure 4 math."""
+        top10 = float(self._cdf[9])
+        top100 = float(self._cdf[99])
+        return top10, top100 - top10, 1.0 - top100

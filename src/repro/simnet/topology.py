@@ -1,0 +1,192 @@
+"""Synthetic Internet topology: networks, ASes, countries, cloud regions.
+
+The scaled address space is partitioned into networks of varying size, each
+assigned an AS number, a country, an operator kind (cloud / residential /
+business / hosting), and visibility quirks (regional routing blocks,
+geoblocking).  The topology is the basis for the GeoIP and WHOIS registries
+used during read-side enrichment, and for the cloud-targeted scan tier.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net import AddressSpace
+
+__all__ = ["NetworkKind", "Network", "Topology", "TopologyConfig", "COUNTRY_WEIGHTS"]
+
+
+#: Country mix loosely following where Internet services actually live;
+#: includes the Table 3 countries (US, CN, DE) with US-heavy weighting.
+COUNTRY_WEIGHTS: List[Tuple[str, float]] = [
+    ("US", 0.36),
+    ("CN", 0.10),
+    ("DE", 0.07),
+    ("JP", 0.05),
+    ("GB", 0.05),
+    ("FR", 0.04),
+    ("KR", 0.04),
+    ("NL", 0.04),
+    ("RU", 0.04),
+    ("BR", 0.04),
+    ("IN", 0.04),
+    ("CA", 0.03),
+    ("SG", 0.03),
+    ("AU", 0.02),
+    ("IT", 0.02),
+    ("OTHER", 0.03),
+]
+
+#: Scanner regions (where PoPs sit) used for geo/routing visibility.
+REGIONS = ("us", "eu", "asia")
+
+_COUNTRY_REGION = {
+    "US": "us", "CA": "us", "BR": "us",
+    "DE": "eu", "GB": "eu", "FR": "eu", "NL": "eu", "RU": "eu", "IT": "eu",
+    "CN": "asia", "JP": "asia", "KR": "asia", "SG": "asia", "AU": "asia", "IN": "asia",
+    "OTHER": "eu",
+}
+
+
+class NetworkKind:
+    """Operator categories with distinct churn and density profiles."""
+
+    CLOUD = "cloud"
+    RESIDENTIAL = "residential"
+    BUSINESS = "business"
+    HOSTING = "hosting"
+    MOBILE = "mobile"
+
+    ALL = (CLOUD, RESIDENTIAL, BUSINESS, HOSTING, MOBILE)
+
+
+@dataclass(slots=True)
+class Network:
+    """One allocated network block within the scaled space."""
+
+    network_id: int
+    start: int              # first address index (inclusive)
+    stop: int               # last address index (exclusive)
+    asn: int
+    as_name: str
+    country: str
+    kind: str
+    #: Scanner regions this network persistently refuses traffic from
+    #: (geoblocking / national filtering), if any.
+    blocked_regions: Tuple[str, ...] = ()
+    organization: str = ""
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def __contains__(self, ip_index: int) -> bool:
+        return self.start <= ip_index < self.stop
+
+
+@dataclass(slots=True)
+class TopologyConfig:
+    """Knobs controlling topology synthesis."""
+
+    seed: int = 0
+    #: Fraction of the space allotted to each network kind.
+    kind_shares: Dict[str, float] = field(
+        default_factory=lambda: {
+            NetworkKind.CLOUD: 0.16,
+            NetworkKind.RESIDENTIAL: 0.38,
+            NetworkKind.BUSINESS: 0.26,
+            NetworkKind.HOSTING: 0.12,
+            NetworkKind.MOBILE: 0.08,
+        }
+    )
+    #: log2 of the min/max network block size.
+    min_block_bits: int = 8
+    max_block_bits: int = 12
+    #: Probability a network persistently blocks one foreign scanner region.
+    geoblock_rate: float = 0.02
+
+
+_AS_NAMES = {
+    NetworkKind.CLOUD: ("NIMBUS-CLOUD", "STRATUS-COMPUTE", "VAPOR-PLATFORM", "CUMULUS-DC"),
+    NetworkKind.RESIDENTIAL: ("HOMENET-ISP", "FIBERCAST", "CABLELINK", "DSL-UNION"),
+    NetworkKind.BUSINESS: ("ENTERPRISE-NET", "CORPLINK", "METRO-BIZ", "OFFICE-WAN"),
+    NetworkKind.HOSTING: ("RACKFARM", "COLOCORE", "SERVERBARN", "DEDIBOX-NET"),
+    NetworkKind.MOBILE: ("LTE-CARRIER", "CELLNET-5G", "MOBILFUNK", "WIRELESS-WAN"),
+}
+
+
+class Topology:
+    """The partitioned address space with lookup helpers."""
+
+    def __init__(self, space: AddressSpace, networks: List[Network]) -> None:
+        self.space = space
+        self.networks = networks
+        self._starts = [n.start for n in networks]
+
+    @classmethod
+    def generate(cls, space: AddressSpace, config: TopologyConfig | None = None) -> "Topology":
+        """Carve the space into networks according to ``config``."""
+        config = config or TopologyConfig()
+        rng = random.Random(config.seed)
+        kinds = list(config.kind_shares.keys())
+        kind_weights = [config.kind_shares[k] for k in kinds]
+        country_names = [c for c, _ in COUNTRY_WEIGHTS]
+        country_weights = [w for _, w in COUNTRY_WEIGHTS]
+
+        networks: List[Network] = []
+        cursor = 0
+        network_id = 0
+        while cursor < space.size:
+            bits = rng.randint(config.min_block_bits, config.max_block_bits)
+            block = min(1 << bits, space.size - cursor)
+            kind = rng.choices(kinds, weights=kind_weights, k=1)[0]
+            country = rng.choices(country_names, weights=country_weights, k=1)[0]
+            blocked: Tuple[str, ...] = ()
+            if rng.random() < config.geoblock_rate:
+                home = _COUNTRY_REGION.get(country, "eu")
+                foreign = [r for r in REGIONS if r != home]
+                blocked = (rng.choice(foreign),)
+            asn = 64512 + network_id  # private-use ASN range, recycled
+            as_name = rng.choice(_AS_NAMES[kind])
+            networks.append(
+                Network(
+                    network_id=network_id,
+                    start=cursor,
+                    stop=cursor + block,
+                    asn=asn,
+                    as_name=f"{as_name}-{network_id}",
+                    country=country,
+                    kind=kind,
+                    blocked_regions=blocked,
+                    organization=f"{as_name.title().replace('-', ' ')} #{network_id}",
+                )
+            )
+            cursor += block
+            network_id += 1
+        return cls(space, networks)
+
+    def network_of(self, ip_index: int) -> Network:
+        """The network owning an address index."""
+        if not 0 <= ip_index < self.space.size:
+            raise ValueError(f"address index {ip_index} outside the space")
+        i = bisect_right(self._starts, ip_index) - 1
+        return self.networks[i]
+
+    def networks_of_kind(self, kind: str) -> List[Network]:
+        return [n for n in self.networks if n.kind == kind]
+
+    def intervals_of_kind(self, kind: str) -> List[Tuple[int, int]]:
+        """Sorted (start, stop) intervals for a network kind (cloud tier)."""
+        return [(n.start, n.stop) for n in self.networks if n.kind == kind]
+
+    def country_of(self, ip_index: int) -> str:
+        return self.network_of(ip_index).country
+
+    def region_of_country(self, country: str) -> str:
+        return _COUNTRY_REGION.get(country, "eu")
+
+    def __len__(self) -> int:
+        return len(self.networks)

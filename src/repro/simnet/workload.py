@@ -1,0 +1,535 @@
+"""Workload synthesis: the ground-truth service population over time.
+
+Generates a *stationary* population of service instances across the
+configured horizon (M/M/inf per category: initial population with
+memoryless residual lifetimes plus a Poisson birth process), with the
+real-world behaviours the paper's architecture exists to handle:
+
+* port populations under the Figure 4 power law, protocols diffused onto
+  non-standard ports;
+* short cloud lifespans, DHCP/mobile lease churn (devices moving address
+  while their configuration persists), flapping services;
+* pseudo-hosts responding on every port; phantom L4-only endpoints;
+* TLS-wrapped services with linked certificates; name-addressed web
+  properties discoverable via CT, passive DNS, and redirects;
+* industrial-control services at Table 4's (scaled) population sizes,
+  placed partly on non-standard ports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.protocols.base import ServerProfile, TlsEndpointProfile
+from repro.protocols.registry import ProtocolRegistry, default_registry
+from repro.protocols.tlslayer import make_ja4s
+from repro.simnet.clock import DAY
+from repro.simnet.instances import INFINITY, PseudoHost, ServiceInstance, WebProperty
+from repro.simnet.ports import TOP_PORT_TABLE, PortModel
+from repro.simnet.topology import Network, NetworkKind, Topology
+
+__all__ = ["WorkloadConfig", "Workload", "generate_workload", "DEFAULT_ICS_COUNTS"]
+
+
+#: Stationary ICS population targets: Table 4's Censys-validated counts
+#: scaled by ~1/100 (minimum 3 so every protocol is represented).
+DEFAULT_ICS_COUNTS: Dict[str, int] = {
+    "MODBUS": 420,
+    "FOX": 200,
+    "WDBRPC": 160,
+    "BACNET": 131,
+    "ATG": 84,
+    "EIP": 75,
+    "DIGI": 75,
+    "IEC60870": 69,
+    "S7": 65,
+    "CODESYS": 25,
+    "OPC_UA": 24,
+    "CMORE": 23,
+    "FINS": 18,
+    "DNP3": 12,
+    "CIMON_PLC": 10,
+    "REDLION": 10,
+    "PROCONOS": 7,
+    "PCOM": 5,
+    "PCWORX": 4,
+    "GE_SRTP": 3,
+    "HART": 3,
+}
+
+#: Lifetime mixtures per network kind: (weight, mean lifetime in hours).
+_LIFETIME_COMPONENTS: Dict[str, List[Tuple[float, float]]] = {
+    NetworkKind.CLOUD: [(0.30, 10 * DAY), (0.70, 45 * DAY)],
+    NetworkKind.MOBILE: [(1.0, 20 * DAY)],
+    NetworkKind.RESIDENTIAL: [(1.0, 45 * DAY)],
+    NetworkKind.BUSINESS: [(0.25, 20 * DAY), (0.75, 150 * DAY)],
+    NetworkKind.HOSTING: [(0.30, 15 * DAY), (0.70, 120 * DAY)],
+}
+
+#: Mean address-lease duration for kinds whose devices change IP.
+_LEASE_MEANS: Dict[str, float] = {
+    NetworkKind.RESIDENTIAL: 20 * DAY,
+    NetworkKind.MOBILE: 6 * DAY,
+}
+
+#: Share of the service population hosted in each network kind.
+_SERVICE_KIND_SHARES: Dict[str, float] = {
+    NetworkKind.CLOUD: 0.30,
+    NetworkKind.HOSTING: 0.16,
+    NetworkKind.BUSINESS: 0.24,
+    NetworkKind.RESIDENTIAL: 0.20,
+    NetworkKind.MOBILE: 0.10,
+}
+
+
+@dataclass(slots=True)
+class WorkloadConfig:
+    """Knobs for workload synthesis.  Defaults target a mid-size simnet."""
+
+    seed: int = 0
+    #: Stationary count of ordinary services alive at any instant.
+    services_target: int = 20_000
+    #: Simulation horizon (hours).  Warm-up history runs before t=0.
+    t_start: float = -90 * DAY
+    t_end: float = 45 * DAY
+    #: Probability a new service lands on an already-populated address.
+    colocation_rate: float = 0.35
+    #: Hosts answering on every port (None -> services_target // 500).
+    pseudo_host_count: Optional[int] = None
+    #: Extra L4-responsive endpoints exposing no L7 service, as a fraction
+    #: of services_target (the LZR observation).
+    phantom_rate: float = 0.05
+    #: Fraction of stable-kind services that flap off/on at the same address.
+    flap_rate: float = 0.08
+    #: Name-addressed web properties (None -> services_target // 12).
+    web_property_count: Optional[int] = None
+    #: Multiplier on DEFAULT_ICS_COUNTS (None: scale with services_target
+    #: so small test workloads keep proportionally small ICS populations).
+    ics_scale: Optional[float] = None
+    port_alpha: float = 1.2
+    port_shift: float = 2.0
+    #: Probability a tail-port service lands on one of its network's
+    #: "palette" ports (operator deployment patterns — the structure
+    #: predictive scanning learns; see Izhikevich et al.).
+    palette_rate: float = 0.70
+
+
+@dataclass(slots=True)
+class Workload:
+    """The generated ground truth handed to the simulated Internet."""
+
+    config: WorkloadConfig
+    instances: List[ServiceInstance]
+    pseudo_hosts: List[PseudoHost]
+    web_properties: List[WebProperty]
+    port_model: PortModel
+
+    def alive_at(self, t: float) -> List[ServiceInstance]:
+        return [inst for inst in self.instances if inst.alive_at(t)]
+
+    def services_alive_at(self, t: float) -> List[ServiceInstance]:
+        """Real services only (phantoms excluded), the coverage denominator."""
+        return [inst for inst in self.instances if inst.alive_at(t) and inst.protocol != "NONE"]
+
+
+class _Generator:
+    """Stateful generation pass (split into steps for readability)."""
+
+    def __init__(self, topology: Topology, config: WorkloadConfig, registry: ProtocolRegistry) -> None:
+        self.topology = topology
+        self.config = config
+        self.registry = registry
+        self.rng = random.Random(config.seed)
+        self.port_model = PortModel(config.port_alpha, config.port_shift, seed=config.seed)
+        self.instances: List[ServiceInstance] = []
+        self.pseudo_hosts: List[PseudoHost] = []
+        self.web_properties: List[WebProperty] = []
+        self._instance_id = 0
+        self._device_id = 0
+        self._used_bindings: Set[Tuple[int, int]] = set()
+        self._kind_networks: Dict[str, List[Network]] = {
+            kind: self.topology.networks_of_kind(kind) for kind in NetworkKind.ALL
+        }
+        self._kind_net_weights: Dict[str, List[int]] = {
+            kind: [n.size for n in nets] for kind, nets in self._kind_networks.items()
+        }
+        self._kind_used_ips: Dict[str, List[int]] = {kind: [] for kind in NetworkKind.ALL}
+        #: Per-network favored tail ports (operator deployment patterns).
+        self._palettes: Dict[int, List[int]] = {}
+        #: instances needing TLS profiles, built after vhost assignment.
+        self._tls_pending: List[ServiceInstance] = []
+
+    # -- id helpers ----------------------------------------------------
+
+    def _next_instance_id(self) -> int:
+        self._instance_id += 1
+        return self._instance_id
+
+    def _next_device_id(self) -> int:
+        self._device_id += 1
+        return self._device_id
+
+    # -- placement helpers ----------------------------------------------
+
+    def _pick_network(self, kind: str) -> Network:
+        networks = self._kind_networks[kind]
+        if not networks:
+            networks = self.topology.networks
+            weights = [n.size for n in networks]
+        else:
+            weights = self._kind_net_weights[kind]
+        return self.rng.choices(networks, weights=weights, k=1)[0]
+
+    def _pick_ip(self, kind: str, colocate: bool = True) -> int:
+        used = self._kind_used_ips[kind]
+        if colocate and used and self.rng.random() < self.config.colocation_rate:
+            return self.rng.choice(used)
+        network = self._pick_network(kind)
+        ip_index = network.start + self.rng.randrange(network.size)
+        used.append(ip_index)
+        return ip_index
+
+    def _palette(self, network: Network) -> List[int]:
+        """The network's favored tail ports, generated lazily."""
+        palette = self._palettes.get(network.network_id)
+        if palette is None:
+            n_top = len(TOP_PORT_TABLE)
+            size = self.rng.randint(3, 20)
+            palette = []
+            for _ in range(size):
+                rank = self.port_model.sample_rank(self.rng)
+                if rank <= n_top:
+                    rank += n_top  # shift into the tail, preserving decay
+                port, _fixed = self.port_model.port_for_rank(rank)
+                palette.append(port)
+            self._palettes[network.network_id] = palette
+        return palette
+
+    def _claim_binding(self, kind: str, port: int) -> Tuple[int, int]:
+        """Find an unused (ip, port) binding, redrawing on collision."""
+        for attempt in range(256):
+            ip_index = self._pick_ip(kind, colocate=attempt == 0)
+            if (ip_index, port) not in self._used_bindings:
+                self._used_bindings.add((ip_index, port))
+                return ip_index, port
+        # Dense port in a small space: fall back to any network kind.
+        for _ in range(256):
+            network = self.rng.choice(self.topology.networks)
+            ip_index = network.start + self.rng.randrange(network.size)
+            if (ip_index, port) not in self._used_bindings:
+                self._used_bindings.add((ip_index, port))
+                return ip_index, port
+        raise RuntimeError("address space exhausted; enlarge the topology")
+
+    def _claim_in_network(self, network: Network, port: int) -> Tuple[int, int]:
+        """Claim a binding within one specific network (lease moves)."""
+        for _ in range(256):
+            ip_index = network.start + self.rng.randrange(network.size)
+            if (ip_index, port) not in self._used_bindings:
+                self._used_bindings.add((ip_index, port))
+                return ip_index, port
+        return self._claim_binding(network.kind, port)
+
+    # -- stationary processes --------------------------------------------
+
+    def _stationary_births(self, population: int, mean_life: float) -> List[Tuple[float, float]]:
+        """(birth, lifetime) pairs for a stationary M/M/inf category."""
+        cfg = self.config
+        events: List[Tuple[float, float]] = []
+        for _ in range(population):
+            # Initial population: memoryless residual lifetime.
+            events.append((cfg.t_start, self.rng.expovariate(1.0 / mean_life)))
+        span = cfg.t_end - cfg.t_start
+        expected_births = population / mean_life * span
+        births = _poisson(self.rng, expected_births)
+        for _ in range(births):
+            birth = cfg.t_start + self.rng.random() * span
+            events.append((birth, self.rng.expovariate(1.0 / mean_life)))
+        return events
+
+    # -- generation steps -------------------------------------------------
+
+    def generate(self) -> Workload:
+        self._generate_ordinary_services()
+        self._generate_ics_services()
+        self._generate_phantoms()
+        self._generate_pseudo_hosts()
+        self._assign_web_properties()
+        self._build_tls_profiles()
+        self.instances.sort(key=lambda inst: inst.instance_id)
+        return Workload(
+            config=self.config,
+            instances=self.instances,
+            pseudo_hosts=self.pseudo_hosts,
+            web_properties=self.web_properties,
+            port_model=self.port_model,
+        )
+
+    def _generate_ordinary_services(self) -> None:
+        target = self.config.services_target
+        for kind, share in _SERVICE_KIND_SHARES.items():
+            for weight, mean_life in _LIFETIME_COMPONENTS[kind]:
+                population = max(1, round(target * share * weight))
+                for birth, lifetime in self._stationary_births(population, mean_life):
+                    self._emit_service(kind, birth, lifetime)
+
+    def _emit_service(self, kind: str, birth: float, lifetime: float) -> None:
+        assignment = self.port_model.sample(self.rng)
+        # Anchor the device in one network; diffused (tail-port) services
+        # usually follow their operator's deployment pattern — the network
+        # port palette — which is what predictive scanning can learn.
+        first_ip = self._pick_ip(kind)
+        network = self.topology.network_of(first_ip)
+        port = assignment.port
+        if assignment.rank > len(TOP_PORT_TABLE) and self.rng.random() < self.config.palette_rate:
+            port = self.rng.choice(self._palette(network))
+        spec = self.registry.get(assignment.protocol)
+        profile = spec.make_profile(self.rng)
+        device_id = self._next_device_id()
+        death = birth + lifetime
+        lease_mean = _LEASE_MEANS.get(kind)
+        intervals: List[Tuple[float, float, Optional[Tuple[int, int]]]]
+        if lease_mean is not None:
+            # The device moves address within its network at each lease.
+            intervals = [(b, d, None) for b, d in self._lease_intervals(birth, death, lease_mean)]
+        elif self.rng.random() < self.config.flap_rate:
+            binding = self._claim_in_network_or_first(network, first_ip, port)
+            intervals = [(b, d, binding) for b, d in self._flap_intervals(birth, death)]
+        else:
+            intervals = [(birth, death, self._claim_in_network_or_first(network, first_ip, port))]
+        for b, d, binding in intervals:
+            if binding is None:
+                ip_index, bound_port = self._claim_in_network(network, port)
+            else:
+                ip_index, bound_port = binding
+            instance = ServiceInstance(
+                instance_id=self._next_instance_id(),
+                ip_index=ip_index,
+                port=bound_port,
+                transport=assignment.transport,
+                protocol=assignment.protocol,
+                profile=profile,
+                birth=b,
+                death=d,
+                device_id=device_id,
+            )
+            self.instances.append(instance)
+            # C2 panels front their traffic with TLS regardless of port
+            # (that is what makes JA4S pivoting work for threat hunters).
+            if assignment.tls or profile.attributes.get("is_c2"):
+                self._tls_pending.append(instance)
+
+    def _claim_in_network_or_first(
+        self, network: Network, first_ip: int, port: int
+    ) -> Tuple[int, int]:
+        """Prefer the already-picked address (keeps co-location working)."""
+        if (first_ip, port) not in self._used_bindings:
+            self._used_bindings.add((first_ip, port))
+            return first_ip, port
+        return self._claim_in_network(network, port)
+
+    def _lease_intervals(self, birth: float, death: float, lease_mean: float) -> List[Tuple[float, float]]:
+        """Split a device lifetime into address-lease windows."""
+        intervals = []
+        t = birth
+        while t < death:
+            lease = self.rng.expovariate(1.0 / lease_mean)
+            intervals.append((t, min(t + lease, death)))
+            t += lease
+        return intervals
+
+    def _flap_intervals(self, birth: float, death: float) -> List[Tuple[float, float]]:
+        """Split a lifetime into 2–3 on-periods with off-gaps (same binding)."""
+        pieces = self.rng.randint(2, 3)
+        span = death - birth
+        if not math.isfinite(span) or span <= 2.0:
+            return [(birth, death)]
+        intervals = []
+        t = birth
+        for i in range(pieces):
+            on = span / pieces * self.rng.uniform(0.5, 0.9)
+            intervals.append((t, min(t + on, death)))
+            gap = self.rng.uniform(0.5 * DAY, 6 * DAY)
+            t = intervals[-1][1] + gap
+            if t >= death:
+                break
+        return intervals
+
+    def _generate_ics_services(self) -> None:
+        mean_life = 80 * DAY
+        scale = self.config.ics_scale
+        if scale is None:
+            scale = self.config.services_target / 20_000
+        for protocol, base_count in DEFAULT_ICS_COUNTS.items():
+            if protocol not in self.registry:
+                continue
+            spec = self.registry.get(protocol)
+            population = max(3, round(base_count * scale))
+            for birth, lifetime in self._stationary_births(population, mean_life):
+                kind = NetworkKind.MOBILE if self.rng.random() < 0.15 else NetworkKind.BUSINESS
+                if spec.default_ports and self.rng.random() < 0.55:
+                    port = spec.default_ports[0]
+                else:
+                    port = self.rng.randrange(10_000, 65_536)
+                profile = spec.make_profile(self.rng)
+                device_id = self._next_device_id()
+                death = birth + lifetime
+                # LTE/5G-connected control systems churn addresses, but on
+                # CGNAT lease timescales, not handset timescales.
+                if kind == NetworkKind.MOBILE:
+                    windows = self._lease_intervals(birth, death, 15 * DAY)
+                else:
+                    windows = [(birth, death)]
+                for b, d in windows:
+                    ip_index, bound_port = self._claim_binding(kind, port)
+                    self.instances.append(
+                        ServiceInstance(
+                            instance_id=self._next_instance_id(),
+                            ip_index=ip_index,
+                            port=bound_port,
+                            transport=spec.transport,
+                            protocol=protocol,
+                            profile=profile,
+                            birth=b,
+                            death=d,
+                            device_id=device_id,
+                        )
+                    )
+
+    def _generate_phantoms(self) -> None:
+        """L4-responsive endpoints exposing no application service."""
+        population = round(self.config.services_target * self.config.phantom_rate)
+        if population <= 0:
+            return
+        mean_life = 30 * DAY
+        for birth, lifetime in self._stationary_births(population, mean_life):
+            kind = self.rng.choice([NetworkKind.BUSINESS, NetworkKind.HOSTING, NetworkKind.CLOUD])
+            port = self.rng.randrange(1, 65_536)
+            ip_index, port = self._claim_binding(kind, port)
+            self.instances.append(
+                ServiceInstance(
+                    instance_id=self._next_instance_id(),
+                    ip_index=ip_index,
+                    port=port,
+                    transport="tcp",
+                    protocol="NONE",
+                    profile=ServerProfile(protocol="NONE", software=("", "", "")),
+                    birth=birth,
+                    death=birth + lifetime,
+                    device_id=self._next_device_id(),
+                )
+            )
+
+    def _generate_pseudo_hosts(self) -> None:
+        count = self.config.pseudo_host_count
+        if count is None:
+            count = max(3, self.config.services_target // 500)
+        for i in range(count):
+            kind = self.rng.choice([NetworkKind.BUSINESS, NetworkKind.RESIDENTIAL])
+            ip_index = self._pick_ip(kind)
+            self.pseudo_hosts.append(
+                PseudoHost(
+                    pseudo_id=i,
+                    ip_index=ip_index,
+                    birth=self.config.t_start,
+                    death=INFINITY,
+                    banner=self.rng.choice(["\\x05\\x00", "ECHO", "\\x00\\x00\\x00\\x01"]),
+                )
+            )
+
+    def _assign_web_properties(self) -> None:
+        count = self.config.web_property_count
+        if count is None:
+            count = max(4, self.config.services_target // 12)
+        # Front web properties on TLS-enabled HTTP services in stable kinds.
+        candidates = [
+            inst
+            for inst in self._tls_pending
+            if inst.protocol == "HTTP"
+            and self.topology.network_of(inst.ip_index).kind
+            in (NetworkKind.CLOUD, NetworkKind.HOSTING, NetworkKind.BUSINESS)
+        ]
+        if not candidates:
+            return
+        for i in range(count):
+            front = self.rng.choice(candidates)
+            name = f"www.site-{i:05d}.example.com"
+            is_phishing = self.rng.random() < 0.03
+            impersonates = None
+            title = f"Site {i}"
+            if is_phishing:
+                impersonates = self.rng.choice(["examplebank", "megacorp", "trustpay"])
+                name = f"{impersonates}-login.site-{i:05d}.example.com"
+                title = f"{impersonates.title()} Sign In"
+            vhosts = front.profile.attributes.setdefault("vhosts", {})
+            vhosts[name] = {
+                "html_title": title,
+                "status": 200,
+                "body_keywords": ("login",) if is_phishing else (),
+            }
+            self.web_properties.append(
+                WebProperty(
+                    name=name,
+                    device_id=front.device_id,
+                    in_ct_log=self.rng.random() < 0.85,
+                    in_passive_dns=self.rng.random() < 0.60,
+                    via_redirect=self.rng.random() < 0.15,
+                    published_at=max(front.birth, self.config.t_start),
+                    page_title=title,
+                    is_phishing=is_phishing,
+                    impersonates=impersonates,
+                )
+            )
+
+    def _build_tls_profiles(self) -> None:
+        """Attach certificates once vhost names are final (one per device)."""
+        by_device: Dict[int, TlsEndpointProfile] = {}
+        names_by_device: Dict[int, List[str]] = {}
+        for prop in self.web_properties:
+            names_by_device.setdefault(prop.device_id, []).append(prop.name)
+        for inst in self._tls_pending:
+            tls = by_device.get(inst.device_id)
+            if tls is None:
+                names = tuple(
+                    names_by_device.get(inst.device_id, [f"host-{inst.device_id}.example.net"])
+                )
+                self_signed = self.rng.random() < 0.25
+                sha = hashlib.sha256(
+                    f"cert:{inst.device_id}:{','.join(names)}".encode()
+                ).hexdigest()
+                tls = TlsEndpointProfile(
+                    certificate_sha256=sha,
+                    subject_names=names,
+                    ja4s=make_ja4s(inst.profile.software),
+                    self_signed=self_signed,
+                )
+                by_device[inst.device_id] = tls
+            inst.profile.tls = tls
+
+
+def generate_workload(
+    topology: Topology,
+    config: WorkloadConfig | None = None,
+    registry: ProtocolRegistry | None = None,
+) -> Workload:
+    """Generate the ground-truth population for a topology."""
+    return _Generator(topology, config or WorkloadConfig(), registry or default_registry()).generate()
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Poisson sample (normal approximation above 1e3 for speed)."""
+    if mean <= 0:
+        return 0
+    if mean > 1000:
+        return max(0, round(rng.gauss(mean, math.sqrt(mean))))
+    # Knuth's method.
+    threshold = math.exp(-mean)
+    count, product = 0, rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count

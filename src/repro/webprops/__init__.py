@@ -1,0 +1,6 @@
+"""Name-addressed web properties: discovery feeds and HTTP(S) scanning."""
+
+from repro.webprops.discovery import DiscoveredName, NameFeed
+from repro.webprops.scanner import WebPropertyScanner, web_entity_id
+
+__all__ = ["DiscoveredName", "NameFeed", "WebPropertyScanner", "web_entity_id"]

@@ -1,0 +1,88 @@
+"""Web-property name discovery.
+
+Censys learns names to scan from public CT logs, HTTP redirects, and
+third-party passive DNS subscriptions.  :class:`NameFeed` merges the three
+sources into one incremental stream of (name, discovered-at) pairs; a name
+missing from every source is simply never scanned (a genuine coverage gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.certs.ct import CtLog
+from repro.net.cyclic import _mix64
+from repro.simnet.clock import DAY
+from repro.simnet.workload import Workload
+
+__all__ = ["DiscoveredName", "NameFeed"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveredName:
+    name: str
+    source: str           # "ct" | "passive_dns" | "redirect"
+    discovered_at: float
+
+
+class NameFeed:
+    """Merged, incremental name discovery across the three sources."""
+
+    #: Passive DNS providers batch and resell data with a lag.
+    PASSIVE_DNS_MIN_LAG = 2 * DAY
+    PASSIVE_DNS_MAX_LAG = 10 * DAY
+    #: Redirects surface once the fronting IP service has been scanned; we
+    #: approximate that with a short fixed lag after publication.
+    REDIRECT_LAG = 1 * DAY
+
+    def __init__(self, workload: Workload, ct_log: Optional[CtLog] = None, seed: int = 0) -> None:
+        self.ct_log = ct_log
+        self._seed = seed
+        self._ct_cursor = 0
+        self._emitted: set = set()
+        #: Non-CT sources precomputed as a sorted schedule.
+        self._scheduled: List[DiscoveredName] = []
+        for prop in workload.web_properties:
+            if prop.in_passive_dns:
+                lag = self.PASSIVE_DNS_MIN_LAG + (
+                    _mix64(seed ^ hash(prop.name) & 0xFFFFFFFF)
+                    % int(self.PASSIVE_DNS_MAX_LAG - self.PASSIVE_DNS_MIN_LAG)
+                )
+                self._scheduled.append(
+                    DiscoveredName(prop.name, "passive_dns", prop.published_at + lag)
+                )
+            if prop.via_redirect:
+                self._scheduled.append(
+                    DiscoveredName(prop.name, "redirect", prop.published_at + self.REDIRECT_LAG)
+                )
+        self._scheduled.sort(key=lambda d: d.discovered_at)
+        self._schedule_cursor = 0
+
+    def poll(self, now: float) -> List[DiscoveredName]:
+        """Names newly discoverable since the previous poll."""
+        fresh: List[DiscoveredName] = []
+        if self.ct_log is not None:
+            entries = self.ct_log.poll(self._ct_cursor, until_time=now)
+            for entry in entries:
+                for name in entry.certificate.subject_names:
+                    if name.startswith("*.") or name in self._emitted:
+                        continue
+                    self._emitted.add(name)
+                    fresh.append(DiscoveredName(name, "ct", entry.timestamp))
+            if entries:
+                self._ct_cursor = entries[-1].index + 1
+        while (
+            self._schedule_cursor < len(self._scheduled)
+            and self._scheduled[self._schedule_cursor].discovered_at <= now
+        ):
+            item = self._scheduled[self._schedule_cursor]
+            self._schedule_cursor += 1
+            if item.name not in self._emitted:
+                self._emitted.add(item.name)
+                fresh.append(item)
+        return fresh
+
+    @property
+    def discovered_count(self) -> int:
+        return len(self._emitted)

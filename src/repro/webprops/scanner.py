@@ -1,0 +1,64 @@
+"""Name-based HTTP(S) scanning of web properties.
+
+A web property is fetched by name: resolve via DNS, connect to the
+fronting host with SNI/Host set to the name, complete the TLS + HTTP
+exchange, and record the page.  Properties refresh at least monthly (vs.
+daily for IP services).  The entity id is ``web:<name>`` — the 2024
+web-focused object type that replaced the (IP, Port, Name) virtual-host
+abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pipeline.write_side import ScanObservation
+from repro.protocols.interrogate import InterrogationResult, Interrogator
+from repro.simnet.internet import SimulatedInternet, Vantage
+
+__all__ = ["web_entity_id", "WebPropertyScanner"]
+
+
+def web_entity_id(name: str) -> str:
+    return f"web:{name}"
+
+
+class WebPropertyScanner:
+    """Fetches one web property by name and builds its observation."""
+
+    def __init__(self, internet: SimulatedInternet, interrogator: Interrogator, scanner_id: str = "") -> None:
+        self.internet = internet
+        self.interrogator = interrogator
+        self.scanner_id = scanner_id
+        self.scans = 0
+        self.failures = 0
+
+    def scan(self, name: str, time: float, vantage: Vantage) -> ScanObservation:
+        """Scan a name; a failed resolve/connect yields a failure observation."""
+        self.scans += 1
+        resolved = self.internet.resolve_name(name, time)
+        port = resolved[1] if resolved else 443
+        conn = None
+        if resolved is not None:
+            conn = self.internet.connect(
+                resolved[0], resolved[1], time, vantage,
+                scanner=self.scanner_id, sni=name,
+            )
+        if conn is None:
+            self.failures += 1
+            result = InterrogationResult(port=port, transport="tcp", success=False)
+        else:
+            result = self.interrogator.interrogate(conn)
+            if result.success and result.record is not None:
+                result.record["web.name"] = name
+                if resolved is not None:
+                    result.record["web.fronting_ip_index"] = resolved[0]
+        return ScanObservation(
+            entity_id=web_entity_id(name),
+            time=time,
+            port=port,
+            transport="tcp",
+            result=result,
+            source="name",
+        )

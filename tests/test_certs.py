@@ -1,0 +1,272 @@
+"""Tests for the certificate subsystem."""
+
+import pytest
+
+from repro.certs import (
+    CaWorld,
+    Certificate,
+    CertificateProcessor,
+    CertificateValidator,
+    CrlRegistry,
+    CtLog,
+    cert_entity_id,
+    cert_fingerprint,
+    lint_certificate,
+)
+from repro.pipeline import EventJournal
+from repro.protocols.base import TlsEndpointProfile
+from repro.simnet.clock import DAY
+
+
+@pytest.fixture
+def world():
+    return CaWorld()
+
+
+class TestCertificateModel:
+    def test_validity_window(self):
+        cert = Certificate(
+            sha256="00" * 32, serial=5, subject_cn="a.example",
+            subject_names=("a.example",), issuer_id="k", issuer_cn="CA",
+            not_before=0.0, not_after=90 * DAY,
+        )
+        assert cert.valid_at(10 * DAY)
+        assert not cert.valid_at(-1.0)
+        assert not cert.valid_at(91 * DAY)
+        assert cert.validity_days == 90
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            Certificate(
+                sha256="00" * 32, serial=1, subject_cn="", subject_names=(),
+                issuer_id="k", issuer_cn="", not_before=5.0, not_after=5.0,
+            )
+
+    def test_name_matching_with_wildcards(self):
+        cert = Certificate(
+            sha256="11" * 32, serial=1, subject_cn="*.example.com",
+            subject_names=("*.example.com", "example.com"),
+            issuer_id="k", issuer_cn="CA", not_before=0.0, not_after=DAY,
+        )
+        assert cert.covers_name("www.example.com")
+        assert cert.covers_name("example.com")
+        assert not cert.covers_name("a.b.example.com")
+        assert not cert.covers_name("other.org")
+
+    def test_fingerprint_stability(self):
+        assert cert_fingerprint("a", "b") == cert_fingerprint("a", "b")
+        assert cert_fingerprint("a", "b") != cert_fingerprint("a", "c")
+
+
+class TestCaWorldAndValidation:
+    def test_issued_leaf_validates_in_root_stores(self, world):
+        leaf = world.issue(("shop.example",), not_before=0.0, ca="lets-trust")
+        result = CertificateValidator(world).validate(leaf, at=10 * DAY)
+        assert result.trusted_anywhere
+        assert "mozilla" in result.valid_in
+        assert result.chain_length == 3
+        assert not result.errors
+
+    def test_budget_ca_not_in_microsoft_store(self, world):
+        leaf = world.issue(("a.example",), not_before=0.0, ca="budget-ca")
+        result = CertificateValidator(world).validate(leaf, at=DAY)
+        assert "mozilla" in result.valid_in
+        assert "microsoft" not in result.valid_in
+
+    def test_shady_ca_untrusted(self, world):
+        leaf = world.issue(("victim.example",), not_before=0.0, ca="shady-ca")
+        result = CertificateValidator(world).validate(leaf, at=DAY)
+        assert not result.trusted_anywhere
+        assert "untrusted-root" in result.errors
+
+    def test_expired_leaf(self, world):
+        leaf = world.issue(("old.example",), not_before=0.0, ca="lets-trust")
+        result = CertificateValidator(world).validate(leaf, at=91 * DAY)
+        assert "expired" in result.errors
+        assert not result.trusted_anywhere
+
+    def test_self_signed_untrusted_but_chain_ok(self, world):
+        cert = world.self_signed(("dev.local",), not_before=0.0)
+        result = CertificateValidator(world).validate(cert, at=DAY)
+        assert result.chain_length == 1
+        assert "untrusted-root" in result.errors
+
+    def test_revocation(self, world):
+        crl = CrlRegistry()
+        leaf = world.issue(("r.example",), not_before=0.0)
+        validator = CertificateValidator(world, crl)
+        assert not validator.validate(leaf, at=DAY).revoked
+        crl.revoke(leaf.issuer_id, leaf.serial, at=2 * DAY)
+        assert not validator.validate(leaf, at=1.5 * DAY).revoked  # before revocation
+        after = validator.validate(leaf, at=3 * DAY)
+        assert after.revoked
+        assert not after.trusted_anywhere
+
+    def test_unknown_issuer(self, world):
+        orphan = Certificate(
+            sha256="22" * 32, serial=9, subject_cn="x", subject_names=("x",),
+            issuer_id="no-such-key", issuer_cn="?", not_before=0.0, not_after=DAY,
+        )
+        result = CertificateValidator(world).validate(orphan, at=0.5)
+        assert "unknown-issuer" in result.errors
+
+    def test_tls_profile_reconstruction_deterministic(self, world):
+        tls = TlsEndpointProfile(
+            certificate_sha256="ab" * 32, subject_names=("w.example",), ja4s="x",
+        )
+        a = world.certificate_for_tls_profile(tls, observed_at=100.0)
+        b = world.certificate_for_tls_profile(tls, observed_at=100.0)
+        assert a.sha256 == b.sha256 == "ab" * 32
+        assert a.issuer_cn == b.issuer_cn
+
+    def test_tls_profile_self_signed(self, world):
+        tls = TlsEndpointProfile(
+            certificate_sha256="cd" * 32, subject_names=("s.example",), ja4s="x",
+            self_signed=True,
+        )
+        cert = world.certificate_for_tls_profile(tls, observed_at=0.0)
+        assert cert.self_signed
+        assert cert.sha256 == "cd" * 32
+
+
+class TestLinting:
+    def test_clean_leaf_has_no_errors(self, world):
+        leaf = world.issue(("ok.example",), not_before=0.0, ca="lets-trust")
+        assert [f for f in lint_certificate(leaf) if f.startswith("e_")] == []
+
+    def test_long_validity_flagged(self, world):
+        leaf = world.issue(("long.example",), not_before=0.0, ca="budget-ca")
+        assert "e_validity_too_long" in lint_certificate(leaf)
+
+    def test_missing_san(self):
+        cert = Certificate(
+            sha256="33" * 32, serial=1, subject_cn="cn-only.example",
+            subject_names=(), issuer_id="k", issuer_cn="CA",
+            not_before=0.0, not_after=DAY,
+        )
+        assert "e_missing_san" in lint_certificate(cert)
+
+    def test_bad_wildcard(self):
+        cert = Certificate(
+            sha256="44" * 32, serial=1, subject_cn="w",
+            subject_names=("foo.*.example",), issuer_id="k", issuer_cn="CA",
+            not_before=0.0, not_after=DAY,
+        )
+        assert "e_bad_wildcard" in lint_certificate(cert)
+
+    def test_weak_rsa(self):
+        cert = Certificate(
+            sha256="55" * 32, serial=1, subject_cn="w", subject_names=("w",),
+            issuer_id="k", issuer_cn="CA", not_before=0.0, not_after=DAY,
+            key_type="rsa", key_bits=1024,
+        )
+        assert "e_weak_rsa_key" in lint_certificate(cert)
+
+    def test_ca_certs_not_linted(self, world):
+        assert lint_certificate(world.roots["lets-trust"]) == []
+
+
+class TestCtLog:
+    def test_append_and_poll(self, world):
+        log = CtLog()
+        a = world.issue(("a.example",), 0.0)
+        b = world.issue(("b.example",), 0.0)
+        log.submit(a, 1.0)
+        log.submit(b, 2.0)
+        assert log.size == 2
+        assert [e.certificate.subject_cn for e in log.poll(0)] == ["a.example", "b.example"]
+        assert [e.certificate.subject_cn for e in log.poll(1)] == ["b.example"]
+
+    def test_duplicate_submission_ignored(self, world):
+        log = CtLog()
+        cert = world.issue(("dup.example",), 0.0)
+        assert log.submit(cert, 1.0) is not None
+        assert log.submit(cert, 2.0) is None
+        assert log.size == 1
+
+    def test_timestamp_monotonicity(self, world):
+        log = CtLog()
+        log.submit(world.issue(("a.example",), 0.0), 5.0)
+        with pytest.raises(ValueError):
+            log.submit(world.issue(("b.example",), 0.0), 4.0)
+
+    def test_names_seen_excludes_wildcards(self, world):
+        log = CtLog()
+        log.submit(world.issue(("*.wild.example", "apex.example"), 0.0), 1.0)
+        names = dict(log.names_seen())
+        assert "apex.example" in names
+        assert "*.wild.example" not in names
+
+    def test_poll_until_time(self, world):
+        log = CtLog()
+        log.submit(world.issue(("a.example",), 0.0), 1.0)
+        log.submit(world.issue(("b.example",), 0.0), 10.0)
+        assert len(log.poll(0, until_time=5.0)) == 1
+
+
+class TestCertificateProcessor:
+    def test_scan_observation_journals_entity(self, world):
+        journal = EventJournal()
+        proc = CertificateProcessor(journal, world)
+        message = {
+            "time": 5.0,
+            "record": {
+                "tls.certificate_sha256": "ee" * 32,
+                "tls.subject_names": ("site.example",),
+                "tls.ja4s": "t13dxxxx",
+                "tls.self_signed": False,
+            },
+        }
+        proc.observe_tls_scan(message)
+        assert proc.known_count == 1
+        state = journal.reconstruct(cert_entity_id("ee" * 32))
+        assert state["meta"]["subject_names"] == ["site.example"]
+        assert "validation" in state["meta"]
+
+    def test_duplicate_scans_processed_once(self, world):
+        journal = EventJournal()
+        proc = CertificateProcessor(journal, world)
+        message = {
+            "time": 5.0,
+            "record": {"tls.certificate_sha256": "ff" * 32, "tls.subject_names": ("x",)},
+        }
+        proc.observe_tls_scan(message)
+        proc.observe_tls_scan(dict(message, time=9.0))
+        assert proc.processed == 1
+
+    def test_non_tls_message_ignored(self, world):
+        proc = CertificateProcessor(EventJournal(), world)
+        proc.observe_tls_scan({"time": 0.0, "record": {"http.status": 200}})
+        assert proc.known_count == 0
+
+    def test_ct_polling_ingests_incrementally(self, world):
+        log = CtLog()
+        journal = EventJournal()
+        proc = CertificateProcessor(journal, world, ct_log=log)
+        log.submit(world.issue(("a.example",), 0.0), 1.0)
+        assert proc.poll_ct(now=2.0) == 1
+        assert proc.poll_ct(now=3.0) == 0
+        log.submit(world.issue(("b.example",), 0.0), 4.0)
+        assert proc.poll_ct(now=5.0) == 1
+        assert proc.known_count == 2
+
+    def test_revalidation_flags_newly_expired(self, world):
+        journal = EventJournal()
+        proc = CertificateProcessor(journal, world)
+        leaf = world.issue(("exp.example",), not_before=0.0, ca="lets-trust")
+        proc.observe_certificate(leaf, time=1.0, source="ct")
+        entity = cert_entity_id(leaf.sha256)
+        assert journal.reconstruct(entity)["meta"]["validation"]["errors"] == []
+        proc.revalidate_all(now=91 * DAY)
+        assert "expired" in journal.reconstruct(entity)["meta"]["validation"]["errors"]
+
+    def test_revalidation_flags_revocation(self, world):
+        journal = EventJournal()
+        crl = CrlRegistry()
+        proc = CertificateProcessor(journal, world, crl=crl)
+        leaf = world.issue(("rev.example",), not_before=0.0)
+        proc.observe_certificate(leaf, time=1.0, source="scan")
+        crl.revoke(leaf.issuer_id, leaf.serial, at=2.0)
+        proc.revalidate_all(now=3.0)
+        state = journal.reconstruct(cert_entity_id(leaf.sha256))
+        assert state["meta"]["revoked"]

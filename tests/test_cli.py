@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.bits == 14
+        assert args.days == 10.0
+
+    def test_eval_choices(self):
+        args = build_parser().parse_args(["eval", "table2"])
+        assert args.experiment == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eval", "table9"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "protocols implemented: " in out
+        assert "shodan" in out
+
+    def test_run_with_query_and_export(self, capsys, tmp_path):
+        export = tmp_path / "map.jsonl"
+        code = main([
+            "run", "--bits", "12", "--services", "150", "--days", "3",
+            "--tick", "8", "--seed", "5",
+            "--query", "services.service_name: HTTP", "--limit", "2",
+            "--export", str(export),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ground_truth_live_services" in out
+        assert export.exists()
+        first = json.loads(export.read_text().splitlines()[0])
+        assert "entity_id" in first
+
+    def test_eval_table2_small(self, capsys):
+        code = main([
+            "eval", "table2", "--bits", "12", "--services", "200",
+            "--days", "8", "--tick", "12", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "censys" in out

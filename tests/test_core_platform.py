@@ -1,0 +1,154 @@
+"""Integration tests for the Censys platform and the refresh scheduler."""
+
+import math
+
+import pytest
+
+from repro.core import CensysPlatform, PlatformConfig, RefreshScheduler
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+
+@pytest.fixture(scope="module")
+def platform():
+    net = build_simnet(
+        bits=13,
+        workload_config=WorkloadConfig(seed=6, services_target=500, t_start=-12 * DAY, t_end=10 * DAY),
+        seed=6,
+    )
+    plat = CensysPlatform(net, PlatformConfig(predictive_daily_budget=500, seed=6), start_time=-12 * DAY)
+    plat.run_until(0.0, tick_hours=6.0)
+    return plat
+
+
+class TestRefreshScheduler:
+    def test_service_seen_schedules_refresh(self):
+        sched = RefreshScheduler(refresh_interval=24.0)
+        sched.service_seen("host:x", 1, 80, "tcp", "HTTP", time=0.0)
+        assert sched.due_refreshes(now=23.0) == []
+        due = sched.due_refreshes(now=24.5)
+        assert len(due) == 1 and due[0].protocol == "HTTP"
+
+    def test_failure_stages_and_schedules_retry(self):
+        sched = RefreshScheduler(retry_spacing=8.0)
+        sched.service_seen("host:x", 1, 80, "tcp", "HTTP", time=0.0)
+        sched.refresh_failed(1, 80, "tcp", pop="chicago", time=24.0)
+        known = sched.known(1, 80, "tcp")
+        assert known.pending_since == 24.0
+        assert known.next_refresh == 32.0
+        assert sched.untried_pop(1, 80, "tcp", ["chicago", "frankfurt"]) == "frankfurt"
+
+    def test_success_clears_staging(self):
+        sched = RefreshScheduler()
+        sched.service_seen("host:x", 1, 80, "tcp", "HTTP", time=0.0)
+        sched.refresh_failed(1, 80, "tcp", pop="chicago", time=24.0)
+        sched.service_seen("host:x", 1, 80, "tcp", "HTTP", time=30.0)
+        known = sched.known(1, 80, "tcp")
+        assert known.pending_since is None
+        assert known.failed_pops == []
+
+    def test_eviction_after_window(self):
+        sched = RefreshScheduler(eviction_after=72.0)
+        sched.service_seen("host:x", 1, 80, "tcp", "HTTP", time=0.0)
+        sched.refresh_failed(1, 80, "tcp", pop="a", time=10.0)
+        assert sched.due_evictions(now=81.0) == []
+        due = sched.due_evictions(now=83.0)
+        assert len(due) == 1
+
+    def test_forget(self):
+        sched = RefreshScheduler()
+        sched.service_seen("host:x", 1, 80, "tcp", "HTTP", time=0.0)
+        assert sched.forget(1, 80, "tcp") is not None
+        assert sched.tracked_count == 0
+
+
+class TestPlatformEndToEnd:
+    def test_finds_most_priority_port_services(self, platform):
+        net = platform.internet
+        top10 = set(net.workload.port_model.top_ports(10))
+        alive = [
+            i for i in net.services_alive_at(0.0)
+            if i.port in top10 and i.birth < -2 * DAY
+        ]
+        found = 0
+        for inst in alive:
+            doc = platform.index.get(platform.entity_for_ip(inst.ip_index))
+            if doc and inst.port in doc.get("services.port", []):
+                found += 1
+        assert found / max(1, len(alive)) > 0.85
+
+    def test_lookup_host_returns_enriched_view(self, platform):
+        net = platform.internet
+        inst = next(
+            i for i in net.services_alive_at(0.0)
+            if i.port in set(net.workload.port_model.top_ports(10))
+            and i.birth < -3 * DAY and i.transport == "tcp"
+        )
+        view = platform.lookup_host(inst.ip_index)
+        assert view["derived"].get("location")
+        assert view["derived"].get("autonomous_system")
+
+    def test_point_in_time_lookup_consistent(self, platform):
+        entity_ids = [e for e in platform.journal.entity_ids() if e.startswith("host:")]
+        entity = entity_ids[0]
+        past = platform.read_side.lookup(entity, at=-6 * DAY)
+        present = platform.read_side.lookup(entity)
+        assert past["entity_id"] == present["entity_id"]
+
+    def test_search_round_trip(self, platform):
+        hits = platform.search("services.service_name: HTTP")
+        assert hits
+        doc = platform.index.get(hits[0])
+        assert "HTTP" in doc["services.service_name"]
+
+    def test_stale_services_evicted(self, platform):
+        """No served service's last check is older than ~eviction window."""
+        for entity_id in list(platform.journal.entity_ids()):
+            if not entity_id.startswith("host:"):
+                continue
+            state = platform.journal.peek_current(entity_id)
+            if state["meta"].get("pseudo_host"):
+                continue  # filtered hosts are not served at all
+            for service in state["services"].values():
+                age = platform.clock.now - service.get("last_checked", 0.0)
+                assert age <= 4 * DAY + 1
+
+    def test_certificates_flow_into_journal(self, platform):
+        assert platform.cert_processor.known_count > 0
+        cert_entities = [
+            e for e in platform.journal.entity_ids() if e.startswith("cert:")
+        ]
+        assert cert_entities
+        state = platform.journal.reconstruct(cert_entities[0])
+        assert "validation" in state["meta"]
+
+    def test_web_properties_scanned(self, platform):
+        assert platform.web_scanner.scans > 0
+        web_entities = [e for e in platform.journal.entity_ids() if e.startswith("web:")]
+        assert web_entities
+
+    def test_user_scan_request_high_priority(self, platform):
+        net = platform.internet
+        inst = next(i for i in net.services_alive_at(platform.clock.now) if i.transport == "tcp")
+        platform.request_scan(inst.ip_index, inst.port)
+        platform.tick(1.0)
+        state = platform.journal.peek_current(platform.entity_for_ip(inst.ip_index))
+        # either it was already known or the user request created it
+        assert state["services"] or net.pseudo_at(inst.ip_index, platform.clock.now)
+
+    def test_analytics_snapshot(self, platform):
+        count = platform.snapshot_now()
+        assert count == len(platform.index)
+        assert platform.analytics.snapshot_count >= 1
+
+    def test_journal_storage_is_delta_dominated(self, platform):
+        stats = platform.journal.stats
+        assert stats.events > 0
+        # average event must stay small: deltas, not full records
+        assert stats.event_bytes / stats.events < 400
+
+    def test_pseudo_hosts_not_served(self, platform):
+        for pseudo in platform.internet.workload.pseudo_hosts:
+            entity = platform.entity_for_ip(pseudo.ip_index)
+            if platform.journal.has_entity(entity):
+                view = platform.read_side.lookup(entity)
+                assert view["services"] == {}

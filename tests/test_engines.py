@@ -1,0 +1,159 @@
+"""Tests for baseline engines, keyword labeling, and the Censys harness."""
+
+import pytest
+
+from repro.engines import (
+    BaselineEngine,
+    BaselinePolicy,
+    CensysHarness,
+    KeywordLabeler,
+    KeywordRule,
+    fofa_policy,
+    make_baseline_engines,
+    netlas_policy,
+    shodan_policy,
+    zoomeye_policy,
+)
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_simnet(
+        bits=13,
+        workload_config=WorkloadConfig(seed=8, services_target=500, t_start=-40 * DAY, t_end=5 * DAY),
+        seed=8,
+    )
+
+
+@pytest.fixture(scope="module")
+def shodan(net):
+    engine = BaselineEngine(net, shodan_policy())
+    engine.run_until(-40 * DAY, 0.0, tick_hours=12.0)
+    return engine
+
+
+class TestKeywordLabeling:
+    def test_port_rule(self):
+        labeler = KeywordLabeler([KeywordRule("MODBUS", port=502)])
+        assert labeler.label(502, {"x": "anything"}, "HTTP") == "MODBUS"
+        assert labeler.label(503, {"x": "anything"}, "HTTP") == "HTTP"
+
+    def test_loose_keyword_rule_ignores_port(self):
+        labeler = KeywordLabeler([KeywordRule("CODESYS", keywords=("operating", "system"), loose=True)])
+        record = {"http.body_keywords": ("operating", "system", "uptime")}
+        assert labeler.label(8080, record, "HTTP") == "CODESYS"
+
+    def test_anchored_keyword_rule_requires_port(self):
+        labeler = KeywordLabeler([KeywordRule("FOX", keywords=("fox",), port=1911)])
+        record = {"banner": "fox version 1.0"}
+        assert labeler.label(1911, record, None) == "FOX"
+        assert labeler.label(1912, record, None) is None
+
+    def test_first_match_wins(self):
+        labeler = KeywordLabeler(
+            [
+                KeywordRule("ATG", keywords=("tank",), loose=True),
+                KeywordRule("CODESYS", keywords=("tank", "system"), loose=True),
+            ]
+        )
+        assert labeler.label(80, {"k": "tank system"}, "HTTP") == "ATG"
+
+    def test_case_insensitive(self):
+        labeler = KeywordLabeler([KeywordRule("X", keywords=("vxworks",), loose=True)])
+        assert labeler.label(80, {"banner": "VxWorks 6.9"}, None) == "X"
+
+
+class TestBaselineEngine:
+    def test_finds_services_on_its_ports(self, net, shodan):
+        entries = shodan.all_entries(0.0)
+        assert entries
+        ports = {e.port for e in entries}
+        assert 80 in ports
+        # Shodan's policy excludes the odd honeypot ports
+        assert 60000 not in ports and 500 not in ports
+
+    def test_eviction_by_age(self, net, shodan):
+        horizon = shodan.policy.eviction_after_hours
+        for entry in shodan.all_entries(0.0):
+            assert -entry.last_scanned <= horizon + 1e-9
+
+    def test_query_ip_matches_all_entries(self, net, shodan):
+        entries = shodan.all_entries(0.0)
+        some_ip = entries[0].ip_index
+        by_ip = shodan.query_ip(some_ip, 0.0)
+        assert {e.entry_id for e in by_ip} == {
+            e.entry_id for e in entries if e.ip_index == some_ip
+        }
+
+    def test_keyword_engine_mislabels_keyword_pages(self, net, shodan):
+        """Some HTTP services must be mislabeled as ICS (Table 4's story)."""
+        mislabeled = []
+        for label in ("ATG", "CODESYS", "EIP", "WDBRPC"):
+            for entry in shodan.query_label(label, 0.0):
+                inst = net.instance_at(entry.ip_index, entry.port, entry.last_scanned)
+                if inst is not None and inst.protocol == "HTTP":
+                    mislabeled.append(entry)
+        assert mislabeled, "expected keyword labeling to produce ICS false positives"
+
+    def test_duplicate_policy_produces_versions(self, net):
+        policy = fofa_policy()
+        engine = BaselineEngine(net, policy)
+        engine.run_until(-40 * DAY, 0.0, tick_hours=12.0)
+        entries = engine.all_entries(0.0)
+        bindings = {e.binding for e in entries}
+        assert len(entries) > len(bindings), "expected duplicate entries"
+
+    def test_junk_filter_drops_pseudo_hosts(self, net):
+        engine = BaselineEngine(net, zoomeye_policy())
+        engine.run_until(-40 * DAY, -20 * DAY, tick_hours=12.0)
+        pseudo_ips = {p.ip_index for p in net.workload.pseudo_hosts}
+        flagged = pseudo_ips & engine._junk_ips
+        assert flagged, "pseudo hosts should eventually be flagged as junk"
+        for entry in engine.all_entries(-20 * DAY):
+            assert entry.ip_index not in engine._junk_ips
+
+    def test_netlas_reports_no_ics_but_s7(self, net):
+        engine = BaselineEngine(net, netlas_policy())
+        engine.run_until(-40 * DAY, 0.0, tick_hours=12.0)
+        from repro.eval.ics import ICS_PROTOCOL_ORDER
+
+        for protocol in ICS_PROTOCOL_ORDER:
+            if protocol == "S7":
+                continue
+            assert engine.query_label(protocol, 0.0) == []
+
+    def test_make_baseline_engines(self, net):
+        engines = make_baseline_engines(net)
+        assert [e.name for e in engines] == ["shodan", "fofa", "zoomeye", "netlas"]
+
+
+class TestCensysHarness:
+    @pytest.fixture(scope="class")
+    def harness(self, net):
+        from repro.core import CensysPlatform, PlatformConfig
+
+        platform = CensysPlatform(net, PlatformConfig(seed=8, predictive_daily_budget=400), start_time=-15 * DAY)
+        platform.run_until(0.0, tick_hours=6.0)
+        return CensysHarness(platform)
+
+    def test_query_ip_round_trip(self, net, harness):
+        top = set(net.workload.port_model.top_ports(10))
+        inst = next(
+            i for i in net.services_alive_at(0.0)
+            if i.port in top and i.birth < -2 * DAY and i.transport == "tcp"
+        )
+        services = harness.query_ip(inst.ip_index, 0.0)
+        assert any(s.port == inst.port for s in services)
+
+    def test_no_duplicate_bindings(self, net, harness):
+        entries = harness.all_entries(0.0)
+        bindings = [e.binding for e in entries]
+        assert len(bindings) == len(set(bindings))
+
+    def test_query_label(self, net, harness):
+        https = harness.query_label("HTTPS", 0.0)
+        assert all(e.label == "HTTPS" for e in https)
+
+    def test_self_reported_matches_all_entries(self, harness):
+        assert harness.self_reported_count(0.0) == len(harness.all_entries(0.0))

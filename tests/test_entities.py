@@ -1,0 +1,214 @@
+"""Tests for the typed entity views."""
+
+import pytest
+
+from repro.core import CensysPlatform, PlatformConfig
+from repro.entities import (
+    CertificateView,
+    HostView,
+    ServiceView,
+    SoftwareInfo,
+    VulnerabilityInfo,
+    WebPropertyView,
+)
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+
+class TestFromDicts:
+    VIEW = {
+        "entity_id": "host:1.2.3.4",
+        "at": None,
+        "services": {
+            "443/tcp": {
+                "service_name": "HTTPS",
+                "protocol": "HTTP",
+                "first_seen": 1.0,
+                "last_seen": 25.0,
+                "pending_removal_since": None,
+                "record": {
+                    "http.html_title": "MOVEit Transfer - Sign On",
+                    "tls.certificate_sha256": "ab" * 32,
+                },
+                "software": {
+                    "vendor": "progress", "product": "moveit_transfer",
+                    "version": "2023.0.1", "cpe": "cpe:2.3:a:progress:moveit_transfer:2023.0.1:*:*:*:*:*:*:*",
+                },
+                "vulnerabilities": [
+                    {"cve_id": "CVE-2023-34362", "cvss": 9.8, "kev": True, "summary": "SQLi"},
+                ],
+            },
+            "22/tcp": {
+                "service_name": "SSH",
+                "protocol": "SSH",
+                "first_seen": 1.0,
+                "last_seen": 25.0,
+                "pending_removal_since": 26.0,
+                "record": {"ssh.banner": "SSH-2.0-OpenSSH_9.3p1"},
+            },
+        },
+        "meta": {},
+        "derived": {
+            "location": {"country": "US", "region": "us", "city": "Ann Arbor"},
+            "autonomous_system": {"asn": 64512, "as_name": "CORP", "organization": "Corp", "cidr": "1.2.3.0/24"},
+            "labels": ["ics"],
+            "cve_ids": ["CVE-2023-34362"],
+            "device_types": ["managed-file-transfer"],
+        },
+    }
+
+    def test_host_view_structure(self):
+        host = HostView.from_view(self.VIEW)
+        assert host.ip == "1.2.3.4"
+        assert host.service_count == 2
+        assert host.open_ports == (22, 443)
+        assert host.location.country == "US"
+        assert host.autonomous_system.asn == 64512
+        assert host.labels == ("ics",)
+        assert host.has_known_exploited_vulnerability
+
+    def test_service_lookup_and_fields(self):
+        host = HostView.from_view(self.VIEW)
+        https = host.service_on(443)
+        assert https.service_name == "HTTPS"
+        assert https.is_tls and https.certificate_sha256 == "ab" * 32
+        assert https.software.product == "moveit_transfer"
+        assert https.vulnerabilities[0].cve_id == "CVE-2023-34362"
+        assert not https.pending_removal
+        ssh = host.service_on(22)
+        assert ssh.pending_removal
+        assert ssh.software is None
+        assert host.service_on(80) is None
+
+    def test_views_are_immutable(self):
+        host = HostView.from_view(self.VIEW)
+        with pytest.raises(AttributeError):
+            host.ip = "changed"
+
+    def test_certificate_view(self):
+        state = {
+            "entity_id": "cert:" + "cd" * 32,
+            "meta": {
+                "sha256": "cd" * 32,
+                "subject_cn": "a.example",
+                "subject_names": ["a.example", "b.example"],
+                "issuer_cn": "lets-trust Intermediate R1",
+                "not_before": 0.0,
+                "not_after": 2160.0,
+                "self_signed": False,
+                "lint": [],
+                "validation": {"valid_in": ["mozilla"], "errors": []},
+            },
+        }
+        cert = CertificateView.from_state(state)
+        assert cert.trusted
+        assert cert.names == ("a.example", "b.example")
+        revoked = CertificateView.from_state(
+            {"meta": dict(state["meta"], revoked=True)}
+        )
+        assert not revoked.trusted
+
+    def test_web_property_view(self):
+        view = {
+            "entity_id": "web:www.shop.example",
+            "services": {
+                "443/tcp": {
+                    "service_name": "HTTPS",
+                    "record": {"http.html_title": "Shop"},
+                }
+            },
+        }
+        prop = WebPropertyView.from_view(view)
+        assert prop.name == "www.shop.example"
+        assert prop.page_title == "Shop"
+
+
+class TestPlatformTypedAccessors:
+    @pytest.fixture(scope="class")
+    def platform(self):
+        net = build_simnet(
+            bits=13,
+            workload_config=WorkloadConfig(seed=37, services_target=400, t_start=-10 * DAY, t_end=5 * DAY),
+            seed=37,
+        )
+        plat = CensysPlatform(net, PlatformConfig(seed=37, predictive_daily_budget=100), start_time=-8 * DAY)
+        plat.run_until(0.0, tick_hours=6.0)
+        return plat
+
+    def test_host_view_round_trip(self, platform):
+        for inst in platform.internet.services_alive_at(0.0):
+            host = platform.host_view(inst.ip_index)
+            if host.services:
+                raw = platform.lookup_host(inst.ip_index)
+                assert host.service_count == len(raw["services"])
+                assert host.location is not None
+                return
+        pytest.fail("no indexed host found")
+
+    def test_certificate_view_round_trip(self, platform):
+        sha = next(iter(platform.secondary.reused_certificates(min_hosts=1)), None)
+        if sha is None:
+            pytest.skip("no certificates observed at this scale")
+        cert = platform.certificate_view(sha)
+        assert cert.sha256 == sha
+        assert cert.not_after > cert.not_before
+
+
+class TestFieldSchema:
+    def test_every_scanner_emits_only_cataloged_fields(self):
+        """The schema contract: all protocol records validate."""
+        import random
+
+        from repro.entities import validate_record
+        from repro.protocols import default_registry
+
+        for spec in default_registry().specs:
+            port = spec.default_ports[0] if spec.default_ports else 0
+            for seed in range(25):
+                profile = spec.make_profile(random.Random(seed))
+                replies = [spec.respond(profile, p) for p in spec.handshake_probes(port)]
+                record = spec.build_record([r for r in replies if r.has_data])
+                problems = validate_record(record)
+                assert not problems, (spec.name, problems)
+
+    def test_catalog_covers_tls_fields(self):
+        from repro.entities import FIELD_CATALOG
+
+        for name in ("tls.ja4s", "tls.certificate_sha256", "tls.subject_names"):
+            assert name in FIELD_CATALOG
+            assert FIELD_CATALOG[name].description
+
+    def test_validate_flags_type_mismatch(self):
+        from repro.entities import validate_record
+
+        assert validate_record({"http.status": "200"})  # str where int expected
+        assert not validate_record({"http.status": 200})
+
+    def test_non_strict_tolerates_unknown(self):
+        from repro.entities import validate_record
+
+        assert not validate_record({"future.field": 1}, strict=False)
+        assert validate_record({"http.status": "x"}, strict=False)
+
+    def test_platform_records_validate(self):
+        """End-to-end: everything the platform journals obeys the schema."""
+        from repro.core import CensysPlatform, PlatformConfig
+        from repro.entities import validate_record
+
+        net = build_simnet(
+            bits=13,
+            workload_config=WorkloadConfig(seed=41, services_target=300, t_start=-6 * DAY, t_end=4 * DAY),
+            seed=41,
+        )
+        plat = CensysPlatform(net, PlatformConfig(seed=41, predictive_daily_budget=50), start_time=-5 * DAY)
+        plat.run_until(0.0, tick_hours=6.0)
+        checked = 0
+        for entity_id in plat.journal.entity_ids():
+            state = plat.journal.peek_current(entity_id)
+            for service in state.get("services", {}).values():
+                record = service.get("record", {})
+                problems = [
+                    p for p in validate_record(record, strict=False)
+                ]
+                assert not problems, (entity_id, problems)
+                checked += 1
+        assert checked > 50

@@ -1,0 +1,212 @@
+"""Tests for the evaluation harness (small-scale end-to-end experiments)."""
+
+import pytest
+
+from repro.eval import (
+    EVAL_VANTAGE,
+    EvalConfig,
+    EvaluationWorld,
+    collect_freshness,
+    collect_ground_truth,
+    convergence_curve,
+    decay_smoothness,
+    discovery_table,
+    ground_truth_coverage,
+    ics_census,
+    oracle_liveness,
+    overlap_matrix,
+    port_population_series,
+    probe_liveness,
+    random_ip_accuracy,
+    rank_order_correlation,
+    required_sample_size,
+    run_honeypot_experiment,
+    tier_shares,
+    union_tier_coverage,
+    validate_protocol,
+)
+from repro.simnet import DAY
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = EvaluationWorld(
+        EvalConfig(bits=13, services_target=600, warmup_days=30, tick_hours=8.0, seed=11)
+    )
+    w.run_warmup()
+    return w
+
+
+class TestLiveness:
+    def test_live_service_detected(self, world):
+        from repro.engines.base import ReportedService
+
+        inst = next(i for i in world.internet.services_alive_at(0.0) if i.transport == "tcp")
+        svc = ReportedService(
+            ip_index=inst.ip_index, port=inst.port, transport="tcp",
+            label=inst.protocol, last_scanned=0.0, first_seen=0.0, entry_id=1,
+        )
+        assert oracle_liveness(world.internet, svc, 0.0)
+
+    def test_dead_binding_rejected(self, world):
+        from repro.engines.base import ReportedService
+
+        import math
+
+        inst = next(
+            i for i in world.internet.workload.instances
+            if math.isfinite(i.death) and i.death < -5 * DAY
+        )
+        after = inst.death + 1.0
+        if world.internet.instance_at(inst.ip_index, inst.port, after) is None and \
+           world.internet.pseudo_at(inst.ip_index, after) is None:
+            svc = ReportedService(
+                ip_index=inst.ip_index, port=inst.port, transport="tcp",
+                label=inst.protocol, last_scanned=0.0, first_seen=0.0, entry_id=1,
+            )
+            assert not oracle_liveness(world.internet, svc, after)
+            assert not probe_liveness(world.internet, svc, after)
+
+    def test_validate_protocol_rejects_wrong_label(self, world):
+        from repro.engines.base import ReportedService
+
+        inst = next(
+            i for i in world.internet.services_alive_at(0.0)
+            if i.transport == "tcp" and i.protocol == "HTTP" and i.profile.tls is None
+        )
+        svc = ReportedService(
+            ip_index=inst.ip_index, port=inst.port, transport="tcp",
+            label="MODBUS", last_scanned=0.0, first_seen=0.0, entry_id=1,
+        )
+        assert not validate_protocol(world.internet, svc, 0.0)
+
+
+class TestGroundTruth:
+    @pytest.fixture(scope="class")
+    def sample(self, world):
+        return collect_ground_truth(world.internet, started_at=0.0, sample_fraction=0.3)
+
+    def test_sample_contains_confirmed_services(self, world, sample):
+        assert sample.services
+        for service in sample.services[:50]:
+            inst = world.internet.instance_at(service.ip_index, service.port, service.observed_at)
+            assert inst is not None
+
+    def test_pseudo_hosts_filtered(self, world, sample):
+        pseudo_ips = {p.ip_index for p in world.internet.workload.pseudo_hosts}
+        assert not any(s.ip_index in pseudo_ips for s in sample.services)
+        assert sample.pseudo_hosts_filtered > 0
+
+    def test_groupings(self, sample):
+        assert sum(len(v) for v in sample.by_country().values()) == len(sample.services)
+        assert sum(len(v) for v in sample.by_protocol().values()) == len(sample.services)
+
+    def test_port_population_decays_smoothly(self, sample):
+        series = port_population_series(sample)
+        assert series[0][2] >= series[-1][2]
+        shares = tier_shares(series)
+        assert abs(sum(shares) - 1.0) < 1e-9
+
+    def test_ground_truth_coverage_censys_leads(self, world, sample):
+        coverage = ground_truth_coverage(sample, world.engines(), world.now, group_by="all", min_group_size=1)
+        row = coverage["all"]
+        assert row["censys"] >= max(row[e.name] for e in world.baselines)
+
+
+class TestCoverageAndAccuracy:
+    def test_table2_shape(self, world):
+        rows = random_ip_accuracy(world.internet, world.engines(), world.now, sample_size=1500)
+        by_name = {r.engine: r for r in rows}
+        assert by_name["censys"].pct_accurate >= max(
+            by_name[e.name].pct_accurate for e in world.baselines
+        )
+        assert by_name["censys"].pct_unique > 0.99
+
+    def test_table1_censys_leads_every_tier(self, world):
+        rows, live_sets = union_tier_coverage(world.internet, world.engines(), world.now)
+        censys = next(r for r in rows if r.engine == "censys")
+        for row in rows:
+            assert censys.top10 >= row.top10
+            assert censys.all_ports >= row.all_ports
+        assert live_sets["censys"]
+
+    def test_overlap_matrix_properties(self, world):
+        _, live_sets = union_tier_coverage(world.internet, world.engines(), world.now)
+        matrix = overlap_matrix(live_sets)
+        for name in matrix:
+            assert matrix[name][name] == pytest.approx(1.0)
+            for other, value in matrix[name].items():
+                assert 0.0 <= value <= 1.0
+
+    def test_freshness_censys_freshest(self, world):
+        results = collect_freshness(world.internet, world.engines(), world.now, sample_size=1500)
+        by_name = {r.engine: r for r in results}
+        assert by_name["censys"].fraction_fresher_than(48.0) == pytest.approx(1.0)
+        for engine in world.baselines:
+            assert by_name["censys"].median_age <= by_name[engine.name].median_age
+
+
+class TestIcsCensus:
+    def test_census_structure_and_validation(self, world):
+        table = ics_census(world.internet, world.engines(), world.now, protocols=["MODBUS", "S7", "FOX"])
+        for protocol in ("MODBUS", "S7", "FOX"):
+            cells = table[protocol]
+            for cell in cells.values():
+                assert cell.accurate <= cell.reported
+
+    def test_keyword_engines_overreport_loose_protocols(self, world):
+        """Shodan's loose rules (ATG/CODESYS/EIP/WDBRPC) must over-report
+        heavily relative to validated counts, while Censys' handshake
+        labeling stays close to validated."""
+        loose = ["ATG", "CODESYS", "EIP", "WDBRPC"]
+        table = ics_census(world.internet, world.engines(), world.now, protocols=loose)
+        shodan_reported = sum(table[p]["shodan"].reported for p in loose)
+        shodan_accurate = sum(table[p]["shodan"].accurate for p in loose)
+        censys_reported = sum(table[p]["censys"].reported for p in loose)
+        censys_accurate = sum(table[p]["censys"].accurate for p in loose)
+        assert shodan_reported >= 2 * max(1, shodan_accurate)
+        if censys_reported:
+            assert censys_accurate >= 0.5 * censys_reported
+
+
+class TestStatistics:
+    def test_rank_order_correlation_perfect(self):
+        assert rank_order_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert rank_order_correlation([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_rank_order_requires_pairs(self):
+        with pytest.raises(ValueError):
+            rank_order_correlation([1], [2])
+
+    def test_convergence_curve_tightens(self):
+        outcomes = [True] * 70 + [False] * 30
+        points = convergence_curve(outcomes)
+        assert points[0].spread > points[-1].spread
+        assert abs(points[-1].mean_estimate - 0.7) < 0.1
+        assert required_sample_size(points) <= 400
+
+    def test_convergence_needs_data(self):
+        with pytest.raises(ValueError):
+            convergence_curve([])
+
+    def test_decay_smoothness_flags_cliffs(self):
+        smooth = [(i, i, max(3, 100 - 2 * i)) for i in range(1, 40)]
+        cliff = [(1, 1, 1000), (2, 2, 990), (3, 3, 12), (4, 4, 11)]
+        assert decay_smoothness(smooth) < decay_smoothness(cliff)
+
+
+@pytest.mark.slow
+class TestHoneypots:
+    def test_censys_discovers_faster_than_shodan(self):
+        world = EvaluationWorld(
+            EvalConfig(bits=13, services_target=500, warmup_days=15, tick_hours=4.0, seed=13)
+        )
+        world.run_warmup()
+        deployment = run_honeypot_experiment(world, count=30, observe_days=8.0)
+        table = discovery_table(deployment, ["censys", "shodan"])
+        from repro.eval.honeypots import overall_stats
+
+        censys_mean, _ = overall_stats(table["censys"])
+        shodan_mean, _ = overall_stats(table["shodan"])
+        assert censys_mean is not None
+        assert shodan_mean is None or censys_mean < shodan_mean

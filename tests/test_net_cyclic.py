@@ -1,0 +1,112 @@
+"""Tests for scan-space permutations (affine and multiplicative-group)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import AffinePermutation, MultiplicativeCyclicGroup, is_prime, next_prime
+
+
+class TestPrimes:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 65537, 4294967311])
+    def test_known_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 9, 65536, 4294967297])
+    def test_known_composites(self, n):
+        assert not is_prime(n)
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(65536) == 65537
+        assert next_prime(2**32) == 4294967311
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_next_prime_is_prime_and_greater(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert is_prime(p)
+
+
+class TestAffinePermutation:
+    @given(st.integers(min_value=1, max_value=2000), st.integers(0, 2**32))
+    @settings(max_examples=60)
+    def test_full_cycle_bijection(self, n, seed):
+        perm = AffinePermutation(n, seed)
+        visited = list(perm.iterate())
+        assert sorted(visited) == list(range(n))
+
+    @given(st.integers(min_value=1, max_value=10**12), st.integers(0, 2**32))
+    def test_position_inverts_element(self, n, seed):
+        perm = AffinePermutation(n, seed)
+        for index in {0, 1 % n, n // 2, n - 1}:
+            assert perm.position(perm.element(index)) == index
+
+    def test_iterate_wraps_around(self):
+        perm = AffinePermutation(10, seed=3)
+        tail_then_head = list(perm.iterate(start=8, count=4))
+        assert tail_then_head[0] == perm.element(8)
+        assert tail_then_head[2] == perm.element(0)
+
+    def test_distinct_seeds_distinct_orders(self):
+        a = list(AffinePermutation(101, seed=1).iterate(count=10))
+        b = list(AffinePermutation(101, seed=2).iterate(count=10))
+        assert a != b
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            AffinePermutation(0)
+
+    def test_position_rejects_out_of_domain(self):
+        perm = AffinePermutation(10)
+        with pytest.raises(ValueError):
+            perm.position(10)
+
+    def test_large_domain_constant_time_ops(self):
+        n = 2**20 * 65536  # a full scaled (ip x port) product
+        perm = AffinePermutation(n, seed=42)
+        element = perm.element(123_456_789)
+        assert perm.position(element) == 123_456_789
+
+    def test_coefficients_coprime(self):
+        import math
+
+        for seed in range(25):
+            for n in (10, 12, 65536, 2**20):
+                a, _ = AffinePermutation(n, seed).coefficients
+                assert math.gcd(a, n) == 1
+
+
+class TestMultiplicativeCyclicGroup:
+    @given(st.integers(min_value=1, max_value=300), st.integers(0, 2**16))
+    @settings(max_examples=40)
+    def test_full_cycle_bijection(self, n, seed):
+        group = MultiplicativeCyclicGroup(n, seed)
+        visited = list(group.iterate())
+        assert sorted(visited) == list(range(n))
+
+    def test_generator_generates_group(self):
+        group = MultiplicativeCyclicGroup(100, seed=7)
+        p, g = group.p, group.generator
+        produced = {pow(g, k, p) for k in range(1, p)}
+        assert produced == set(range(1, p))
+
+    @given(st.integers(min_value=2, max_value=150), st.integers(0, 2**16))
+    @settings(max_examples=25)
+    def test_position_matches_iteration_order(self, n, seed):
+        group = MultiplicativeCyclicGroup(n, seed)
+        order = list(group.iterate())
+        for index in (0, n // 2, n - 1):
+            assert group.position(order[index]) == index
+
+    def test_agrees_with_affine_on_coverage_semantics(self):
+        """Both permutations visit every element of the domain exactly once."""
+        n = 257
+        affine = set(AffinePermutation(n, 5).iterate())
+        group = set(MultiplicativeCyclicGroup(n, 5).iterate())
+        assert affine == group == set(range(n))
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            MultiplicativeCyclicGroup(0)

@@ -1,0 +1,142 @@
+"""Tests for IPv4 primitives: parsing, CIDR arithmetic, address spaces."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import MAX_IPV4, AddressSpace, Cidr, CidrSet, ip_to_str, str_to_ip
+
+
+class TestIpConversion:
+    def test_round_trip_known_values(self):
+        assert ip_to_str(0) == "0.0.0.0"
+        assert ip_to_str(MAX_IPV4) == "255.255.255.255"
+        assert str_to_ip("192.168.1.1") == 0xC0A80101
+        assert ip_to_str(0x01020304) == "1.2.3.4"
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4))
+    def test_round_trip_property(self, ip):
+        assert str_to_ip(ip_to_str(ip)) == ip
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip_to_str(-1)
+        with pytest.raises(ValueError):
+            ip_to_str(MAX_IPV4 + 1)
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d"])
+    def test_rejects_malformed_strings(self, bad):
+        with pytest.raises(ValueError):
+            str_to_ip(bad)
+
+
+class TestCidr:
+    def test_parse_and_str(self):
+        block = Cidr.parse("10.0.0.0/8")
+        assert str(block) == "10.0.0.0/8"
+        assert block.size == 2**24
+
+    def test_membership(self):
+        block = Cidr.parse("192.168.0.0/16")
+        assert str_to_ip("192.168.255.255") in block
+        assert str_to_ip("192.169.0.0") not in block
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Cidr(str_to_ip("10.0.0.1"), 8)
+
+    def test_rejects_bad_prefix(self):
+        with pytest.raises(ValueError):
+            Cidr(0, 33)
+
+    def test_requires_prefix_in_parse(self):
+        with pytest.raises(ValueError):
+            Cidr.parse("10.0.0.0")
+
+    def test_iteration_covers_block(self):
+        block = Cidr.parse("10.0.0.0/30")
+        assert list(block) == [str_to_ip("10.0.0.0") + i for i in range(4)]
+
+    def test_subnets(self):
+        block = Cidr.parse("10.0.0.0/24")
+        subs = list(block.subnets(26))
+        assert len(subs) == 4
+        assert all(s.size == 64 for s in subs)
+        assert subs[0].first == block.first
+        assert subs[-1].last == block.last
+
+    def test_subnets_rejects_coarser_prefix(self):
+        with pytest.raises(ValueError):
+            list(Cidr.parse("10.0.0.0/24").subnets(16))
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_mask_has_prefix_ones(self, prefix):
+        block = Cidr(0, prefix)
+        assert bin(block.mask).count("1") == prefix
+
+
+class TestCidrSet:
+    def test_membership_across_blocks(self):
+        blocks = CidrSet.parse(["10.0.0.0/8", "192.168.0.0/16"])
+        assert str_to_ip("10.1.2.3") in blocks
+        assert str_to_ip("192.168.4.4") in blocks
+        assert str_to_ip("172.16.0.1") not in blocks
+
+    def test_merges_adjacent_blocks(self):
+        blocks = CidrSet.parse(["10.0.0.0/25", "10.0.0.128/25"])
+        assert len(blocks) == 1
+        assert blocks.address_count == 256
+
+    def test_empty_set(self):
+        blocks = CidrSet()
+        assert str_to_ip("1.1.1.1") not in blocks
+        assert blocks.address_count == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**16 - 1), st.integers(24, 32)),
+            max_size=8,
+        )
+    )
+    def test_membership_matches_naive(self, raw):
+        blocks = []
+        for base, prefix in raw:
+            aligned = (base << 16) & ((MAX_IPV4 << (32 - prefix)) & MAX_IPV4)
+            blocks.append(Cidr(aligned, prefix))
+        cidr_set = CidrSet(blocks)
+        probes = [b.first for b in blocks] + [b.last for b in blocks] + [0, MAX_IPV4]
+        for ip in probes:
+            assert (ip in cidr_set) == any(ip in b for b in blocks)
+
+
+class TestAddressSpace:
+    def test_of_bits(self):
+        space = AddressSpace.of_bits(16)
+        assert space.size == 65536
+        assert space.cidr.prefix == 16
+
+    def test_index_round_trip(self):
+        space = AddressSpace.of_bits(12)
+        for index in (0, 1, space.size - 1):
+            assert space.index_of(space.ip_at(index)) == index
+
+    def test_bounds_enforced(self):
+        space = AddressSpace.of_bits(8)
+        with pytest.raises(ValueError):
+            space.index_of(space.base - 1)
+        with pytest.raises(IndexError):
+            space.ip_at(space.size)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            AddressSpace(0x01000000, 1000)
+
+    def test_rejects_unaligned_base(self):
+        with pytest.raises(ValueError):
+            AddressSpace(0x01000001, 256)
+
+    def test_membership(self):
+        space = AddressSpace.of_bits(8)
+        assert space.base in space
+        assert space.base + 255 in space
+        assert space.base + 256 not in space

@@ -1,0 +1,88 @@
+"""Tests for probe-space flattening (IP intervals x ports <-> flat ids)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import ProbeSpace, ProbeTarget
+
+
+def _disjoint_intervals():
+    """Strategy producing sorted, disjoint, non-empty half-open intervals."""
+
+    def build(cut_points):
+        points = sorted(set(cut_points))
+        intervals = []
+        for start, stop in zip(points[::2], points[1::2]):
+            if stop > start:
+                intervals.append((start, stop))
+        return intervals
+
+    return (
+        st.lists(st.integers(0, 10_000), min_size=2, max_size=10)
+        .map(build)
+        .filter(lambda iv: len(iv) >= 1)
+    )
+
+
+class TestProbeSpace:
+    def test_single_range_basics(self):
+        space = ProbeSpace.single_range(0, 10, [80, 443])
+        assert space.size == 20
+        assert space.ip_count == 10
+        assert space.ports == (80, 443)
+
+    def test_flatten_round_trip_exhaustive(self):
+        space = ProbeSpace([(5, 8), (20, 22)], [22, 80, 8080])
+        seen = set()
+        for element in range(space.size):
+            target = space.target_of(element)
+            assert space.flatten(target.ip_index, target.port) == element
+            seen.add((target.ip_index, target.port))
+        assert len(seen) == space.size
+        assert all(ip in (5, 6, 7, 20, 21) for ip, _ in seen)
+
+    def test_contains(self):
+        space = ProbeSpace([(0, 4), (10, 12)], [443])
+        assert ProbeTarget(0, 443) in space
+        assert ProbeTarget(11, 443) in space
+        assert ProbeTarget(4, 443) not in space
+        assert ProbeTarget(0, 80) not in space
+
+    def test_rejects_empty_ports(self):
+        with pytest.raises(ValueError):
+            ProbeSpace([(0, 1)], [])
+
+    def test_rejects_empty_intervals(self):
+        with pytest.raises(ValueError):
+            ProbeSpace([], [80])
+        with pytest.raises(ValueError):
+            ProbeSpace([(3, 3)], [80])
+
+    def test_rejects_overlapping_intervals(self):
+        with pytest.raises(ValueError):
+            ProbeSpace([(0, 5), (4, 8)], [80])
+
+    def test_rejects_duplicate_ports(self):
+        with pytest.raises(ValueError):
+            ProbeSpace([(0, 1)], [80, 80])
+
+    def test_flatten_outside_space_raises(self):
+        space = ProbeSpace([(0, 4)], [80])
+        with pytest.raises(ValueError):
+            space.flatten(9, 80)
+        with pytest.raises(ValueError):
+            space.flatten(0, 81)
+        with pytest.raises(IndexError):
+            space.target_of(space.size)
+
+    @given(_disjoint_intervals(), st.lists(st.integers(0, 65535), min_size=1, max_size=6, unique=True))
+    @settings(max_examples=60)
+    def test_round_trip_property(self, intervals, ports):
+        space = ProbeSpace(intervals, ports)
+        probe_elements = {0, space.size - 1, space.size // 2, space.size // 3}
+        for element in probe_elements:
+            target = space.target_of(element)
+            assert space.flatten(target.ip_index, target.port) == element
+            assert space.contains_ip(target.ip_index)
+            assert space.contains_port(target.port)

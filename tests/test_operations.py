@@ -1,0 +1,323 @@
+"""Tests for operational features: opt-outs, CVE response, access tiers,
+secondary indexes."""
+
+import pytest
+
+from repro.core import (
+    TIERS,
+    AccessControlledClient,
+    AccessDeniedError,
+    CensysPlatform,
+    PlatformConfig,
+    RateLimitExceeded,
+)
+from repro.scan import ExclusionList
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_simnet(
+        bits=13,
+        workload_config=WorkloadConfig(seed=17, services_target=500, t_start=-15 * DAY, t_end=15 * DAY),
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="module")
+def platform(net):
+    plat = CensysPlatform(net, PlatformConfig(seed=17, predictive_daily_budget=300), start_time=-10 * DAY)
+    plat.run_until(0.0, tick_hours=6.0)
+    return plat
+
+
+class TestExclusionList:
+    def test_request_and_membership(self, net):
+        exclusions = ExclusionList(net.space)
+        exclusions.request_exclusion((100, 200), "KU Leuven", t=0.0)
+        assert exclusions.is_excluded(150, t=1.0)
+        assert not exclusions.is_excluded(99, t=1.0)
+        assert not exclusions.is_excluded(200, t=1.0)
+
+    def test_requests_expire_after_one_year(self, net):
+        exclusions = ExclusionList(net.space)
+        exclusions.request_exclusion((0, 10), "CalTech", t=0.0)
+        assert exclusions.is_excluded(5, t=364 * 24.0)
+        assert not exclusions.is_excluded(5, t=366 * 24.0)
+
+    def test_unverified_requests_rejected(self, net):
+        exclusions = ExclusionList(net.space)
+        assert exclusions.request_exclusion((0, 10), "anon", t=0.0, whois_verified=False) is None
+        assert not exclusions.is_excluded(5, t=1.0)
+
+    def test_cidr_request(self, net):
+        from repro.net import Cidr
+
+        exclusions = ExclusionList(net.space)
+        block = Cidr(net.space.base, 29)  # first 8 addresses
+        exclusions.request_exclusion(block, "CMU", t=0.0)
+        assert exclusions.is_excluded(0, t=1.0)
+        assert exclusions.is_excluded(7, t=1.0)
+        assert not exclusions.is_excluded(8, t=1.0)
+
+    def test_excluded_fraction(self, net):
+        exclusions = ExclusionList(net.space)
+        exclusions.request_exclusion((0, net.space.size // 100), "big org", t=0.0)
+        assert exclusions.excluded_fraction(t=1.0) == pytest.approx(0.01, abs=0.001)
+
+    def test_rejects_empty_range(self, net):
+        exclusions = ExclusionList(net.space)
+        with pytest.raises(ValueError):
+            exclusions.request_exclusion((10, 10), "x", t=0.0)
+
+
+class TestPlatformExclusions:
+    def test_opt_out_purges_and_stops_scanning(self, net):
+        plat = CensysPlatform(
+            net, PlatformConfig(seed=18, predictive_daily_budget=100), start_time=-8 * DAY
+        )
+        plat.run_until(-2 * DAY, tick_hours=6.0)
+        # find a populated network block to opt out
+        target = next(
+            i for i in net.services_alive_at(plat.clock.now)
+            if plat.journal.peek_current(plat.entity_for_ip(i.ip_index))["services"]
+        )
+        network = net.topology.network_of(target.ip_index)
+        plat.request_exclusion((network.start, network.stop), network.organization)
+        plat.run_until(2 * DAY, tick_hours=6.0)
+        for entity_id in plat.journal.entity_ids():
+            if not entity_id.startswith("host:"):
+                continue
+            from repro.enrich import ip_index_of_entity
+
+            ip_index = ip_index_of_entity(entity_id, net.space)
+            if ip_index is not None and network.start <= ip_index < network.stop:
+                state = plat.journal.peek_current(entity_id)
+                if state["meta"].get("pseudo_host"):
+                    continue  # already filtered from serving pre-exclusion
+                assert state["services"] == {}, entity_id
+
+
+class TestCveResponse:
+    def test_temporary_tier_scans_named_ports(self, net):
+        plat = CensysPlatform(
+            net, PlatformConfig(seed=19, predictive_daily_budget=100), start_time=-3 * DAY
+        )
+        tier = plat.trigger_cve_response("CVE-2026-0001", ports=[54321], duration_days=2.0)
+        assert tier.cycle_hours == pytest.approx(6.0)
+        plat.run_until(-2 * DAY, tick_hours=6.0)
+        assert tier.probes_sent > 0
+        # tier retires after its window
+        plat.run_until(0.0, tick_hours=6.0)
+        sent_at_expiry = tier.probes_sent
+        plat.run_until(1 * DAY, tick_hours=6.0)
+        assert tier.probes_sent == sent_at_expiry
+
+    def test_cve_tier_accelerates_discovery(self, net):
+        """Services on an obscure port get found fast under CVE response."""
+        import random
+
+        from repro.protocols import default_registry
+        from repro.simnet.instances import ServiceInstance
+
+        rng = random.Random(3)
+        spec = default_registry().get("HTTP")
+        port = 44444
+        instances = []
+        for _ in range(6):
+            ip = rng.randrange(net.space.size)
+            inst = ServiceInstance(
+                instance_id=net.allocate_instance_id(),
+                ip_index=ip, port=port, transport="tcp", protocol="HTTP",
+                profile=spec.make_profile(rng), birth=-5 * DAY, death=float("inf"),
+                device_id=-99,
+            )
+            net.add_instance(inst)
+            instances.append(inst)
+        plat = CensysPlatform(
+            net, PlatformConfig(seed=20, predictive_daily_budget=50), start_time=-2 * DAY
+        )
+        plat.trigger_cve_response("CVE-2026-0002", ports=[port], duration_days=7.0)
+        plat.run_until(0.0, tick_hours=6.0)
+        found = sum(
+            1 for inst in instances
+            if plat.journal.peek_current(plat.entity_for_ip(inst.ip_index))["services"]
+        )
+        assert found >= len(instances) - 1  # modulo probe loss
+
+
+class TestAccessTiers:
+    def test_commercial_tier_unrestricted(self, platform):
+        client = AccessControlledClient(platform, TIERS["commercial"])
+        assert client.search("services.service_name: HTTP") == platform.search(
+            "services.service_name: HTTP"
+        )
+
+    def test_public_tier_blocks_sensitive_searches(self, platform):
+        client = AccessControlledClient(platform, TIERS["public"])
+        with pytest.raises(AccessDeniedError):
+            client.search("cve_ids: CVE-2023-34362")
+        with pytest.raises(AccessDeniedError):
+            client.search("services.service_name: MODBUS")
+        with pytest.raises(AccessDeniedError):
+            client.search("labels: c2-server")
+
+    def test_researcher_tier_blocks_only_ics(self, platform):
+        client = AccessControlledClient(platform, TIERS["researcher"])
+        client.search("cve_ids: CVE-2023-34362")  # allowed
+        with pytest.raises(AccessDeniedError):
+            client.search("services.service_name: S7")
+
+    def test_delayed_access(self, platform):
+        client = AccessControlledClient(platform, TIERS["public"])
+        ics = [
+            i for i in platform.internet.services_alive_at(platform.clock.now)
+        ]
+        view = client.lookup_host(ics[0].ip_index)
+        assert view["at"] == platform.clock.now - TIERS["public"].delay_hours
+
+    def test_redaction_hides_ics_and_cves(self, platform):
+        client = AccessControlledClient(platform, TIERS["public"])
+        full = AccessControlledClient(platform, TIERS["government"])
+        hits = platform.search("services.service_name: MODBUS")
+        if not hits:
+            pytest.skip("no MODBUS hosts indexed at this scale")
+        ip_text = hits[0][len("host:"):]
+        from repro.net import str_to_ip
+
+        ip_index = platform.internet.space.index_of(str_to_ip(ip_text))
+        redacted = client.lookup_host(ip_index)
+        unredacted = full.lookup_host(ip_index)
+        redacted_names = {s.get("service_name") for s in redacted["services"].values()}
+        assert "MODBUS" not in redacted_names
+        assert "cve_ids" not in redacted["derived"]
+        assert any(
+            s.get("service_name") == "MODBUS" for s in unredacted["services"].values()
+        )
+
+    def test_rate_limit(self, platform):
+        from repro.core import AccessPolicy
+
+        client = AccessControlledClient(platform, AccessPolicy(name="t", daily_query_limit=3))
+        for _ in range(3):
+            client.search("services.service_name: HTTP")
+        with pytest.raises(RateLimitExceeded):
+            client.search("services.service_name: HTTP")
+
+
+class TestSecondaryIndexes:
+    def test_cert_to_host_pivot(self, platform):
+        reused = platform.secondary.reused_certificates(min_hosts=1)
+        assert reused, "expected certificate sightings"
+        sha, hosts = next(iter(reused.items()))
+        assert platform.secondary.hosts_with_certificate(sha) == hosts
+        window = platform.secondary.certificate_sighting_window(sha, hosts[0])
+        assert window is not None and window[0] <= window[1]
+
+    def test_ja4s_pivot(self, platform):
+        # every TLS service contributed its JA4S
+        assert platform.secondary._ja4s_to_hosts
+        ja4s, hosts = next(iter(platform.secondary._ja4s_to_hosts.items()))
+        assert platform.secondary.hosts_with_ja4s(ja4s) == sorted(hosts)
+
+    def test_ssh_key_pivot(self, platform):
+        keys = platform.secondary._hostkey_to_hosts
+        assert keys, "expected SSH host keys indexed"
+        key, hosts = next(iter(keys.items()))
+        assert platform.secondary.hosts_with_ssh_key(key) == sorted(hosts)
+
+    def test_unknown_lookups_empty(self, platform):
+        assert platform.secondary.hosts_with_certificate("ff" * 32) == []
+        assert platform.secondary.hosts_with_ja4s("nope") == []
+
+
+class TestIpv6Tracking:
+    def test_dual_stack_resolution(self, net):
+        assert net.dual_stack_device_count > 0
+        resolved = None
+        for prop in net.workload.web_properties:
+            resolved = net.resolve_name_v6(prop.name, 0.0)
+            if resolved:
+                name = prop.name
+                break
+        if resolved is None:
+            pytest.skip("no dual-stack property alive at t=0 in this seed")
+        assert resolved.startswith("2001:db8::")
+
+    def test_v6_connection_serves_same_content(self, net):
+        from repro.protocols import Interrogator, default_registry
+        from repro.simnet import Vantage
+
+        vantage = Vantage("v6-test", "us", loss_rate=0.0, vantage_id=40)
+        for prop in net.workload.web_properties:
+            address = net.resolve_name_v6(prop.name, 0.0)
+            if address is None:
+                continue
+            conn = net.connect_v6(address, 0.0, vantage, sni=prop.name)
+            if conn is None:
+                continue
+            result = Interrogator(default_registry()).interrogate(conn)
+            assert result.success
+            return
+        pytest.skip("no reachable dual-stack device in this seed")
+
+    def test_unknown_v6_address(self, net):
+        from repro.simnet import Vantage
+
+        vantage = Vantage("v6-test", "us", loss_rate=0.0, vantage_id=40)
+        assert net.connect_v6("2001:db8::dead", 0.0, vantage) is None
+        assert net.resolve_name_v6("no.such.name", 0.0) is None
+
+    def test_platform_tracks_v6_hosts(self, platform):
+        v6_entities = [
+            e for e in platform.journal.entity_ids() if e.startswith("host6:")
+        ]
+        if not v6_entities:
+            pytest.skip("no IPv6 endpoints were name-discovered at this scale")
+        state = platform.journal.peek_current(v6_entities[0])
+        assert state["services"] or state["last_event_time"] is not None
+
+
+class TestNotifications:
+    def test_channel_response_shapes(self, net, platform):
+        """Email barely moves operators; the regulator channel approaches
+        full remediation (the §9 EPA observation)."""
+        from repro.core import CHANNELS, NotificationCampaign, exposures_from_platform
+
+        exposures = exposures_from_platform(platform, labels=("ics",))
+        if len(exposures) < 5:
+            pytest.skip("too few ICS exposures at this scale")
+        rates = {}
+        for channel in ("email", "regulator"):
+            campaign = NotificationCampaign(net, CHANNELS[channel], seed=hash(channel) % 1000)
+            campaign.notify(exposures, at=platform.clock.now)
+            rates[channel] = campaign.remediation_rate(platform.clock.now + 120 * DAY)
+        assert rates["regulator"] > rates["email"]
+        assert rates["regulator"] > 0.8
+
+    def test_remediated_services_disappear_from_rescans(self, net, platform):
+        from repro.core import CHANNELS, NotificationCampaign, exposures_from_platform
+
+        exposures = exposures_from_platform(platform, labels=("ics",))
+        if not exposures:
+            pytest.skip("no exposures at this scale")
+        campaign = NotificationCampaign(net, CHANNELS["regulator"], seed=1)
+        campaign.notify(exposures, at=platform.clock.now)
+        later = platform.clock.now + 365 * DAY
+        for exposure, _ in campaign.notified[:20]:
+            inst = net.instance_at(exposure.ip_index, exposure.port, later)
+            # either remediated (gone) or among the non-responders
+            if inst is not None:
+                assert inst.alive_at(later)
+
+    def test_remediation_rate_monotone_in_time(self, net, platform):
+        from repro.core import CHANNELS, NotificationCampaign, exposures_from_platform
+
+        exposures = exposures_from_platform(platform, labels=("ics",))
+        if not exposures:
+            pytest.skip("no exposures at this scale")
+        campaign = NotificationCampaign(net, CHANNELS["cert"], seed=2)
+        campaign.notify(exposures, at=platform.clock.now)
+        t0 = platform.clock.now
+        rates = [campaign.remediation_rate(t0 + d * DAY) for d in (0, 10, 40, 120)]
+        assert rates == sorted(rates)

@@ -1,0 +1,234 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import math
+import random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.net import AddressSpace, AffinePermutation
+from repro.scan import ExclusionList
+from repro.search.query import (
+    Bool,
+    Compare,
+    Not,
+    QueryNode,
+    Range,
+    Term,
+    matches,
+    parse_query,
+    render_query,
+)
+
+# ----------------------------------------------------------------------
+# Query language: parse(render(ast)) == ast
+# ----------------------------------------------------------------------
+
+_field = st.from_regex(r"[a-z][a-z0-9_.]{0,20}", fullmatch=True).filter(
+    lambda f: f not in ("and", "or", "not", "to")
+)
+_word_value = st.from_regex(r"[A-Za-z0-9_\-./]{1,12}", fullmatch=True).filter(
+    lambda v: v.lower() not in ("and", "or", "not", "to")
+)
+_phrase_value = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" -_"),
+    min_size=1,
+    max_size=20,
+).filter(lambda v: v.strip() == v and v != "")
+_number = st.integers(min_value=-10_000, max_value=10_000).map(float)
+
+
+def _terms():
+    return st.one_of(
+        st.builds(Term, st.one_of(st.none(), _field), st.one_of(_word_value, _phrase_value)),
+        st.builds(Compare, _field, st.sampled_from([">", ">=", "<", "<="]), _number),
+        st.builds(
+            lambda f, a, b: Range(f, min(a, b), max(a, b)), _field, _number, _number
+        ),
+    )
+
+
+def _query_nodes(depth=2):
+    if depth == 0:
+        return _terms()
+    sub = _query_nodes(depth - 1)
+    return st.one_of(
+        _terms(),
+        st.builds(Not, sub),
+        st.builds(lambda op, kids: Bool(op, tuple(kids)),
+                  st.sampled_from(["and", "or"]),
+                  st.lists(sub, min_size=2, max_size=3)),
+    )
+
+
+class TestQueryRoundTrip:
+    @given(_query_nodes())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_inverts_render(self, node):
+        rendered = render_query(node)
+        assert parse_query(rendered) == node
+
+    @given(_query_nodes(), st.dictionaries(_field, st.lists(_word_value, max_size=3), max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_rendered_query_matches_same_documents(self, node, doc):
+        rendered = render_query(node)
+        assert matches(parse_query(rendered), doc) == matches(node, doc)
+
+
+# ----------------------------------------------------------------------
+# Exclusion list vs. a naive reference implementation
+# ----------------------------------------------------------------------
+
+
+class TestExclusionsAgainstOracle:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 255),      # start
+                st.integers(1, 64),       # length
+                st.floats(0.0, 100.0),    # requested_at
+                st.floats(1.0, 1000.0),   # ttl
+            ),
+            max_size=8,
+        ),
+        st.integers(0, 255),
+        st.floats(0.0, 1100.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_membership_matches_naive(self, raw, probe_ip, probe_t):
+        space = AddressSpace.of_bits(9)
+        exclusions = ExclusionList(space)
+        naive = []
+        for start, length, t0, ttl in raw:
+            stop = min(start + length, space.size)
+            exclusions.request_exclusion((start, stop), "org", t=t0, ttl_hours=ttl)
+            naive.append((start, stop, t0, t0 + ttl))
+        expected = any(
+            s <= probe_ip < e and t0 <= probe_t < exp for s, e, t0, exp in naive
+        )
+        assert exclusions.is_excluded(probe_ip, probe_t) == expected
+
+
+# ----------------------------------------------------------------------
+# Permutation segment coverage: disjoint segments partition the domain
+# ----------------------------------------------------------------------
+
+
+class TestPermutationSegments:
+    @given(
+        st.integers(2, 5000),
+        st.integers(0, 2**32),
+        st.integers(1, 7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_segments_partition_domain(self, n, seed, pieces):
+        perm = AffinePermutation(n, seed)
+        sizes = [n // pieces] * pieces
+        sizes[-1] += n - sum(sizes)
+        seen = []
+        cursor = 0
+        for size in sizes:
+            seen.extend(perm.iterate(start=cursor, count=size))
+            cursor += size
+        assert sorted(seen) == list(range(n))
+
+
+# ----------------------------------------------------------------------
+# Workload invariants under random small configurations
+# ----------------------------------------------------------------------
+
+
+class TestWorkloadInvariants:
+    @given(st.integers(0, 10_000), st.integers(100, 400))
+    @settings(max_examples=8, deadline=None)
+    def test_generated_population_is_consistent(self, seed, target):
+        from repro.simnet import (
+            DAY,
+            Topology,
+            TopologyConfig,
+            WorkloadConfig,
+            generate_workload,
+        )
+
+        space = AddressSpace.of_bits(13)
+        topology = Topology.generate(space, TopologyConfig(seed=seed))
+        workload = generate_workload(
+            topology,
+            WorkloadConfig(seed=seed, services_target=target, t_start=-8 * DAY, t_end=4 * DAY),
+        )
+        # (1) every instance's address lies in the space
+        for inst in workload.instances:
+            assert 0 <= inst.ip_index < space.size
+            assert 1 <= inst.port <= 65535 or inst.port == 0 or True
+            assert inst.death > inst.birth
+        # (2) no binding double-booked in time
+        by_binding = {}
+        for inst in workload.instances:
+            by_binding.setdefault(inst.key, []).append(inst)
+        for chain in by_binding.values():
+            chain.sort(key=lambda i: i.birth)
+            for a, b in zip(chain, chain[1:]):
+                assert a.death <= b.birth
+        # (3) population near target at mid-window
+        alive = workload.services_alive_at(-2 * 24.0)
+        assert 0.5 * target < len(alive) < 2.0 * target
+
+
+# ----------------------------------------------------------------------
+# Journal: arbitrary interleavings keep read-side == write-side state
+# ----------------------------------------------------------------------
+
+
+class TestJournalOracle:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2),        # entity
+                st.integers(0, 3),        # port choice
+                st.integers(0, 2),        # op: ok / fail / remove
+                st.integers(0, 4),        # record variant
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_state_machine(self, ops):
+        from repro.pipeline import EventJournal, ScanObservation, WriteSideProcessor
+        from repro.protocols.interrogate import InterrogationResult
+
+        journal = EventJournal(snapshot_every=5)
+        write = WriteSideProcessor(journal, filter_pseudo_services=False)
+        oracle = {}  # (entity, key) -> record or None
+        t = 0.0
+        for entity_i, port_i, op, variant in ops:
+            t += 1.0
+            entity = f"host:1.0.0.{entity_i}"
+            port = [80, 443, 22, 8080][port_i]
+            key = f"{port}/tcp"
+            if op == 0:
+                record = {"v": variant}
+                write.process(ScanObservation(
+                    entity, t, port, "tcp",
+                    InterrogationResult(port=port, transport="tcp", success=True,
+                                        protocol="HTTP", record=record),
+                ))
+                oracle[(entity, key)] = dict(record)
+            elif op == 1:
+                write.process(ScanObservation(
+                    entity, t, port, "tcp",
+                    InterrogationResult(port=port, transport="tcp", success=False),
+                ))
+                # staging does not change the served record
+            else:
+                write.remove_service(entity, key, t)
+                oracle.pop((entity, key), None)
+        for entity_i in range(3):
+            entity = f"host:1.0.0.{entity_i}"
+            state = journal.reconstruct(entity)
+            got = {k: s["record"] for k, s in state["services"].items()}
+            expected = {
+                k: r for (e, k), r in oracle.items() if e == entity
+            }
+            assert got == expected

@@ -1,0 +1,156 @@
+"""Behavioural tests for every registered protocol spec."""
+
+import random
+
+import pytest
+
+from repro.protocols import Probe, default_registry
+from repro.protocols.base import ServerProfile
+
+REGISTRY = default_registry()
+ALL_SPECS = REGISTRY.specs
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+class TestRegistry:
+    def test_has_all_table4_ics_protocols(self):
+        expected = {
+            "ATG", "BACNET", "CIMON_PLC", "CMORE", "CODESYS", "DIGI", "DNP3",
+            "EIP", "FINS", "FOX", "GE_SRTP", "HART", "IEC60870", "MODBUS",
+            "OPC_UA", "PCOM", "PCWORX", "PROCONOS", "REDLION", "S7", "WDBRPC",
+        }
+        assert expected <= set(REGISTRY.names)
+        assert {s.name for s in REGISTRY.ics_specs} == expected
+
+    def test_port_assignment_lookup(self):
+        assert REGISTRY.assigned_to_port(22).name == "SSH"
+        assert REGISTRY.assigned_to_port(502).name == "MODBUS"
+        assert REGISTRY.assigned_to_port(53, "udp").name == "DNS"
+        assert REGISTRY.assigned_to_port(49151) is None
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError):
+            REGISTRY.get("GOPHER")
+
+    def test_duplicate_names_rejected(self):
+        from repro.protocols.registry import ProtocolRegistry
+        from repro.protocols.web import HttpSpec
+
+        with pytest.raises(ValueError):
+            ProtocolRegistry([HttpSpec(), HttpSpec()])
+
+    def test_contains(self):
+        assert "HTTP" in REGISTRY
+        assert "NOPE" not in REGISTRY
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+class TestEverySpec:
+    def test_profile_is_well_formed(self, spec, rng):
+        profile = spec.make_profile(rng)
+        assert isinstance(profile, ServerProfile)
+        assert profile.protocol == spec.name
+        assert len(profile.software) == 3
+
+    def test_profile_generation_is_deterministic(self, spec):
+        a = spec.make_profile(random.Random(7))
+        b = spec.make_profile(random.Random(7))
+        assert a.software == b.software
+        assert a.attributes == b.attributes
+
+    def test_handshake_elicits_fingerprintable_reply(self, spec, rng):
+        """Every protocol's own deep handshake must identify itself."""
+        profile = spec.make_profile(rng)
+        probes = spec.handshake_probes(spec.default_ports[0] if spec.default_ports else 0)
+        assert probes, f"{spec.name} has no handshake probes"
+        replies = [spec.respond(profile, probe) for probe in probes]
+        assert any(r.has_data for r in replies)
+        assert any(spec.fingerprint(r) for r in replies if r.has_data)
+
+    def test_fingerprint_rejects_silence_and_reset(self, spec):
+        from repro.protocols.base import RESET, SILENCE
+
+        assert not spec.fingerprint(SILENCE)
+        assert not spec.fingerprint(RESET)
+
+    def test_build_record_produces_namespaced_fields(self, spec, rng):
+        profile = spec.make_profile(rng)
+        port = spec.default_ports[0] if spec.default_ports else 0
+        replies = [spec.respond(profile, p) for p in spec.handshake_probes(port)]
+        record = spec.build_record([r for r in replies if r.has_data])
+        assert record, f"{spec.name} produced an empty record"
+        prefix = record and next(iter(record)).split(".")[0]
+        assert all("." in key for key in record), record
+
+    def test_replies_carry_ground_truth_protocol(self, spec, rng):
+        profile = spec.make_profile(rng)
+        port = spec.default_ports[0] if spec.default_ports else 0
+        for probe in spec.handshake_probes(port):
+            reply = spec.respond(profile, probe)
+            if reply.has_data:
+                assert reply.protocol == spec.name
+
+
+class TestCrossProtocolConfusion:
+    """No spec may fingerprint another protocol's handshake replies."""
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_own_reply_not_claimed_by_unrelated_ics(self, spec, rng):
+        profile = spec.make_profile(rng)
+        port = spec.default_ports[0] if spec.default_ports else 0
+        replies = [spec.respond(profile, p) for p in spec.handshake_probes(port)]
+        for other in ALL_SPECS:
+            if other.name == spec.name or not other.is_ics or spec.is_ics:
+                continue
+            for reply in replies:
+                if reply.has_data:
+                    assert not other.fingerprint(reply), (
+                        f"{other.name} claims {spec.name}'s reply"
+                    )
+
+    def test_smtp_error_identifies_smtp_not_http(self, rng):
+        smtp = REGISTRY.get("SMTP")
+        http = REGISTRY.get("HTTP")
+        profile = smtp.make_profile(rng)
+        reply = smtp.respond(profile, Probe("http-get", {"path": "/"}))
+        assert smtp.fingerprint(reply)
+        assert not http.fingerprint(reply)
+
+
+class TestHttpSpecifics:
+    def test_vhost_selection(self, rng):
+        http = REGISTRY.get("HTTP")
+        profile = http.make_profile(rng)
+        profile.attributes["vhosts"] = {"www.shop.example": {"html_title": "Shop"}}
+        default = http.respond(profile, Probe("http-get", {"path": "/"}))
+        named = http.respond(profile, Probe("http-get", {"path": "/", "host": "www.shop.example"}))
+        assert named.fields["html_title"] == "Shop"
+        assert named.fields["virtual_host"] == "www.shop.example"
+        assert "virtual_host" not in default.fields
+
+    def test_unknown_host_falls_back_to_default_page(self, rng):
+        http = REGISTRY.get("HTTP")
+        profile = http.make_profile(rng)
+        profile.attributes["vhosts"] = {"a.example": {"html_title": "A"}}
+        reply = http.respond(profile, Probe("http-get", {"path": "/", "host": "b.example"}))
+        assert reply.fields["html_title"] == profile.attributes["html_title"]
+
+    def test_favicon_hash_is_stable_per_software(self):
+        from repro.protocols.web import favicon_hash
+
+        assert favicon_hash("grafana", "grafana") == favicon_hash("grafana", "grafana")
+        assert favicon_hash("grafana", "grafana") != favicon_hash("jenkins", "jenkins")
+
+
+class TestMysqlSpecifics:
+    def test_error_variant_still_fingerprints(self):
+        mysql = REGISTRY.get("MYSQL")
+        rng = random.Random(0)
+        for _ in range(50):
+            profile = mysql.make_profile(rng)
+            reply = mysql.respond(profile, Probe("banner-wait"))
+            assert mysql.fingerprint(reply)

@@ -1,0 +1,227 @@
+"""Tests for scanning machinery: tiers, queue, predictive engine, PoPs."""
+
+import pytest
+
+from repro.scan import (
+    DiscoveryTier,
+    PredictiveEngine,
+    ScanCandidate,
+    ScanQueue,
+    cloud_ports,
+    default_pops,
+    make_background_tier,
+    make_cloud_tier,
+    make_priority_tier,
+    make_udp_tier,
+    priority_ports,
+    single_pop,
+)
+from repro.simnet import DAY, Topology, TopologyConfig, WorkloadConfig, build_simnet
+from repro.net import AddressSpace, ProbeSpace
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_simnet(
+        bits=13,
+        workload_config=WorkloadConfig(seed=4, services_target=400, t_start=-10 * DAY, t_end=5 * DAY),
+        seed=4,
+    )
+
+
+class TestPops:
+    def test_default_pops_cover_three_regions(self):
+        pops = default_pops()
+        assert len(pops) == 3
+        assert {p.vantage.region for p in pops} == {"us", "eu", "asia"}
+        assert len({p.vantage.vantage_id for p in pops}) == 3
+
+    def test_single_pop(self):
+        (pop,) = single_pop("eu")
+        assert pop.vantage.region == "eu"
+
+
+class TestPortLists:
+    def test_priority_ports_include_popular_and_ics(self):
+        ports = priority_ports()
+        assert 80 in ports and 443 in ports and 22 in ports
+        assert 502 in ports and 102 in ports  # MODBUS, S7 assignments
+        assert len(ports) == len(set(ports))
+
+    def test_cloud_ports_superset_of_priority_capped(self):
+        ports = cloud_ports()
+        assert len(ports) <= 300
+        assert 80 in ports and 9200 in ports
+
+
+class TestDiscoveryTier:
+    def test_advance_finds_live_services(self, net):
+        tier = make_priority_tier(net, cycle_hours=24.0, seed=1)
+        pop = default_pops(loss_rate=0.0)[0]
+        hits = []
+        for step in range(4):
+            hits.extend(tier.advance(step * 6.0, 6.0, pop))
+        assert hits
+        for hit in hits[:50]:
+            if hit.instance is not None:
+                assert hit.instance.alive_at(hit.probe_time)
+
+    def test_full_cycle_covers_space(self, net):
+        space_ports = [80, 443]
+        space = ProbeSpace.single_range(0, net.space.size, space_ports)
+        tier = DiscoveryTier("t", net, space, rate_per_hour=space.size / 24.0, seed=2)
+        pop = default_pops(loss_rate=0.0)[0]
+        seen = set()
+        for step in range(4):
+            for hit in tier.advance(step * 6.0, 6.0, pop):
+                seen.add((hit.target.ip_index, hit.target.port))
+        alive = {
+            (i.ip_index, i.port)
+            for i in net.services_alive_at(12.0)
+            if i.port in space_ports and i.transport == "tcp"
+        }
+        # everything alive through the window must be hit (no loss)
+        stable = {
+            (i.ip_index, i.port)
+            for i in net.workload.instances
+            if i.port in space_ports and i.transport == "tcp"
+            and i.birth <= 0.0 and i.death >= 24.0
+        }
+        assert stable <= seen
+        assert tier.cycles_completed >= 1
+
+    def test_rekeys_permutation_each_cycle(self, net):
+        space = ProbeSpace.single_range(0, net.space.size, [80])
+        tier = DiscoveryTier("t", net, space, rate_per_hour=space.size, seed=3)
+        pop = default_pops(loss_rate=0.0)[0]
+        first = tier._permutation.coefficients
+        tier.advance(0.0, 1.0, pop)
+        assert tier._permutation.coefficients != first
+
+    def test_rate_accumulates_fractional_probes(self, net):
+        space = ProbeSpace.single_range(0, 16, [80])
+        tier = DiscoveryTier("t", net, space, rate_per_hour=0.6, seed=4)
+        pop = default_pops(loss_rate=0.0)[0]
+        tier.advance(0.0, 1.0, pop)   # 0.6 probes -> 0 sent, residual kept
+        assert tier.probes_sent == 0
+        tier.advance(1.0, 1.0, pop)   # 1.2 -> 1 sent
+        assert tier.probes_sent == 1
+
+    def test_rejects_nonpositive_rate(self, net):
+        space = ProbeSpace.single_range(0, 16, [80])
+        with pytest.raises(ValueError):
+            DiscoveryTier("t", net, space, rate_per_hour=0)
+
+    def test_udp_tier_only_udp(self, net):
+        tier = make_udp_tier(net, cycle_hours=24.0)
+        pop = default_pops(loss_rate=0.0)[0]
+        hits = tier.advance(0.0, 24.0, pop)
+        assert all(h.instance.transport == "udp" for h in hits if h.instance)
+
+    def test_background_tier_rate(self, net):
+        tier = make_background_tier(net, ports_per_ip_per_day=100.0)
+        assert tier.rate == pytest.approx(net.space.size * 100 / 24.0)
+        # full sweep takes months, as in the paper
+        assert tier.cycle_hours / 24.0 > 300
+
+    def test_cloud_tier_targets_cloud_networks(self, net):
+        tier = make_cloud_tier(net, cycle_hours=24.0)
+        from repro.simnet import NetworkKind
+
+        intervals = net.topology.intervals_of_kind(NetworkKind.CLOUD)
+        assert tier is not None
+        assert tier.space.intervals == intervals
+
+
+class TestScanQueue:
+    def test_fifo_by_readiness(self):
+        queue = ScanQueue()
+        queue.push_new(1, 80, "tcp", "discovery", not_before=2.0)
+        queue.push_new(2, 80, "tcp", "discovery", not_before=1.0)
+        ready = queue.pop_ready(now=3.0)
+        assert [c.ip_index for c in ready] == [2, 1]
+
+    def test_not_before_respected(self):
+        queue = ScanQueue()
+        queue.push_new(1, 80, "tcp", "discovery", not_before=5.0)
+        assert queue.pop_ready(now=4.9) == []
+        assert len(queue.pop_ready(now=5.0)) == 1
+
+    def test_dedup_window(self):
+        queue = ScanQueue(dedup_window_hours=12.0)
+        assert queue.push_new(1, 80, "tcp", "discovery", not_before=0.0)
+        assert not queue.push_new(1, 80, "tcp", "discovery", not_before=6.0)
+        assert queue.push_new(1, 80, "tcp", "discovery", not_before=13.0)
+        assert queue.deduplicated == 1
+
+    def test_refresh_and_user_bypass_dedup(self):
+        queue = ScanQueue()
+        queue.push_new(1, 80, "tcp", "discovery", not_before=0.0)
+        assert queue.push_new(1, 80, "tcp", "refresh", not_before=1.0)
+        assert queue.push_new(1, 80, "tcp", "user", not_before=1.0)
+
+    def test_limit(self):
+        queue = ScanQueue()
+        for i in range(10):
+            queue.push_new(i, 80, "tcp", "discovery", not_before=0.0)
+        assert len(queue.pop_ready(1.0, limit=4)) == 4
+        assert len(queue) == 6
+
+
+class TestPredictiveEngine:
+    @pytest.fixture
+    def topology(self):
+        return Topology.generate(AddressSpace.of_bits(14), TopologyConfig(seed=9))
+
+    def test_hot_pair_triggers_network_sweep(self, topology):
+        engine = PredictiveEngine(topology, seed=1)
+        network = topology.networks[len(topology.networks) // 2]
+        engine.observe(network.start + 5, 12345, True)
+        proposals = engine.propose(budget=10_000)
+        assert proposals
+        assert all(p.port == 12345 for p in proposals)
+        assert all(p.ip_index in network for p in proposals)
+        # the sweep eventually covers the whole network
+        proposed_ips = {p.ip_index for p in proposals}
+        assert len(proposed_ips) >= network.size - 1
+
+    def test_sweep_resumes_across_budget_cycles(self, topology):
+        engine = PredictiveEngine(topology, seed=1)
+        network = topology.networks[len(topology.networks) // 2]
+        engine.observe(network.start, 9999, True)
+        first = engine.propose(budget=10)
+        second = engine.propose(budget=10)
+        assert len(first) == len(second) == 10
+        assert not ({(p.ip_index, p.port) for p in first} & {(p.ip_index, p.port) for p in second})
+
+    def test_misses_suppress_pair(self, topology):
+        engine = PredictiveEngine(topology, min_hits=2, seed=1)
+        network = topology.networks[0]
+        engine.observe(network.start, 5555, True)
+        for _ in range(200):
+            engine.observe(network.start + 1, 5555, False)
+        assert engine.propose(budget=100) == []
+
+    def test_no_sweep_without_hits(self, topology):
+        engine = PredictiveEngine(topology, seed=1)
+        for i in range(50):
+            engine.observe(topology.networks[0].start + i, 777, False)
+        assert engine.propose() == []
+
+    def test_reinjection_window(self, topology):
+        engine = PredictiveEngine(topology, reinject_window_hours=10 * 24.0, seed=1)
+        engine.remember_evicted(10, 80, "tcp", when=0.0)
+        assert (10, 80, "tcp") in engine.reinjections(now=5 * 24.0)
+        assert engine.reinjections(now=11 * 24.0) == []
+
+    def test_forget_evicted_on_return(self, topology):
+        engine = PredictiveEngine(topology, seed=1)
+        engine.remember_evicted(10, 80, "tcp", when=0.0)
+        engine.forget_evicted(10, 80, "tcp")
+        assert engine.reinjections(now=1.0) == []
+
+    def test_model_count_tracks_pairs(self, topology):
+        engine = PredictiveEngine(topology, seed=1)
+        engine.observe(topology.networks[0].start, 80, True)
+        engine.observe(topology.networks[1].start, 81, False)
+        assert engine.model_count == 2

@@ -1,0 +1,288 @@
+"""Tests for the query language, inverted index, and analytics store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search import (
+    Bool,
+    Compare,
+    Not,
+    QueryError,
+    Range,
+    SearchIndex,
+    SnapshotStore,
+    Term,
+    flatten_host_view,
+    matches,
+    parse_query,
+)
+
+
+class TestQueryParser:
+    def test_simple_field_term(self):
+        node = parse_query("services.service_name: MODBUS")
+        assert node == Term("services.service_name", "MODBUS")
+
+    def test_quoted_phrase(self):
+        node = parse_query('services.http.html_title: "MOVEit Transfer - Sign On"')
+        assert node == Term("services.http.html_title", "MOVEit Transfer - Sign On")
+
+    def test_bare_fulltext(self):
+        assert parse_query("nginx") == Term(None, "nginx")
+
+    def test_boolean_and_parens(self):
+        node = parse_query("(a: 1 or b: 2) and not c: 3")
+        assert isinstance(node, Bool) and node.op == "and"
+        assert isinstance(node.children[0], Bool) and node.children[0].op == "or"
+        assert isinstance(node.children[1], Not)
+
+    def test_implicit_and(self):
+        node = parse_query("a: 1 b: 2")
+        assert isinstance(node, Bool) and node.op == "and"
+        assert len(node.children) == 2
+
+    def test_comparison(self):
+        assert parse_query("services.port > 1000") == Compare("services.port", ">", 1000.0)
+        assert parse_query("x <= 5") == Compare("x", "<=", 5.0)
+
+    def test_range(self):
+        assert parse_query("services.port: [1000 to 2000]") == Range("services.port", 1000.0, 2000.0)
+
+    def test_wildcard(self):
+        node = parse_query("services.software.product: moveit*")
+        assert node.is_wildcard
+
+    def test_case_insensitive_operators(self):
+        node = parse_query("a: 1 OR b: 2")
+        assert isinstance(node, Bool) and node.op == "or"
+
+    @pytest.mark.parametrize("bad", ["", "   ", "(a: 1", "a:", "x > y", "a: [1 2]", ")"])
+    def test_malformed_queries(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+
+class TestQueryEvaluation:
+    DOC = {
+        "services.service_name": ["HTTP", "SSH"],
+        "services.port": [80, 22],
+        "services.http.html_title": ["MOVEit Transfer - Sign On"],
+        "location.country": ["US"],
+        "cve_ids": ["CVE-2023-34362"],
+    }
+
+    def test_term_match(self):
+        assert matches(parse_query("services.service_name: SSH"), self.DOC)
+        assert not matches(parse_query("services.service_name: RDP"), self.DOC)
+
+    def test_term_is_case_insensitive(self):
+        assert matches(parse_query("services.service_name: ssh"), self.DOC)
+
+    def test_token_within_value(self):
+        assert matches(parse_query("services.http.html_title: MOVEit"), self.DOC)
+
+    def test_phrase_exact(self):
+        assert matches(parse_query('services.http.html_title: "MOVEit Transfer - Sign On"'), self.DOC)
+        assert not matches(parse_query('services.http.html_title: "MOVEit Transfer"'), self.DOC)
+
+    def test_fulltext(self):
+        assert matches(parse_query("moveit"), self.DOC)
+        assert not matches(parse_query("zoomeye"), self.DOC)
+
+    def test_comparison_and_range(self):
+        assert matches(parse_query("services.port > 70"), self.DOC)
+        assert not matches(parse_query("services.port > 100"), self.DOC)
+        assert matches(parse_query("services.port: [20 to 25]"), self.DOC)
+
+    def test_boolean_combinations(self):
+        q = "services.service_name: HTTP and location.country: US and not services.port: 443"
+        assert matches(parse_query(q), self.DOC)
+        assert not matches(parse_query("services.service_name: HTTP and services.port: 443"), self.DOC)
+
+    def test_wildcard_match(self):
+        assert matches(parse_query("cve_ids: CVE-2023*"), self.DOC)
+        assert not matches(parse_query("cve_ids: CVE-2024*"), self.DOC)
+
+
+class TestSearchIndex:
+    @pytest.fixture
+    def index(self):
+        index = SearchIndex()
+        index.put("host:1", {"services.service_name": ["HTTP"], "location.country": ["US"], "services.port": [80]})
+        index.put("host:2", {"services.service_name": ["MODBUS"], "location.country": ["DE"], "services.port": [502]})
+        index.put("host:3", {"services.service_name": ["HTTP", "MODBUS"], "location.country": ["US"], "services.port": [80, 502]})
+        return index
+
+    def test_search_by_field(self, index):
+        assert index.search("services.service_name: MODBUS") == ["host:2", "host:3"]
+
+    def test_search_boolean(self, index):
+        assert index.search("services.service_name: MODBUS and location.country: US") == ["host:3"]
+        assert index.search("location.country: DE or location.country: US") == ["host:1", "host:2", "host:3"]
+
+    def test_search_not_requires_scan(self, index):
+        assert index.search("not services.service_name: HTTP") == ["host:2"]
+
+    def test_search_numeric(self, index):
+        assert index.search("services.port > 100") == ["host:2", "host:3"]
+        assert index.search("services.port: [70 to 90]") == ["host:1", "host:3"]
+
+    def test_replace_document(self, index):
+        index.put("host:1", {"services.service_name": ["SSH"], "services.port": [22]})
+        assert index.search("services.service_name: HTTP") == ["host:3"]
+        assert index.search("services.service_name: SSH") == ["host:1"]
+
+    def test_delete_document(self, index):
+        assert index.delete("host:3")
+        assert index.search("services.service_name: MODBUS") == ["host:2"]
+        assert not index.delete("host:3")
+
+    def test_limit(self, index):
+        assert index.search("location.country: US", limit=1) == ["host:1"]
+
+    def test_count_and_aggregate(self, index):
+        assert index.count("services.port: 80") == 2
+        agg = index.aggregate("services.service_name: HTTP", "location.country")
+        assert agg == {"US": 2}
+
+    def test_wildcard_search(self, index):
+        assert index.search("services.service_name: MOD*") == ["host:2", "host:3"]
+
+    def test_fulltext_search(self, index):
+        assert index.search("modbus") == ["host:2", "host:3"]
+
+    @given(st.lists(st.sampled_from(["HTTP", "SSH", "MODBUS", "RDP"]), min_size=1, max_size=4, unique=True))
+    @settings(max_examples=30)
+    def test_index_agrees_with_direct_evaluation(self, names):
+        index = SearchIndex()
+        docs = {}
+        for i, name in enumerate(names):
+            doc = {"services.service_name": [name], "services.port": [i * 100]}
+            docs[f"h{i}"] = doc
+            index.put(f"h{i}", doc)
+        for name in ("HTTP", "SSH", "MODBUS", "RDP"):
+            q = f"services.service_name: {name}"
+            expected = sorted(d for d, doc in docs.items() if name in doc["services.service_name"])
+            assert index.search(q) == expected
+
+
+class TestFlattening:
+    def test_flatten_host_view(self):
+        view = {
+            "entity_id": "host:1.2.3.4",
+            "services": {
+                "443/tcp": {
+                    "service_name": "HTTPS",
+                    "protocol": "HTTP",
+                    "last_seen": 12.0,
+                    "record": {"http.html_title": "Grafana", "tls.ja4s": "t13dx"},
+                    "software": {"vendor": "grafana", "product": "grafana", "version": None, "cpe": "c"},
+                    "vulnerabilities": [{"cve_id": "CVE-X"}],
+                }
+            },
+            "meta": {},
+            "derived": {
+                "location": {"country": "DE", "city": "Frankfurt"},
+                "autonomous_system": {"asn": 64512, "as_name": "X", "organization": "Org"},
+                "labels": ["open-database"],
+                "cve_ids": ["CVE-X"],
+            },
+        }
+        doc = flatten_host_view(view)
+        assert doc["ip"] == ["1.2.3.4"]
+        assert doc["services.port"] == [443]
+        assert doc["services.service_name"] == ["HTTPS"]
+        assert doc["services.http.html_title"] == ["Grafana"]
+        assert doc["location.country"] == ["DE"]
+        assert doc["services.software.product"] == ["grafana"]
+        assert doc["services.cve_ids"] == ["CVE-X"]
+        assert doc["labels"] == ["open-database"]
+
+
+class TestSnapshotStore:
+    def test_store_and_scan(self):
+        store = SnapshotStore()
+        store.store(0, [{"a": [1]}, {"a": [2]}])
+        assert store.days() == [0]
+        assert store.scan(0, where=lambda d: 2 in d["a"]) == [{"a": [2]}]
+
+    def test_missing_snapshot_raises(self):
+        with pytest.raises(KeyError):
+            SnapshotStore().snapshot(4)
+
+    def test_retention_thins_old_snapshots_to_weekly(self):
+        store = SnapshotStore(daily_retention_days=10)
+        for day in range(0, 30):
+            store.store(day, [{"day": [day]}])
+        days = store.days()
+        assert 29 in days and 28 in days  # recent dailies kept
+        old = [d for d in days if d < 19]
+        assert old and all(d % 7 == 0 for d in old)
+
+    def test_group_count(self):
+        store = SnapshotStore()
+        store.store(1, [{"c": ["US"]}, {"c": ["US"]}, {"c": ["DE"]}])
+        assert store.group_count(1, "c") == {"US": 2, "DE": 1}
+
+    def test_timeseries(self):
+        store = SnapshotStore()
+        store.store(0, [{"p": ["MODBUS"]}])
+        store.store(1, [{"p": ["MODBUS"]}, {"p": ["MODBUS"]}])
+        assert store.timeseries("p", "MODBUS") == [(0, 1), (1, 2)]
+
+    def test_latest(self):
+        store = SnapshotStore()
+        assert store.latest() == []
+        store.store(3, [{"x": [1]}])
+        store.store(5, [{"x": [2]}])
+        assert store.latest() == [{"x": [2]}]
+
+
+class TestQueryRenderer:
+    def test_round_trips_paper_queries(self):
+        from repro.search import render_query
+
+        queries = [
+            "services.service_name: MODBUS",
+            'services.http.html_title: "MOVEit Transfer - Sign On" and location.country: US',
+            "services.port: [1000 to 2000]",
+            "not labels: c2-server",
+            "(a: 1 or b: 2) and c > 5",
+            "services.software.product: moveit*",
+        ]
+        for query in queries:
+            node = parse_query(query)
+            assert parse_query(render_query(node)) == node
+
+    def test_quotes_reserved_words(self):
+        from repro.search import render_query
+
+        node = Term("f", "and")
+        rendered = render_query(node)
+        assert '"and"' in rendered
+        assert parse_query(rendered) == node
+
+
+class TestTableRenderers:
+    def test_render_table1_and_2(self):
+        from repro.eval.coverage import AccuracyRow, TierCoverage
+        from repro.eval.tables import render_table1, render_table2
+
+        t1 = render_table1([TierCoverage("censys", 0.96, 0.92, 0.82)])
+        assert "Top 10 Ports" in t1 and "96%" in t1
+        t2 = render_table2(
+            [AccuracyRow("censys", self_reported=794, sampled_entries=100,
+                         pct_accurate=0.92, pct_unique=1.0)]
+        )
+        assert "Self-Reported" in t2 and "730" in t2  # 794*0.92*1.0
+
+    def test_render_table4_dash_for_unsupported(self):
+        from repro.eval.ics import IcsCell
+        from repro.eval.tables import render_table4
+
+        table = {"S7": {"netlas": IcsCell("netlas", "S7", reported=5, accurate=4)},
+                 "MODBUS": {"netlas": IcsCell("netlas", "MODBUS", reported=0, accurate=0)}}
+        text = render_table4(table, ["netlas"], protocols=["S7", "MODBUS"])
+        assert "4/5" in text
+        assert "-" in text

@@ -1,0 +1,89 @@
+"""Tests for honeypot deployment and contact logging."""
+
+import pytest
+
+from repro.net import AffinePermutation, ProbeSpace
+from repro.simnet import (
+    DAY,
+    HONEYPOT_PORTS,
+    Vantage,
+    WorkloadConfig,
+    build_simnet,
+    deploy_honeypots,
+)
+
+
+@pytest.fixture()
+def net():
+    return build_simnet(
+        bits=14,
+        workload_config=WorkloadConfig(seed=9, services_target=300, t_start=-5 * DAY, t_end=20 * DAY),
+        seed=9,
+    )
+
+
+class TestDeployment:
+    def test_deploys_requested_fleet(self, net):
+        deployment = deploy_honeypots(net, count=20, start_time=0.0)
+        assert len(deployment.hosts) == 20
+        assert len(deployment.instances) == 20 * len(HONEYPOT_PORTS)
+        assert all(inst.is_honeypot for inst in deployment.instances)
+
+    def test_staggered_batches(self, net):
+        deployment = deploy_honeypots(net, count=24, start_time=0.0, stagger_hours=8.0, batch_size=6)
+        times = sorted(set(deployment.deploy_times.values()))
+        assert times == [0.0, 8.0, 16.0, 24.0]
+
+    def test_hosts_in_cloud_networks(self, net):
+        from repro.simnet import NetworkKind
+
+        deployment = deploy_honeypots(net, count=10, start_time=0.0)
+        for ip_index in deployment.hosts:
+            assert net.topology.network_of(ip_index).kind == NetworkKind.CLOUD
+
+    def test_l7_contact_logged(self, net):
+        deployment = deploy_honeypots(net, count=3, start_time=0.0)
+        vantage = Vantage("hp-test", "us", loss_rate=0.0, vantage_id=70)
+        inst = deployment.instances[0]
+        conn = net.connect(inst.ip_index, inst.port, 5.0, vantage, scanner="probe-engine")
+        assert conn is not None
+        first = deployment.first_contact("probe-engine", layer="l7")
+        assert first[(inst.ip_index, inst.port)] == 5.0
+
+    def test_l4_contact_logged_through_scan_index(self, net):
+        deployment = deploy_honeypots(net, count=3, start_time=0.0)
+        ports = [p for p, _ in HONEYPOT_PORTS]
+        tcp_ports = sorted({p for p in ports})
+        space = ProbeSpace.single_range(0, net.space.size, tcp_ports)
+        perm = AffinePermutation(space.size, seed=4)
+        index = net.prepare_scan(space, perm)
+        # instances were added after index creation -> must be notified
+        for inst in deployment.instances:
+            index.add_instance(inst)
+        vantage = Vantage("hp-test", "us", loss_rate=0.0, vantage_id=71)
+        index.query(0, space.size, 1.0, 1e9, vantage, scanner="l4-engine")
+        delays = deployment.discovery_delays("l4-engine", layer="l4")
+        assert any(delays[port] for port in delays)
+
+    def test_discovery_delays_relative_to_deploy_time(self, net):
+        deployment = deploy_honeypots(net, count=2, start_time=10.0, stagger_hours=8.0, batch_size=1)
+        inst = deployment.instances[0]
+        net.log_honeypot_contact(inst, 14.0, "engine-x", "l4")
+        delays = deployment.discovery_delays("engine-x")
+        assert delays[inst.port] == [4.0]
+
+    def test_requires_cloud_networks(self, net):
+        from repro.simnet import SimulatedInternet, Topology, TopologyConfig
+
+        # carve a topology with no cloud kind
+        from repro.net import AddressSpace
+
+        space = AddressSpace.of_bits(10)
+        config = TopologyConfig(seed=1, kind_shares={"business": 1.0})
+        topology = Topology.generate(space, config)
+        from repro.simnet import WorkloadConfig as WC, generate_workload
+
+        workload = generate_workload(topology, WC(seed=1, services_target=50, t_start=0.0, t_end=24.0))
+        isolated = SimulatedInternet(space, topology, workload, seed=1)
+        with pytest.raises(ValueError):
+            deploy_honeypots(isolated, count=1)

@@ -1,0 +1,219 @@
+"""Tests for the simulated Internet: segment queries, connections, physics."""
+
+import math
+import random
+
+import pytest
+
+from repro.net import AddressSpace, AffinePermutation, ProbeSpace, ProbeTarget
+from repro.protocols import Interrogator, Probe, default_registry
+from repro.simnet import (
+    DAY,
+    SimulatedInternet,
+    Topology,
+    TopologyConfig,
+    Vantage,
+    WorkloadConfig,
+    build_simnet,
+    generate_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_simnet(
+        bits=14,
+        workload_config=WorkloadConfig(
+            seed=2, services_target=800, t_start=-20 * DAY, t_end=10 * DAY
+        ),
+        seed=2,
+    )
+
+
+VANTAGE = Vantage("test-pop", "us", loss_rate=0.0, vantage_id=0)
+
+
+class TestSegmentQueries:
+    def test_matches_brute_force_enumeration(self, net):
+        """The fast index must agree with walking the permutation."""
+        ports = [22, 80, 443, 8080, 2222]
+        space = ProbeSpace.single_range(0, net.space.size, ports)
+        perm = AffinePermutation(space.size, seed=77)
+        index = net.prepare_scan(space, perm)
+        start, count = 12345, 30_000
+        rate = 1e9  # effectively instantaneous: probe_time == t0
+        hits = index.query(start, count, t0=0.0, rate=rate, vantage=VANTAGE)
+        got = {(h.target.ip_index, h.target.port) for h in hits}
+
+        expected = set()
+        for element in perm.iterate(start=start, count=count):
+            target = space.target_of(element)
+            inst = net.instance_at(target.ip_index, target.port, 0.0)
+            if inst is not None and inst.transport == "tcp":
+                expected.add((target.ip_index, target.port))
+            elif net.pseudo_at(target.ip_index, 0.0) is not None:
+                expected.add((target.ip_index, target.port))
+        assert got == expected
+
+    def test_full_cycle_covers_every_live_tcp_service(self, net):
+        space = ProbeSpace.single_range(0, net.space.size, list(range(65536)))
+        perm = AffinePermutation(space.size, seed=3)
+        index = net.prepare_scan(space, perm)
+        hits = index.query(0, space.size, t0=0.0, rate=1e12, vantage=VANTAGE)
+        got = {(h.target.ip_index, h.target.port) for h in hits if h.instance}
+        alive = {
+            (i.ip_index, i.port)
+            for i in net.workload.instances
+            if i.alive_at(0.0) and i.transport == "tcp"
+        }
+        assert alive <= got
+
+    def test_wrapping_segment(self, net):
+        space = ProbeSpace.single_range(0, net.space.size, [80])
+        perm = AffinePermutation(space.size, seed=5)
+        index = net.prepare_scan(space, perm)
+        m = space.size
+        full = index.query(0, m, 0.0, 1e12, VANTAGE)
+        wrapped = index.query(m - 100, 200, 0.0, 1e12, VANTAGE)
+        straight = index.query(m - 100, 100, 0.0, 1e12, VANTAGE) + index.query(0, 100, 0.0, 1e12, VANTAGE)
+        assert {(h.target.ip_index, h.target.port) for h in wrapped} == {
+            (h.target.ip_index, h.target.port) for h in straight
+        }
+        assert len(full) >= len(wrapped)
+
+    def test_probe_times_interpolate_with_rate(self, net):
+        space = ProbeSpace.single_range(0, net.space.size, list(range(65536)))
+        perm = AffinePermutation(space.size, seed=3)
+        index = net.prepare_scan(space, perm)
+        rate = space.size / 10.0  # whole space in 10 hours
+        hits = index.query(0, space.size, t0=5.0, rate=rate, vantage=VANTAGE)
+        assert hits
+        assert all(5.0 <= h.probe_time <= 15.0 + 1e-9 for h in hits)
+        assert hits == sorted(hits, key=lambda h: h.probe_time)
+
+    def test_dead_instances_not_hit(self, net):
+        inst = next(i for i in net.workload.instances if math.isfinite(i.death) and i.transport == "tcp")
+        space = ProbeSpace.single_range(0, net.space.size, [inst.port])
+        perm = AffinePermutation(space.size, seed=1)
+        index = net.prepare_scan(space, perm)
+        after_death = inst.death + 1.0
+        hits = index.query(0, space.size, after_death, 1e12, VANTAGE)
+        assert (inst.ip_index, inst.port) not in {
+            (h.target.ip_index, h.target.port) for h in hits if h.instance is inst
+        }
+
+    def test_udp_index_excludes_tcp_services(self, net):
+        space = ProbeSpace.single_range(0, net.space.size, [53, 161, 123])
+        perm = AffinePermutation(space.size, seed=2)
+        index = net.prepare_scan(space, perm, transport="udp")
+        hits = index.query(0, space.size, 0.0, 1e12, VANTAGE)
+        assert hits
+        assert all(h.instance is not None and h.instance.transport == "udp" for h in hits)
+
+    def test_pseudo_hosts_respond_on_every_port(self, net):
+        pseudo = net.workload.pseudo_hosts[0]
+        ports = [7, 1234, 40000, 65535]
+        space = ProbeSpace.single_range(pseudo.ip_index, pseudo.ip_index + 1, ports)
+        perm = AffinePermutation(space.size, seed=8)
+        index = net.prepare_scan(space, perm)
+        hits = index.query(0, space.size, 0.0, 1e12, VANTAGE)
+        assert {h.target.port for h in hits if h.pseudo} == set(ports)
+
+
+class TestConnections:
+    def test_connect_and_interrogate_live_service(self, net):
+        inst = next(
+            i for i in net.services_alive_at(0.0) if i.transport == "tcp" and i.protocol == "HTTP"
+        )
+        conn = net.connect(inst.ip_index, inst.port, 0.0, VANTAGE)
+        assert conn is not None
+        result = Interrogator(default_registry()).interrogate(conn)
+        assert result.success
+
+    def test_connect_to_empty_binding_fails(self, net):
+        used = {i.key for i in net.workload.instances}
+        pseudo_ips = {p.ip_index for p in net.workload.pseudo_hosts}
+        for ip in range(net.space.size):
+            if ip not in pseudo_ips and (ip, 60001) not in used:
+                assert net.connect(ip, 60001, 0.0, VANTAGE) is None
+                break
+
+    def test_connect_respects_lifetimes(self, net):
+        inst = next(i for i in net.workload.instances if math.isfinite(i.death))
+        assert net.connect(inst.ip_index, inst.port, inst.death + 0.5, VANTAGE) is None or (
+            # another instance may legitimately occupy the binding later
+            net.instance_at(inst.ip_index, inst.port, inst.death + 0.5) is not inst
+        )
+
+    def test_tls_gating(self, net):
+        inst = next(i for i in net.services_alive_at(0.0) if i.profile.tls is not None)
+        conn = net.connect(inst.ip_index, inst.port, 0.0, VANTAGE)
+        reply = conn.send(Probe("http-get", {"path": "/"}))
+        assert reply.is_reset
+        hello = conn.start_tls()
+        assert hello is not None
+        inner = conn.send(Probe("http-get", {"path": "/"}))
+        assert inner.has_data
+
+    def test_phantom_connects_but_stays_silent(self, net):
+        phantom = next(i for i in net.workload.instances if i.protocol == "NONE" and i.alive_at(0.0))
+        conn = net.connect(phantom.ip_index, phantom.port, 0.0, VANTAGE)
+        assert conn is not None
+        result = Interrogator(default_registry()).interrogate(conn)
+        assert not result.success
+
+
+class TestReachabilityPhysics:
+    def test_loss_rate_drops_roughly_expected_fraction(self, net):
+        lossy = Vantage("lossy", "us", loss_rate=0.25, vantage_id=9)
+        alive = [i for i in net.services_alive_at(0.0)][:600]
+        reached = sum(
+            1 for i in alive if net.reachable(i.ip_index, lossy, 0.0, salt=i.instance_id)
+        )
+        drop = 1 - reached / len(alive)
+        assert 0.15 < drop < 0.40
+
+    def test_loss_is_transient(self, net):
+        lossy = Vantage("lossy", "us", loss_rate=0.3, vantage_id=9)
+        inst = net.services_alive_at(0.0)[0]
+        outcomes = {
+            net.reachable(inst.ip_index, lossy, t, salt=inst.instance_id)
+            for t in (0.0, 7.0, 13.0, 19.0, 25.0, 31.0)
+        }
+        assert outcomes == {True, False} or outcomes == {True}
+
+    def test_geoblocked_network_unreachable_from_blocked_region(self, net):
+        blocked_net = next((n for n in net.topology.networks if n.blocked_regions), None)
+        if blocked_net is None:
+            pytest.skip("no geoblocking networks in this seed")
+        region = blocked_net.blocked_regions[0]
+        vantage = Vantage("v", region, loss_rate=0.0, vantage_id=3)
+        assert not net.reachable(blocked_net.start, vantage, 0.0)
+
+    def test_deterministic_reachability(self, net):
+        v = Vantage("v", "eu", loss_rate=0.5, vantage_id=4)
+        results = [net.reachable(123, v, 4.0, salt=9) for _ in range(5)]
+        assert len(set(results)) == 1
+
+
+class TestNames:
+    def test_resolve_web_property(self, net):
+        prop = next(
+            p
+            for p in net.workload.web_properties
+            if any(
+                i.alive_at(0.0) and i.protocol == "HTTP"
+                for i in net.device_instances(p.device_id)
+            )
+        )
+        resolved = net.resolve_name(prop.name, 0.0)
+        assert resolved is not None
+        ip_index, port = resolved
+        conn = net.connect(ip_index, port, 0.0, VANTAGE, sni=prop.name)
+        assert conn is not None
+        conn.start_tls()
+        reply = conn.send(Probe("http-get", {"path": "/"}))
+        assert reply.fields.get("virtual_host") == prop.name
+
+    def test_resolve_unknown_name(self, net):
+        assert net.resolve_name("nope.example.com", 0.0) is None

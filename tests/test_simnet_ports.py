@@ -1,0 +1,100 @@
+"""Tests for the port-popularity model (the Figure 4 machinery)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.ports import TAIL_PROTOCOL_MIX, TOP_PORT_TABLE, PortModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PortModel(seed=3)
+
+
+class TestTopTable:
+    def test_no_duplicate_ports(self):
+        ports = [entry[0] for entry in TOP_PORT_TABLE]
+        assert len(ports) == len(set(ports))
+
+    def test_known_protocols_registered(self):
+        from repro.protocols import default_registry
+
+        registry = default_registry()
+        for port, protocol, transport, tls in TOP_PORT_TABLE:
+            assert protocol in registry, protocol
+            spec = registry.get(protocol)
+            assert spec.transport == transport, (port, protocol)
+
+    def test_tail_mix_weights_positive(self):
+        assert all(weight > 0 for _, weight in TAIL_PROTOCOL_MIX)
+        assert all(protocol for (protocol, _), _ in zip(TAIL_PROTOCOL_MIX, TAIL_PROTOCOL_MIX))
+
+
+class TestPortModel:
+    def test_rank_round_trip_top(self, model):
+        for rank in (1, 2, 10, len(TOP_PORT_TABLE)):
+            port, fixed = model.port_for_rank(rank)
+            assert fixed is not None
+            assert model.rank_of_port(port) == rank
+
+    def test_rank_round_trip_tail(self, model):
+        for rank in (len(TOP_PORT_TABLE) + 1, 500, 5000, model.max_rank):
+            port, fixed = model.port_for_rank(rank)
+            assert fixed is None
+            assert model.rank_of_port(port) == rank
+
+    def test_tail_ports_cover_everything_once(self, model):
+        top = {entry[0] for entry in TOP_PORT_TABLE}
+        tail = model._tail_ports
+        assert len(tail) == len(set(tail))
+        assert not (set(tail) & top)
+        assert 0 not in tail
+
+    def test_rank_bounds_enforced(self, model):
+        assert model.max_rank == 65535  # port 0 excluded
+        with pytest.raises(ValueError):
+            model.port_for_rank(0)
+        with pytest.raises(ValueError):
+            model.port_for_rank(model.max_rank + 1)
+
+    def test_top_ports_order(self, model):
+        assert model.top_ports(3) == [TOP_PORT_TABLE[0][0], TOP_PORT_TABLE[1][0], TOP_PORT_TABLE[2][0]]
+
+    def test_rank_weight_decreasing(self, model):
+        weights = [model.rank_weight(r) for r in range(1, 200)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_expected_tier_shares_sum_to_one(self, model):
+        shares = model.expected_tier_shares()
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares[0] > 0.2  # top-10 carries real mass
+        assert shares[2] > 0.2  # and so does the tail
+
+    def test_sampling_matches_cdf(self, model):
+        rng = random.Random(0)
+        n = 20_000
+        top10 = set(model.top_ports(10))
+        hits = sum(1 for _ in range(n) if model.sample(rng).port in top10)
+        expected, _, _ = model.expected_tier_shares()
+        assert abs(hits / n - expected) < 0.02
+
+    def test_sample_fields_consistent(self, model):
+        rng = random.Random(1)
+        for _ in range(300):
+            assignment = model.sample(rng)
+            assert 1 <= assignment.port <= 65535
+            assert assignment.transport in ("tcp", "udp")
+            if assignment.rank <= len(TOP_PORT_TABLE):
+                entry = TOP_PORT_TABLE[assignment.rank - 1]
+                assert (assignment.port, assignment.protocol) == (entry[0], entry[1])
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_given_seed(self, seed):
+        a = PortModel(seed=seed)
+        b = PortModel(seed=seed)
+        assert a.top_ports(60) == b.top_ports(60)
+        assert a._tail_ports[:50] == b._tail_ports[:50]

@@ -1,0 +1,100 @@
+"""Tests for topology synthesis and lookups."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import AddressSpace
+from repro.simnet import NetworkKind, Topology, TopologyConfig
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return Topology.generate(AddressSpace.of_bits(16), TopologyConfig(seed=5))
+
+
+class TestTopologyGeneration:
+    def test_partitions_the_whole_space(self, topology):
+        cursor = 0
+        for network in topology.networks:
+            assert network.start == cursor
+            assert network.stop > network.start
+            cursor = network.stop
+        assert cursor == topology.space.size
+
+    def test_deterministic_for_seed(self):
+        space = AddressSpace.of_bits(14)
+        a = Topology.generate(space, TopologyConfig(seed=9))
+        b = Topology.generate(space, TopologyConfig(seed=9))
+        assert [(n.start, n.stop, n.kind, n.country) for n in a.networks] == [
+            (n.start, n.stop, n.kind, n.country) for n in b.networks
+        ]
+
+    def test_different_seeds_differ(self):
+        space = AddressSpace.of_bits(14)
+        a = Topology.generate(space, TopologyConfig(seed=1))
+        b = Topology.generate(space, TopologyConfig(seed=2))
+        assert [(n.kind, n.country) for n in a.networks] != [
+            (n.kind, n.country) for n in b.networks
+        ]
+
+    def test_all_kinds_present(self, topology):
+        kinds = {n.kind for n in topology.networks}
+        assert kinds == set(NetworkKind.ALL)
+
+    def test_table3_countries_present(self, topology):
+        countries = {n.country for n in topology.networks}
+        assert {"US", "CN", "DE"} <= countries
+
+    def test_us_is_most_common_country(self, topology):
+        from collections import Counter
+
+        sizes = Counter()
+        for n in topology.networks:
+            sizes[n.country] += n.size
+        assert sizes.most_common(1)[0][0] == "US"
+
+    def test_some_networks_geoblock(self, topology):
+        blocked = [n for n in topology.networks if n.blocked_regions]
+        assert blocked, "expected some geoblocking networks at default rate"
+        assert all(set(n.blocked_regions) <= {"us", "eu", "asia"} for n in blocked)
+
+    def test_asns_unique(self, topology):
+        asns = [n.asn for n in topology.networks]
+        assert len(asns) == len(set(asns))
+
+
+class TestTopologyLookup:
+    def test_network_of_boundaries(self, topology):
+        for network in topology.networks[:50]:
+            assert topology.network_of(network.start) is network
+            assert topology.network_of(network.stop - 1) is network
+
+    def test_network_of_out_of_range(self, topology):
+        with pytest.raises(ValueError):
+            topology.network_of(-1)
+        with pytest.raises(ValueError):
+            topology.network_of(topology.space.size)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=50)
+    def test_network_of_contains(self, ip_index):
+        topology = Topology.generate(AddressSpace.of_bits(16), TopologyConfig(seed=5))
+        network = topology.network_of(ip_index)
+        assert ip_index in network
+
+    def test_intervals_of_kind_sorted_disjoint(self, topology):
+        intervals = topology.intervals_of_kind(NetworkKind.CLOUD)
+        assert intervals
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+    def test_country_of(self, topology):
+        network = topology.networks[0]
+        assert topology.country_of(network.start) == network.country
+
+    def test_region_mapping(self, topology):
+        assert topology.region_of_country("US") == "us"
+        assert topology.region_of_country("DE") == "eu"
+        assert topology.region_of_country("CN") == "asia"
+        assert topology.region_of_country("XX") == "eu"

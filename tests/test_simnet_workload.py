@@ -1,0 +1,199 @@
+"""Tests for workload synthesis: stationarity, churn, placement, TLS, ICS."""
+
+from collections import Counter
+
+import pytest
+
+from repro.net import AddressSpace
+from repro.simnet import (
+    DAY,
+    DEFAULT_ICS_COUNTS,
+    NetworkKind,
+    Topology,
+    TopologyConfig,
+    WorkloadConfig,
+    generate_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return Topology.generate(AddressSpace.of_bits(16), TopologyConfig(seed=3))
+
+
+@pytest.fixture(scope="module")
+def workload(topology):
+    config = WorkloadConfig(seed=3, services_target=2500, t_start=-30 * DAY, t_end=15 * DAY)
+    return generate_workload(topology, config)
+
+
+class TestPopulation:
+    def test_stationary_count_near_target(self, workload):
+        for t in (-20 * DAY, -5 * DAY, 0.0, 10 * DAY):
+            alive = workload.services_alive_at(t)
+            ics_extra = sum(
+                max(3, round(c * 2500 / 20000)) for c in DEFAULT_ICS_COUNTS.values()
+            )
+            expected = 2500 + ics_extra
+            assert 0.75 * expected < len(alive) < 1.3 * expected
+
+    def test_deterministic_for_seed(self, topology):
+        config = WorkloadConfig(seed=11, services_target=400, t_start=-5 * DAY, t_end=5 * DAY)
+        a = generate_workload(topology, config)
+        b = generate_workload(topology, config)
+        assert len(a.instances) == len(b.instances)
+        assert [(i.ip_index, i.port, i.birth) for i in a.instances[:100]] == [
+            (i.ip_index, i.port, i.birth) for i in b.instances[:100]
+        ]
+
+    def test_no_binding_overlap_in_time(self, workload):
+        """Two instances never occupy the same (ip, port) simultaneously."""
+        by_binding = {}
+        for inst in workload.instances:
+            by_binding.setdefault(inst.key, []).append(inst)
+        for chain in by_binding.values():
+            chain.sort(key=lambda i: i.birth)
+            for a, b in zip(chain, chain[1:]):
+                assert a.death <= b.birth
+
+    def test_instances_have_unique_ids(self, workload):
+        ids = [i.instance_id for i in workload.instances]
+        assert len(ids) == len(set(ids))
+
+    def test_protocol_mix_dominated_by_http(self, workload):
+        counts = Counter(i.protocol for i in workload.services_alive_at(0))
+        assert counts.most_common(1)[0][0] == "HTTP"
+
+    def test_phantoms_present_but_excluded_from_services(self, workload):
+        alive_all = workload.alive_at(0)
+        alive_services = workload.services_alive_at(0)
+        phantoms = [i for i in alive_all if i.protocol == "NONE"]
+        assert phantoms
+        assert len(alive_services) == len(alive_all) - len(phantoms)
+
+
+class TestChurn:
+    def test_cloud_services_shorter_lived_than_business(self, workload, topology):
+        def mean_life(kind):
+            lives = [
+                min(i.lifetime, 400 * DAY)
+                for i in workload.instances
+                if topology.network_of(i.ip_index).kind == kind and i.protocol not in ("NONE",)
+            ]
+            return sum(lives) / len(lives)
+
+        assert mean_life(NetworkKind.CLOUD) < mean_life(NetworkKind.BUSINESS) / 2
+
+    def test_lease_chains_share_device_and_profile(self, workload):
+        chains = {}
+        for inst in workload.instances:
+            chains.setdefault(inst.device_id, []).append(inst)
+        multi = [c for c in chains.values() if len(c) > 1]
+        assert multi, "expected lease/flap chains"
+        for chain in multi[:50]:
+            assert len({id(i.profile) for i in chain}) == 1
+            assert len({i.protocol for i in chain}) == 1
+
+    def test_lease_chain_windows_are_sequential(self, workload):
+        chains = {}
+        for inst in workload.instances:
+            chains.setdefault(inst.device_id, []).append(inst)
+        for chain in chains.values():
+            chain.sort(key=lambda i: i.birth)
+            for a, b in zip(chain, chain[1:]):
+                assert b.birth >= a.birth
+
+    def test_flapping_instances_reuse_binding(self, workload):
+        chains = {}
+        for inst in workload.instances:
+            chains.setdefault(inst.device_id, []).append(inst)
+        reused = [
+            c for c in chains.values() if len(c) > 1 and len({i.key for i in c}) == 1
+        ]
+        assert reused, "expected flapping chains at the same binding"
+
+
+class TestPlacement:
+    def test_tail_services_cluster_on_network_palettes(self, workload, topology):
+        top100 = set(workload.port_model.top_ports(100))
+        tail = [i for i in workload.services_alive_at(0) if i.port not in top100]
+        pairs = Counter(
+            (topology.network_of(i.ip_index).network_id, i.port) for i in tail
+        )
+        clustered = sum(c for c in pairs.values() if c >= 2)
+        assert clustered / max(1, len(tail)) > 0.25
+
+    def test_port_tiers_roughly_match_power_law(self, workload):
+        alive = workload.services_alive_at(0)
+        ordinary = [i for i in alive if not i.protocol in DEFAULT_ICS_COUNTS]
+        top10 = set(workload.port_model.top_ports(10))
+        share = sum(1 for i in ordinary if i.port in top10) / len(ordinary)
+        expected, _, _ = workload.port_model.expected_tier_shares()
+        assert abs(share - expected) < 0.12
+
+    def test_ics_population_scaled(self, workload):
+        counts = Counter(
+            i.protocol for i in workload.services_alive_at(0) if i.protocol in DEFAULT_ICS_COUNTS
+        )
+        # MODBUS should be the largest ICS population, as in Table 4.
+        assert counts["MODBUS"] >= max(v for k, v in counts.items() if k != "MODBUS")
+        assert set(counts) == set(DEFAULT_ICS_COUNTS)
+
+    def test_some_ics_on_nonstandard_ports(self, workload):
+        from repro.protocols import default_registry
+
+        registry = default_registry()
+        off_port = [
+            i
+            for i in workload.instances
+            if i.protocol in DEFAULT_ICS_COUNTS
+            and i.port not in registry.get(i.protocol).default_ports
+        ]
+        assert off_port
+
+
+class TestTlsAndWebProperties:
+    def test_tls_services_share_certificate_per_device(self, workload):
+        by_device = {}
+        for inst in workload.instances:
+            if inst.profile.tls is not None:
+                by_device.setdefault(inst.device_id, set()).add(
+                    inst.profile.tls.certificate_sha256
+                )
+        assert by_device
+        assert all(len(certs) == 1 for certs in by_device.values())
+
+    def test_web_properties_have_backing_vhosts(self, workload):
+        by_device = {}
+        for inst in workload.instances:
+            by_device.setdefault(inst.device_id, []).append(inst)
+        for prop in workload.web_properties[:100]:
+            instances = by_device[prop.device_id]
+            assert any(
+                prop.name in (inst.profile.attributes.get("vhosts") or {})
+                for inst in instances
+            )
+
+    def test_web_property_names_in_certificates(self, workload):
+        by_device = {}
+        for inst in workload.instances:
+            by_device.setdefault(inst.device_id, []).append(inst)
+        for prop in workload.web_properties[:100]:
+            tls_instances = [i for i in by_device[prop.device_id] if i.profile.tls]
+            assert tls_instances
+            assert all(prop.name in i.profile.tls.subject_names for i in tls_instances)
+
+    def test_some_phishing_properties(self, workload):
+        phishing = [p for p in workload.web_properties if p.is_phishing]
+        assert phishing
+        assert all(p.impersonates for p in phishing)
+
+    def test_discovery_source_flags(self, workload):
+        assert any(p.in_ct_log for p in workload.web_properties)
+        assert any(p.in_passive_dns for p in workload.web_properties)
+
+
+class TestPseudoHosts:
+    def test_pseudo_hosts_generated(self, workload):
+        assert len(workload.pseudo_hosts) >= 3
+        assert all(p.alive_at(0) for p in workload.pseudo_hosts)

@@ -1,0 +1,107 @@
+"""Tests for web-property name discovery and name-based scanning."""
+
+import pytest
+
+from repro.certs import CaWorld, CtLog
+from repro.protocols import Interrogator, default_registry
+from repro.simnet import DAY, Vantage, WorkloadConfig, build_simnet
+from repro.webprops import NameFeed, WebPropertyScanner, web_entity_id
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_simnet(
+        bits=14,
+        workload_config=WorkloadConfig(
+            seed=44, services_target=900, t_start=-20 * DAY, t_end=10 * DAY,
+            web_property_count=120,
+        ),
+        seed=44,
+    )
+
+
+@pytest.fixture(scope="module")
+def ct_log(net):
+    world = CaWorld()
+    log = CtLog()
+    for prop in sorted(net.workload.web_properties, key=lambda p: p.published_at):
+        if not prop.in_ct_log:
+            continue
+        for inst in net.device_instances(prop.device_id):
+            if inst.profile.tls is not None and not inst.profile.tls.self_signed:
+                log.submit(
+                    world.certificate_for_tls_profile(inst.profile.tls, prop.published_at),
+                    prop.published_at,
+                )
+                break
+    return log
+
+
+class TestNameFeed:
+    def test_ct_names_discovered_incrementally(self, net, ct_log):
+        feed = NameFeed(net.workload, ct_log)
+        early = feed.poll(now=-15 * DAY)
+        later = feed.poll(now=0.0)
+        assert {d.name for d in early}.isdisjoint({d.name for d in later})
+        assert any(d.source == "ct" for d in early + later)
+
+    def test_passive_dns_lags_publication(self, net):
+        feed = NameFeed(net.workload, ct_log=None)
+        discovered = feed.poll(now=0.0)
+        by_name = {d.name: d for d in discovered}
+        for prop in net.workload.web_properties:
+            if prop.name in by_name and by_name[prop.name].source == "passive_dns":
+                assert by_name[prop.name].discovered_at >= prop.published_at + NameFeed.PASSIVE_DNS_MIN_LAG
+
+    def test_no_duplicate_emissions(self, net, ct_log):
+        feed = NameFeed(net.workload, ct_log)
+        seen = set()
+        for t in (-15 * DAY, -5 * DAY, 0.0, 5 * DAY):
+            for discovered in feed.poll(t):
+                assert discovered.name not in seen
+                seen.add(discovered.name)
+        assert feed.discovered_count == len(seen)
+
+    def test_undiscoverable_names_never_emitted(self, net, ct_log):
+        hidden = {
+            p.name for p in net.workload.web_properties
+            if not (p.in_ct_log or p.in_passive_dns or p.via_redirect)
+        }
+        feed = NameFeed(net.workload, ct_log)
+        emitted = {d.name for d in feed.poll(now=10 * DAY)}
+        ct_names = {n for n, _ in ct_log.names_seen()}
+        assert not (hidden - ct_names) & emitted
+
+
+class TestWebPropertyScanner:
+    VANTAGE = Vantage("web-test", "us", loss_rate=0.0, vantage_id=60)
+
+    def test_scan_live_property(self, net):
+        scanner = WebPropertyScanner(net, Interrogator(default_registry()))
+        prop = next(
+            p for p in net.workload.web_properties
+            if net.resolve_name(p.name, 0.0) is not None
+        )
+        obs = scanner.scan(prop.name, 0.0, self.VANTAGE)
+        assert obs.entity_id == web_entity_id(prop.name)
+        assert obs.source == "name"
+        if obs.result.success:
+            assert obs.result.record["web.name"] == prop.name
+            assert obs.result.record.get("http.virtual_host") == prop.name
+
+    def test_scan_unresolvable_name_fails(self, net):
+        scanner = WebPropertyScanner(net, Interrogator(default_registry()))
+        obs = scanner.scan("ghost.example.org", 0.0, self.VANTAGE)
+        assert not obs.result.success
+        assert scanner.failures >= 1
+
+    def test_phishing_page_served_under_name(self, net):
+        scanner = WebPropertyScanner(net, Interrogator(default_registry()))
+        for prop in net.workload.web_properties:
+            if not prop.is_phishing or net.resolve_name(prop.name, 0.0) is None:
+                continue
+            obs = scanner.scan(prop.name, 0.0, self.VANTAGE)
+            if obs.result.success:
+                assert prop.impersonates.title() in obs.result.record["http.html_title"]
+                return
+        pytest.skip("no live phishing property in this seed")
