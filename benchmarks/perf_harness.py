@@ -1,0 +1,197 @@
+"""Perf-regression harness: timed microbenchmarks of the vectorized hot paths.
+
+Runs each hot path and its retained scalar reference for N rounds and
+writes ``benchmarks/results/BENCH_micro.json`` with per-path median/p90
+latencies, the population sizes exercised, the git commit, and the
+vectorized-over-reference speedups.  The equality of the two paths is
+asserted separately by ``benchmarks/test_perf_regression.py``; this
+harness only measures.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py [--rounds N]
+
+The default configuration matches ``test_microbenchmarks.py`` (bits=14,
+seed 71, 1500 services, a full-port probe space, one-day segments), so
+numbers are comparable across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.net import AffinePermutation, ProbeSpace
+from repro.search import SearchIndex
+from repro.simnet import DAY, Vantage, WorkloadConfig, build_simnet
+
+RESULTS = Path(__file__).resolve().parent / "results"
+
+
+def _timed(fn, rounds: int, inner: int = 5) -> dict:
+    """Median/p90 seconds-per-call over ``rounds`` samples of ``inner`` calls."""
+    fn()  # warm caches (numpy columns, routing masks) before sampling
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        samples.append((time.perf_counter() - t0) / inner)
+    samples.sort()
+    return {
+        "median_ms": round(statistics.median(samples) * 1e3, 4),
+        "p90_ms": round(samples[int(0.9 * (len(samples) - 1))] * 1e3, 4),
+        "rounds": rounds,
+    }
+
+
+def bench_segment_query(rounds: int) -> dict:
+    net = build_simnet(
+        bits=14,
+        workload_config=WorkloadConfig(
+            seed=71, services_target=1500, t_start=-10 * DAY, t_end=10 * DAY
+        ),
+        seed=71,
+    )
+    space = ProbeSpace.single_range(0, net.space.size, list(range(65536)))
+    perm = AffinePermutation(space.size, seed=9)
+    index = net.prepare_scan(space, perm)
+    segment = net.space.size * 100  # one day of background scanning
+    rate = segment / 24.0
+    state = {"cursor": 0}
+
+    def make_runner(query):
+        def run():
+            query(state["cursor"], segment, 0.0, rate, vantage)
+            state["cursor"] = (state["cursor"] + segment) % space.size
+        return run
+
+    out = {}
+    for label, vantage in [
+        ("", Vantage("bench", "us", loss_rate=0.0, vantage_id=50)),
+        ("_lossy", Vantage("bench-lossy", "us", loss_rate=0.03, vantage_id=50)),
+    ]:
+        state["cursor"] = 0
+        out[f"segment_query{label}"] = _timed(make_runner(index.query), rounds)
+        state["cursor"] = 0
+        out[f"segment_query{label}_reference"] = _timed(make_runner(index.query_reference), rounds)
+    out["_population"] = {
+        "probe_space": space.size,
+        "indexed_instances": len(index._refs),
+        "pseudo_rows": 0 if index._pseudo_cols is None else int(index._pseudo_cols.positions.size),
+        "segment": segment,
+    }
+
+    # Piggyback the reachability and liveness paths on the same world.
+    rng = np.random.default_rng(3)
+    n = 5000
+    ips = rng.integers(0, net.space.size, n)
+    times = rng.uniform(-10 * DAY, 10 * DAY, n)
+    salts = rng.integers(-(2**40), 2**40, n)
+    vantage = Vantage("bench", "us", loss_rate=0.03, vantage_id=50)
+    out["reachable_batch"] = _timed(lambda: net.reachable_many(ips, vantage, times, salts), rounds)
+    ips_l = ips.tolist()
+    times_l = times.tolist()
+    salts_l = salts.tolist()
+    out["reachable_batch_reference"] = _timed(
+        lambda: [
+            net.reachable_scalar(ip, vantage, t, s)
+            for ip, t, s in zip(ips_l, times_l, salts_l)
+        ],
+        max(3, rounds // 3),
+    )
+    out["_population"]["reachability_points"] = n
+
+    instances = net.workload.instances
+    out["services_alive_at"] = _timed(lambda: net.services_alive_at(2.0), rounds)
+    out["services_alive_at_reference"] = _timed(
+        lambda: [i for i in instances if i.alive_at(2.0) and i.protocol != "NONE"], rounds
+    )
+    out["_population"]["workload_instances"] = len(instances)
+    return out
+
+
+def bench_search(rounds: int) -> dict:
+    def populate(index: SearchIndex) -> None:
+        rng = random.Random(3)
+        names = ["HTTP", "HTTPS", "SSH", "MODBUS", "RDP", "FTP"]
+        countries = ["US", "DE", "CN", "FR"]
+        for i in range(5000):
+            index.put(
+                f"host:{i}",
+                {
+                    "services.service_name": [rng.choice(names)],
+                    "location.country": [rng.choice(countries)],
+                    "services.port": [rng.choice([80, 443, 22, 502, 3389])],
+                },
+            )
+
+    fast = SearchIndex()
+    slow = SearchIndex(accelerated=False)
+    populate(fast)
+    populate(slow)
+    out = {}
+    for name, query in [
+        ("search_range", "services.port: [100 to 600]"),
+        ("search_not", "not services.service_name: HTTP"),
+        ("search_term_and", "services.service_name: MODBUS and location.country: US"),
+    ]:
+        out[name] = _timed(lambda q=query: fast.search(q), rounds)
+        out[f"{name}_reference"] = _timed(lambda q=query: slow.search(q), rounds)
+    out["_population"] = {"documents": 5000}
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=30, help="timing samples per path")
+    args = parser.parse_args()
+
+    results = {"segment": bench_segment_query(args.rounds), "search": bench_search(args.rounds)}
+
+    benches = {}
+    populations = {}
+    for group in results.values():
+        populations.update(group.pop("_population"))
+        benches.update(group)
+    speedups = {}
+    for name, stats in benches.items():
+        ref = benches.get(f"{name}_reference")
+        if ref is not None and not name.endswith("_reference"):
+            speedups[name] = round(ref["median_ms"] / stats["median_ms"], 2)
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except OSError:
+        commit = ""
+
+    payload = {
+        "commit": commit,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"bits": 14, "seed": 71, "services_target": 1500, "rounds": args.rounds},
+        "populations": populations,
+        "benchmarks": benches,
+        "speedups_vs_reference": speedups,
+    }
+    RESULTS.mkdir(exist_ok=True)
+    out_path = RESULTS / "BENCH_micro.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload["speedups_vs_reference"], indent=2))
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+"""Equality gates: vectorized hot paths == retained scalar references.
+
+The vectorization contract is *bit-identity*: same seeds, same hits, same
+tables.  These gates run the batched and reference implementations over
+seeded input grids — wrap-around segments, lossy/geoblocked vantages,
+negative pseudo-host salts, replacement/deletion churn in search — and
+require exact agreement.  Any divergence is a correctness regression, not
+a perf trade-off.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_perf_regression.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.net import AffinePermutation, ProbeSpace, mix64_array, to_uint64
+from repro.net.cyclic import _mix64
+from repro.search import SearchIndex
+from repro.simnet import DAY, Vantage, WorkloadConfig, build_simnet
+
+VANTAGES = [
+    Vantage("us-pop", "us", loss_rate=0.03, vantage_id=1),
+    Vantage("eu-pop", "eu", loss_rate=0.25, vantage_id=2),
+    Vantage("asia-pop", "asia", loss_rate=0.0, vantage_id=3),
+]
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_simnet(
+        bits=14,
+        workload_config=WorkloadConfig(
+            seed=71, services_target=1500, t_start=-10 * DAY, t_end=10 * DAY
+        ),
+        seed=71,
+    )
+
+
+def test_mix64_vectorized_equals_scalar():
+    rng = random.Random(41)
+    values = [rng.randint(-(2**70), 2**70) for _ in range(5000)]
+    values += [0, 1, -1, 2**63 - 1, 2**63, 2**64 - 1, -(2**63), 2**64 + 3]
+    mixed = mix64_array(to_uint64(values)).tolist()
+    assert mixed == [_mix64(v) for v in values]
+
+
+def test_reachability_kernel_equals_scalar_grid(net):
+    rng = np.random.default_rng(7)
+    n = 1500
+    ips = rng.integers(0, net.space.size, n)
+    times = rng.uniform(-60 * DAY, 60 * DAY, n)
+    salts = rng.integers(-(2**48), 2**48, n)
+    for vantage in VANTAGES:
+        batched = net.reachable_many(ips, vantage, times, salts)
+        expected = [
+            net.reachable_scalar(int(ips[i]), vantage, float(times[i]), int(salts[i]))
+            for i in range(n)
+        ]
+        assert batched.tolist() == expected, vantage.name
+
+
+def test_segment_queries_equal_reference_grid(net):
+    space = ProbeSpace.single_range(0, net.space.size, list(range(0, 65536, 16)))
+    perm = AffinePermutation(space.size, seed=123)
+    index = net.prepare_scan(space, perm)
+    m = perm.n
+    cases = [
+        (0, space.size // 8, 0.0, 2_000_000.0),
+        (m - 50_000, 200_000, 5.0, 1_000_000.0),   # wraps past m
+        (12345, m, -100.0, 90_000_000.0),          # full space
+        (m - 1, 3, 100.0, 1000.0),                 # tiny wrap
+    ]
+    compared = 0
+    for vantage in VANTAGES:
+        for start, count, t0, rate in cases:
+            fast = index.query(start, count, t0, rate, vantage)
+            slow = index.query_reference(start, count, t0, rate, vantage)
+            assert len(fast) == len(slow)
+            for a, b in zip(fast, slow):
+                assert a.target == b.target
+                assert a.probe_time == b.probe_time
+                assert a.instance is b.instance
+                assert a.pseudo is b.pseudo
+            compared += len(fast)
+    assert compared > 1000  # the grid must actually exercise hits
+
+
+def test_alive_index_equals_linear_scan(net):
+    for t in (-60 * DAY, -1.0, 0.0, 2.5 * DAY, 9 * DAY, 1000 * DAY):
+        fast = net.services_alive_at(t)
+        slow = [i for i in net.workload.instances if i.alive_at(t) and i.protocol != "NONE"]
+        assert fast == slow, t
+
+
+def test_search_accelerated_equals_reference_battery():
+    protocols = ["HTTP", "HTTPS", "SSH", "MODBUS", "RDP", "FTP", "NONE-ISH"]
+    countries = ["US", "DE", "CN", "FR", "NL"]
+
+    def populate(index, seed):
+        rng = random.Random(seed)
+        for i in range(1200):
+            index.put(
+                f"host:{i}",
+                {
+                    "services.service_name": [rng.choice(protocols)],
+                    "location.country": [rng.choice(countries)],
+                    "services.port": [rng.choice([21, 22, 80, 443, 502, 3389, 8080])],
+                    "services.banner": [f"build {rng.randint(0, 50)}"],
+                },
+            )
+
+    fast = SearchIndex()
+    slow = SearchIndex(accelerated=False)
+    populate(fast, 29)
+    populate(slow, 29)
+    queries = [
+        "services.service_name: MODBUS",
+        "services.service_name: HTT*",
+        "services.port: [80 to 502]",
+        "services.port: [502 to 80]",     # empty range
+        "services.port > 443",
+        "services.port >= 443",
+        "services.port < 80",
+        "services.port <= 80",
+        "not services.service_name: HTTP",
+        "not services.service_name: HTT*",
+        "services.service_name: SSH and services.port: 22",
+        "services.service_name: SSH or services.service_name: FTP",
+        "location.country: US and not services.port >= 1000",
+        "not (services.port: [1 to 100] or services.port: 3389)",
+        "banner build",
+    ]
+    for query in queries:
+        assert fast.search(query) == slow.search(query), query
+    # Churn: replacements and deletions must keep the two in lockstep.
+    rng = random.Random(31)
+    for _ in range(200):
+        i = rng.randrange(1200)
+        if rng.random() < 0.3:
+            fast.delete(f"host:{i}")
+            slow.delete(f"host:{i}")
+        else:
+            doc = {
+                "services.service_name": [rng.choice(protocols)],
+                "services.port": [rng.choice([22, 80, 443, 9999])],
+            }
+            fast.put(f"host:{i}", dict(doc))
+            slow.put(f"host:{i}", dict(doc))
+    for query in queries:
+        assert fast.search(query) == slow.search(query), query

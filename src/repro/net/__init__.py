@@ -16,6 +16,7 @@ from repro.net.ip import (
     ip_to_str,
     str_to_ip,
 )
+from repro.net.mixvec import MASK64, mix64_array, to_uint64
 from repro.net.probespace import ProbeSpace, ProbeTarget
 
 __all__ = [
@@ -33,4 +34,7 @@ __all__ = [
     "next_prime",
     "ProbeSpace",
     "ProbeTarget",
+    "MASK64",
+    "mix64_array",
+    "to_uint64",
 ]

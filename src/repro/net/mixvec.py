@@ -1,0 +1,62 @@
+"""Vectorized splitmix64 mixing (the batched twin of ``cyclic._mix64``).
+
+Every stochastic decision in the simulated Internet is a pure function of a
+mixed integer seed, which is what makes experiments replayable.  The scalar
+mixer in :mod:`repro.net.cyclic` works on arbitrary-precision Python ints
+and masks to 64 bits at each step; the kernels here reproduce the *exact*
+same bit patterns with NumPy ``uint64`` arithmetic, where every add,
+multiply, and xor is implicitly mod 2**64 — congruent to the scalar path's
+explicit masking.  ``benchmarks/test_perf_regression.py`` holds the two
+implementations equal on seeded inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["MASK64", "mix64_array", "to_uint64"]
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MULT1 = np.uint64(0xBF58476D1CE4E5B9)
+_MULT2 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+
+def mix64_array(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a ``uint64`` array (see ``cyclic._mix64``).
+
+    The input must already be ``uint64``; use :func:`to_uint64` to coerce
+    Python ints (including negatives, which take their two's-complement
+    low 64 bits, matching how the scalar mixer masks them).
+    """
+    # errstate: NumPy warns on *scalar* uint64 overflow even though the
+    # wrap-around is exactly the masking the scalar mixer performs.  The
+    # in-place ops work on the fresh array from the first add.
+    with np.errstate(over="ignore"):
+        x = x + _GOLDEN
+        x ^= x >> _S30
+        x *= _MULT1
+        x ^= x >> _S27
+        x *= _MULT2
+        return x ^ (x >> _S31)
+
+
+def to_uint64(values: Sequence[int] | Iterable[int] | np.ndarray) -> np.ndarray:
+    """Coerce Python ints (possibly negative or oversized) to ``uint64``.
+
+    Matches the scalar path, where a negative or >64-bit operand only ever
+    contributes its low 64 bits (two's complement) to the mix.
+    """
+    if isinstance(values, np.ndarray):
+        if values.dtype == np.uint64:
+            return values
+        if np.issubdtype(values.dtype, np.signedinteger):
+            return values.astype(np.uint64)
+        values = values.tolist()
+    return np.array([int(v) & MASK64 for v in values], dtype=np.uint64)

@@ -11,15 +11,18 @@ without enumerating the full space.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 __all__ = ["ProbeTarget", "ProbeSpace"]
 
 
-@dataclass(frozen=True, slots=True)
-class ProbeTarget:
-    """A single probe destination within the scaled address space."""
+class ProbeTarget(NamedTuple):
+    """A single probe destination within the scaled address space.
+
+    A NamedTuple rather than a frozen dataclass: segment queries
+    materialize one per hit, and tuple construction is several times
+    cheaper while keeping immutability, hashing, and equality.
+    """
 
     ip_index: int
     port: int

@@ -1,15 +1,28 @@
 """The interactive search index (the Elasticsearch substitute).
 
 An inverted index over flattened documents: token postings per field plus a
-full-text posting list.  Term clauses resolve through postings; comparisons,
-ranges, wildcards, and NOT fall back to candidate filtering.  Documents are
-replaced atomically by id, which is how the asynchronous reindex handler
-keeps search in sync with the write side.
+full-text posting list, and per-field *sorted numeric columns* so range and
+comparison clauses binary-search instead of filtering every document.
+
+Candidate resolution tracks *exactness*: postings for a plain term, numeric
+column slices, and boolean combinations of exact sets are precisely the
+matching documents, so the per-document ``matches`` verification pass is
+skipped entirely; wildcard candidates remain over-approximations and fall
+back to verification.  NOT over an exact child resolves as a universe-set
+difference instead of a full scan.  ``SearchIndex(accelerated=False)``
+retains the original scan-and-verify path as the reference implementation
+for the perf-regression equality gate.
+
+Documents are replaced atomically by id, which is how the asynchronous
+reindex handler keeps search in sync with the write side.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+import math
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.search.query import Bool, Compare, Not, QueryNode, Range, Term, matches, parse_query
 
@@ -23,13 +36,30 @@ def _tokens_of(value: Any) -> Set[str]:
     return tokens
 
 
+def _doc_token_sets(doc: Dict[str, List[Any]]) -> Tuple[Dict[str, Set[str]], Set[str]]:
+    """Per-field token sets plus the full-text union, deduplicated once."""
+    per_field: Dict[str, Set[str]] = {}
+    full_text: Set[str] = set()
+    for field, values in doc.items():
+        field_tokens: Set[str] = set()
+        for value in values:
+            field_tokens |= _tokens_of(value)
+        per_field[field] = field_tokens
+        full_text |= field_tokens
+    return per_field, full_text
+
+
 class SearchIndex:
     """In-memory inverted index with Lucene-like querying."""
 
-    def __init__(self) -> None:
+    def __init__(self, accelerated: bool = True) -> None:
         self._docs: Dict[str, Dict[str, List[Any]]] = {}
         #: (field, token) -> doc ids;  full text lives under field "".
         self._postings: Dict[tuple, Set[str]] = {}
+        self._accelerated = accelerated
+        #: field -> (sorted float values, doc ids aligned with the values);
+        #: built lazily, dropped whenever a doc carrying the field changes.
+        self._numeric_columns: Dict[str, Tuple[np.ndarray, List[str]]] = {}
         self.queries_run = 0
 
     # -- document management ------------------------------------------------
@@ -39,26 +69,38 @@ class SearchIndex:
         if doc_id in self._docs:
             self.delete(doc_id)
         self._docs[doc_id] = doc
-        for field, values in doc.items():
-            for value in values:
-                for token in _tokens_of(value):
-                    self._postings.setdefault((field, token), set()).add(doc_id)
-                    self._postings.setdefault(("", token), set()).add(doc_id)
+        per_field, full_text = _doc_token_sets(doc)
+        postings = self._postings
+        for field, tokens in per_field.items():
+            for token in tokens:
+                postings.setdefault((field, token), set()).add(doc_id)
+        for token in full_text:
+            postings.setdefault(("", token), set()).add(doc_id)
+        self._invalidate_columns(doc)
 
     def delete(self, doc_id: str) -> bool:
         doc = self._docs.pop(doc_id, None)
         if doc is None:
             return False
-        for field, values in doc.items():
-            for value in values:
-                for token in _tokens_of(value):
-                    for key in ((field, token), ("", token)):
-                        postings = self._postings.get(key)
-                        if postings is not None:
-                            postings.discard(doc_id)
-                            if not postings:
-                                del self._postings[key]
+        per_field, full_text = _doc_token_sets(doc)
+        for field, tokens in per_field.items():
+            for token in tokens:
+                self._discard_posting((field, token), doc_id)
+        for token in full_text:
+            self._discard_posting(("", token), doc_id)
+        self._invalidate_columns(doc)
         return True
+
+    def _discard_posting(self, key: tuple, doc_id: str) -> None:
+        postings = self._postings.get(key)
+        if postings is not None:
+            postings.discard(doc_id)
+            if not postings:
+                del self._postings[key]
+
+    def _invalidate_columns(self, doc: Dict[str, List[Any]]) -> None:
+        for field in doc:
+            self._numeric_columns.pop(field, None)
 
     def get(self, doc_id: str) -> Optional[Dict[str, List[Any]]]:
         return self._docs.get(doc_id)
@@ -78,10 +120,14 @@ class SearchIndex:
         """Run a query; returns matching doc ids (deterministic order)."""
         self.queries_run += 1
         node = parse_query(query)
-        candidates = self._candidates(node)
+        candidates, exact = self._candidates(node)
         if candidates is None:
             candidates = set(self._docs.keys())
-        hits = [doc_id for doc_id in sorted(candidates) if matches(node, self._docs[doc_id])]
+            exact = False
+        if exact:
+            hits = sorted(candidates)
+        else:
+            hits = [doc_id for doc_id in sorted(candidates) if matches(node, self._docs[doc_id])]
         return hits[:limit] if limit is not None else hits
 
     def count(self, query: str) -> int:
@@ -97,31 +143,53 @@ class SearchIndex:
 
     # -- candidate narrowing -------------------------------------------------------
 
-    def _candidates(self, node: QueryNode) -> Optional[Set[str]]:
-        """An over-approximation of matching ids (None = everything)."""
+    def _candidates(self, node: QueryNode) -> Tuple[Optional[Set[str]], bool]:
+        """(candidate ids, exact).  None = everything (and never exact).
+
+        An *exact* set is precisely the matching documents, so ``search``
+        skips per-document verification; inexact sets over-approximate and
+        get verified.  Exactness must never be claimed for a superset — a
+        complement (NOT) of an over-approximation would drop matches.
+        """
         if isinstance(node, Term):
             if node.is_wildcard:
-                return self._wildcard_candidates(node)
+                # Postings tokens include split words, so prefix matches can
+                # over-approximate full-value matching: verify.
+                return self._wildcard_candidates(node), False
             key = (node.field or "", node.value.lower())
-            return set(self._postings.get(key, set()))
+            return set(self._postings.get(key, set())), True
+        if isinstance(node, Range):
+            if not self._accelerated:
+                return None, False
+            return self._column_slice(node.field, node.low, "left", node.high, "right"), True
+        if isinstance(node, Compare):
+            if not self._accelerated:
+                return None, False
+            return self._compare_candidates(node), True
+        if isinstance(node, Not):
+            if self._accelerated:
+                child, child_exact = self._candidates(node.child)
+                if child is not None and child_exact:
+                    return set(self._docs.keys()) - child, True
+            return None, False
         if isinstance(node, Bool):
-            child_sets = [self._candidates(c) for c in node.children]
+            resolved = [self._candidates(c) for c in node.children]
             if node.op == "and":
-                known = [s for s in child_sets if s is not None]
+                known = [s for s, _ in resolved if s is not None]
                 if not known:
-                    return None
+                    return None, False
                 result = known[0]
                 for s in known[1:]:
                     result = result & s
-                return result
-            if any(s is None for s in child_sets):
-                return None
+                exact = all(s is not None and e for s, e in resolved)
+                return result, exact
+            if any(s is None for s, _ in resolved):
+                return None, False
             union: Set[str] = set()
-            for s in child_sets:
+            for s, _ in resolved:
                 union |= s
-            return union
-        # Compare / Range / Not: no cheap postings — scan.
-        return None
+            return union, all(e for _, e in resolved)
+        return None, False
 
     def _wildcard_candidates(self, term: Term) -> Optional[Set[str]]:
         prefix = term.value[:-1].lower()
@@ -131,3 +199,47 @@ class SearchIndex:
             if f == field and token.startswith(prefix):
                 result |= ids
         return result
+
+    # -- numeric columns ----------------------------------------------------
+
+    def _numeric_column(self, field: str) -> Tuple[np.ndarray, List[str]]:
+        """Sorted (values, doc ids) for a field, built lazily."""
+        column = self._numeric_columns.get(field)
+        if column is None:
+            values: List[float] = []
+            ids: List[str] = []
+            for doc_id, doc in self._docs.items():
+                for value in doc.get(field, ()):
+                    try:
+                        number = float(value)
+                    except (TypeError, ValueError):
+                        continue
+                    if math.isnan(number):
+                        continue  # NaN never satisfies a comparison
+                    values.append(number)
+                    ids.append(doc_id)
+            array = np.asarray(values, dtype=np.float64)
+            order = np.argsort(array, kind="stable")
+            column = (array[order], [ids[i] for i in order])
+            self._numeric_columns[field] = column
+        return column
+
+    def _column_slice(
+        self, field: str, low: float, low_side: str, high: float, high_side: str
+    ) -> Set[str]:
+        """Docs with a numeric value in the inclusive/exclusive window."""
+        if math.isnan(low) or math.isnan(high):
+            return set()
+        values, ids = self._numeric_column(field)
+        left = int(np.searchsorted(values, low, side=low_side))
+        right = int(np.searchsorted(values, high, side=high_side))
+        return set(ids[left:right])
+
+    def _compare_candidates(self, node: Compare) -> Set[str]:
+        if node.op == ">":
+            return self._column_slice(node.field, node.value, "right", math.inf, "right")
+        if node.op == ">=":
+            return self._column_slice(node.field, node.value, "left", math.inf, "right")
+        if node.op == "<":
+            return self._column_slice(node.field, -math.inf, "left", node.value, "left")
+        return self._column_slice(node.field, -math.inf, "left", node.value, "right")

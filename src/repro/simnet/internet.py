@@ -14,20 +14,33 @@ Two access paths mirror the paper's two scan phases:
   :class:`SimConnection` speaking the probe/reply protocol model (with TLS
   session gating).
 
+The hot paths are NumPy-batched: the index keeps column arrays per indexed
+endpoint (position, lifetime window, network ordinal, reachability salt) —
+regular instances in one block, all pseudo-host (ip, port) rows merged into
+a second — so a segment query is a pair of binary searches per block plus
+whole-array liveness/reachability masks, with ``ProbeHit`` objects
+materialized only for survivors.  Reachability draws run through the
+vectorized splitmix64 kernel in :mod:`repro.net.mixvec`.  The scalar
+per-element paths are retained (:meth:`PreparedScanIndex.query_reference`,
+:meth:`SimulatedInternet.reachable_scalar`) as references;
+``benchmarks/test_perf_regression.py`` holds the two equal on seeded
+inputs.
+
 Honeypot contacts are logged with the observing engine's identity, feeding
 the Table 5 time-to-discovery experiment.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from bisect import insort
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.net import AddressSpace, AffinePermutation, ProbeSpace, ProbeTarget
 from repro.net.cyclic import _mix64
+from repro.net.mixvec import MASK64, mix64_array
 from repro.protocols.base import Probe, Reply, ServerProfile, reset, silence
 from repro.protocols.registry import ProtocolRegistry, default_registry
 from repro.protocols.tlslayer import tls_server_hello
@@ -49,14 +62,22 @@ class Vantage:
     vantage_id: int = 0
 
 
-@dataclass(slots=True)
-class ProbeHit:
-    """One responsive L4 probe inside a queried segment."""
+class ProbeHit(NamedTuple):
+    """One responsive L4 probe inside a queried segment.
+
+    A NamedTuple for the same reason as :class:`ProbeTarget`: queries
+    materialize thousands per simulated day, and tuple construction is the
+    cheapest record instantiation Python offers.
+    """
 
     target: ProbeTarget
     probe_time: float
     instance: Optional[ServiceInstance] = None
     pseudo: Optional[PseudoHost] = None
+
+
+#: Bypasses NamedTuple.__new__ argument re-packing on the hot paths.
+_tuple_new = tuple.__new__
 
 
 @dataclass(slots=True)
@@ -70,13 +91,162 @@ class HoneypotContact:
     layer: str  # "l4" or "l7"
 
 
+#: A block's surviving hits plus their probe times (for the final merge).
+_CollectedPart = Tuple[List[ProbeHit], np.ndarray]
+
+
+def _wrapped_offsets(positions: np.ndarray, start: int, m: int) -> np.ndarray:
+    """(position - start) mod m for a sorted uint64 position slice."""
+    offsets = positions.astype(np.int64)
+    offsets -= start
+    # Sorted input means the sign pattern is a prefix of negatives; the
+    # scalar peeks skip the mask pass for the all/none-wrapped cases.
+    if offsets[0] >= 0:
+        return offsets
+    if offsets[-1] < 0:
+        offsets += m
+        return offsets
+    offsets[offsets < 0] += m
+    return offsets
+
+
+class _InstanceColumns:
+    """Columnar view of position-indexed instances, sorted by position.
+
+    One whole-array pass over a position slice replaces the per-element
+    liveness and reachability checks of the scalar path.
+    """
+
+    __slots__ = ("positions", "birth", "death", "net_ords", "salts", "refs", "any_honeypot")
+
+    def __init__(self, internet: "SimulatedInternet", positions: np.ndarray, refs: List[ServiceInstance]):
+        self.positions = positions                      # uint64, sorted
+        self.refs = refs
+        self.birth = np.asarray([i.birth for i in refs], dtype=np.float64)
+        self.death = np.asarray([i.death for i in refs], dtype=np.float64)
+        ips = np.asarray([i.ip_index for i in refs], dtype=np.int64)
+        self.net_ords = internet.topology.ordinals_of(ips)
+        self.salts = np.asarray([i.instance_id & MASK64 for i in refs], dtype=np.uint64)
+        self.any_honeypot = any(i.is_honeypot for i in refs)
+
+    def __len__(self) -> int:
+        return len(self.refs)
+
+    def collect(
+        self,
+        internet: "SimulatedInternet",
+        lo: int,
+        hi: int,
+        start: int,
+        m: int,
+        t0: float,
+        rate: float,
+        vantage: Vantage,
+        scanner: str,
+    ) -> Optional[_CollectedPart]:
+        # uint64 needles: a Python-int needle forces a dtype-promoting
+        # comparison over the whole column (~100x slower per search).
+        left = int(self.positions.searchsorted(np.uint64(lo), side="left"))
+        right = int(self.positions.searchsorted(np.uint64(hi), side="left"))
+        if left == right:
+            return None
+        window = slice(left, right)
+        times = t0 + _wrapped_offsets(self.positions[window], start, m) / rate
+        keep = (self.birth[window] <= times) & (times < self.death[window])
+        if not keep.any():
+            return None
+        keep &= internet._reachable_kernel(self.net_ords[window], self.salts[window], vantage, times)
+        survivors = np.nonzero(keep)[0]
+        if survivors.size == 0:
+            return None
+        sel_times = times[survivors]
+        refs = self.refs
+        sel_refs = [refs[i] for i in (survivors + left).tolist()]
+        hits = [
+            _tuple_new(ProbeHit, (_tuple_new(ProbeTarget, (inst.ip_index, inst.port)), probe_time, inst, None))
+            for inst, probe_time in zip(sel_refs, sel_times.tolist())
+        ]
+        if self.any_honeypot:
+            for hit in hits:
+                if hit.instance.is_honeypot:
+                    internet.log_honeypot_contact(hit.instance, hit.probe_time, scanner, "l4")
+        return hits, sel_times
+
+
+class _PseudoColumns:
+    """All pseudo-host (ip, port) rows of a probe space in one sorted block.
+
+    Per-row state is two small gathers away (owner ordinal -> lifetime,
+    network ordinal, salt), so one segment query costs one searchsorted
+    pair regardless of how many pseudo-hosts the space contains.
+    """
+
+    __slots__ = ("positions", "ports", "owners", "pseudos", "birth", "death", "net_ords", "salts")
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        ports: np.ndarray,
+        owners: np.ndarray,
+        pseudos: List[PseudoHost],
+        net_ords: np.ndarray,
+    ) -> None:
+        self.positions = positions   # uint64, sorted
+        self.ports = ports           # int64, aligned
+        self.owners = owners         # int32 index into pseudos, aligned
+        self.pseudos = pseudos
+        self.birth = np.asarray([p.birth for p in pseudos], dtype=np.float64)
+        self.death = np.asarray([p.death for p in pseudos], dtype=np.float64)
+        self.net_ords = net_ords     # per pseudo
+        self.salts = np.asarray([(-p.pseudo_id - 1) & MASK64 for p in pseudos], dtype=np.uint64)
+
+    def collect(
+        self,
+        internet: "SimulatedInternet",
+        lo: int,
+        hi: int,
+        start: int,
+        m: int,
+        t0: float,
+        rate: float,
+        vantage: Vantage,
+    ) -> Optional[_CollectedPart]:
+        left = int(self.positions.searchsorted(np.uint64(lo), side="left"))
+        right = int(self.positions.searchsorted(np.uint64(hi), side="left"))
+        if left == right:
+            return None
+        window = slice(left, right)
+        times = t0 + _wrapped_offsets(self.positions[window], start, m) / rate
+        owners = self.owners[window]
+        keep = (self.birth[owners] <= times) & (times < self.death[owners])
+        if not keep.any():
+            return None
+        keep &= internet._reachable_kernel(self.net_ords[owners], self.salts[owners], vantage, times)
+        survivors = np.nonzero(keep)[0]
+        if survivors.size == 0:
+            return None
+        sel_times = times[survivors]
+        pseudos = self.pseudos
+        sel_pseudos = [pseudos[o] for o in owners[survivors].tolist()]
+        hits = [
+            _tuple_new(ProbeHit, (_tuple_new(ProbeTarget, (p.ip_index, port)), probe_time, None, p))
+            for p, port, probe_time in zip(
+                sel_pseudos,
+                self.ports[survivors + left].tolist(),
+                sel_times.tolist(),
+            )
+        ]
+        return hits, sel_times
+
+
 class PreparedScanIndex:
     """Position index of a probe space under one permutation.
 
-    Regular instances contribute single (position, instance) entries;
-    pseudo-hosts contribute one sorted position array per host covering
-    every port of the space.  Instances added later (honeypots) land in a
-    small linear-scan overflow list.
+    Regular instances contribute single (position, instance) entries backed
+    by column arrays; pseudo-hosts contribute rows covering every port of
+    the space, merged into one sorted block.  Instances added later
+    (honeypots) live in a small position-sorted overflow block answered by
+    the same searchsorted path.
     """
 
     def __init__(
@@ -97,12 +267,25 @@ class PreparedScanIndex:
                 positions.append(permutation.position(space.flatten(inst.ip_index, inst.port)))
                 refs.append(inst)
         order = np.argsort(np.asarray(positions, dtype=np.uint64)) if positions else np.array([], dtype=np.int64)
-        self._positions = np.asarray(positions, dtype=np.uint64)[order]
-        self._refs: List[ServiceInstance] = [refs[i] for i in order]
-        self._pseudo: List[Tuple[PseudoHost, np.ndarray, np.ndarray]] = []
+        sorted_positions = np.asarray(positions, dtype=np.uint64)[order]
+        sorted_refs = [refs[i] for i in order]
+        self._cols = _InstanceColumns(internet, sorted_positions, sorted_refs)
+        self._pseudo_cols: Optional[_PseudoColumns] = None
         if transport == "tcp":
-            self._index_pseudo_hosts()
+            self._pseudo_cols = self._index_pseudo_hosts()
+        #: Late-added instances, kept sorted by position (same searchsorted
+        #: path as the main columns; rebuilt on each add — adds are rare).
         self._extras: List[Tuple[int, ServiceInstance]] = []
+        self._extra_cols: Optional[_InstanceColumns] = None
+
+    # Back-compat views of the main columns (position array + refs).
+    @property
+    def _positions(self) -> np.ndarray:
+        return self._cols.positions
+
+    @property
+    def _refs(self) -> List[ServiceInstance]:
+        return self._cols.refs
 
     def _covers(self, inst: ServiceInstance) -> bool:
         return (
@@ -111,11 +294,13 @@ class PreparedScanIndex:
             and self.space.contains_ip(inst.ip_index)
         )
 
-    def _index_pseudo_hosts(self) -> None:
-        ports = np.asarray(self.space.ports, dtype=np.uint64)
+    def _index_pseudo_hosts(self) -> Optional[_PseudoColumns]:
+        ports = np.asarray(self.space.ports, dtype=np.int64)
         a, b = self.permutation.coefficients
         m = self.permutation.n
         a_inv = pow(a, -1, m)
+        pseudos: List[PseudoHost] = []
+        position_parts: List[np.ndarray] = []
         for pseudo in self.internet.workload.pseudo_hosts:
             if not self.space.contains_ip(pseudo.ip_index):
                 continue
@@ -125,16 +310,32 @@ class PreparedScanIndex:
             base = self.space.flatten(pseudo.ip_index, self.space.ports[0])
             pos0 = (base - b) * a_inv % m
             k = np.arange(len(ports), dtype=np.uint64)
-            positions = (np.uint64(pos0) + k * np.uint64(a_inv)) % np.uint64(m)
-            order = np.argsort(positions)
-            self._pseudo.append((pseudo, positions[order], ports[order]))
+            # k*a_inv < ports * m < 2**64 for any in-scope space, and the
+            # reduced term + pos0 < 2*m, so no uint64 wrap before the mods.
+            position_parts.append((k * np.uint64(a_inv) % np.uint64(m) + np.uint64(pos0)) % np.uint64(m))
+            pseudos.append(pseudo)
+        if not pseudos:
+            return None
+        port_count = len(ports)
+        all_positions = np.concatenate(position_parts)
+        all_ports = np.tile(ports, len(pseudos))
+        all_owners = np.repeat(np.arange(len(pseudos), dtype=np.int32), port_count)
+        order = np.argsort(all_positions, kind="stable")
+        net_ords = self.internet.topology.ordinals_of(
+            np.asarray([p.ip_index for p in pseudos], dtype=np.int64)
+        )
+        return _PseudoColumns(
+            all_positions[order], all_ports[order], all_owners[order], pseudos, net_ords
+        )
 
     def add_instance(self, inst: ServiceInstance) -> bool:
         """Index a late-added instance (honeypots); False if out of space."""
         if not self._covers(inst):
             return False
         position = self.permutation.position(self.space.flatten(inst.ip_index, inst.port))
-        self._extras.append((position, inst))
+        insort(self._extras, (position, inst), key=lambda pair: pair[0])
+        extra_positions = np.asarray([p for p, _ in self._extras], dtype=np.uint64)
+        self._extra_cols = _InstanceColumns(self.internet, extra_positions, [i for _, i in self._extras])
         return True
 
     # ------------------------------------------------------------------
@@ -157,46 +358,96 @@ class PreparedScanIndex:
         """
         m = self.permutation.n
         count = min(count, m)
+        ranges = _mod_ranges(start, count, m)
+        internet = self.internet
+        parts: List[_CollectedPart] = []
+        for lo, hi in ranges:
+            part = self._cols.collect(internet, lo, hi, start, m, t0, rate, vantage, scanner)
+            if part is not None:
+                parts.append(part)
+            if self._pseudo_cols is not None:
+                part = self._pseudo_cols.collect(internet, lo, hi, start, m, t0, rate, vantage)
+                if part is not None:
+                    parts.append(part)
+        if self._extra_cols is not None:
+            for lo, hi in ranges:
+                part = self._extra_cols.collect(internet, lo, hi, start, m, t0, rate, vantage, scanner)
+                if part is not None:
+                    parts.append(part)
+        if not parts:
+            return []
+        if len(parts) == 1:
+            return parts[0][0]  # one block: already in probe-time order
+        hits = [hit for block_hits, _ in parts for hit in block_hits]
+        order = np.argsort(np.concatenate([times for _, times in parts]), kind="stable")
+        return [hits[i] for i in order.tolist()]
+
+    # -- retained scalar reference (the perf-regression equality gate) ------
+
+    def query_reference(
+        self,
+        start: int,
+        count: int,
+        t0: float,
+        rate: float,
+        vantage: Vantage,
+        scanner: str = "",
+        log_contacts: bool = False,
+    ) -> List[ProbeHit]:
+        """Per-element scalar twin of :meth:`query`.
+
+        Must return exactly the same hits as the vectorized path; honeypot
+        contact logging is off by default so comparison runs do not pollute
+        the contact log.
+        """
+        m = self.permutation.n
+        count = min(count, m)
+        ranges = _mod_ranges(start, count, m)
+        internet = self.internet
         hits: List[ProbeHit] = []
 
         def offset_of(position: int) -> int:
             return (position - start) % m
 
-        for lo, hi in _mod_ranges(start, count, m):
-            left = int(np.searchsorted(self._positions, np.uint64(lo), side="left"))
-            right = int(np.searchsorted(self._positions, np.uint64(hi), side="left"))
+        def scan_block(cols: _InstanceColumns, lo: int, hi: int) -> None:
+            left = int(cols.positions.searchsorted(np.uint64(lo), side="left"))
+            right = int(cols.positions.searchsorted(np.uint64(hi), side="left"))
             for i in range(left, right):
-                inst = self._refs[i]
-                probe_time = t0 + offset_of(int(self._positions[i])) / rate
+                inst = cols.refs[i]
+                probe_time = t0 + offset_of(int(cols.positions[i])) / rate
                 if not inst.alive_at(probe_time):
                     continue
-                if not self.internet.reachable(inst.ip_index, vantage, probe_time, salt=inst.instance_id):
+                if not internet.reachable_scalar(inst.ip_index, vantage, probe_time, salt=inst.instance_id):
                     continue
-                target = ProbeTarget(inst.ip_index, inst.port)
-                hits.append(ProbeHit(target, probe_time, instance=inst))
-                if inst.is_honeypot:
-                    self.internet.log_honeypot_contact(inst, probe_time, scanner, "l4")
-            for pseudo, positions, ports in self._pseudo:
-                p_left = int(np.searchsorted(positions, np.uint64(lo), side="left"))
-                p_right = int(np.searchsorted(positions, np.uint64(hi), side="left"))
+                hits.append(ProbeHit(ProbeTarget(inst.ip_index, inst.port), probe_time, instance=inst))
+                if inst.is_honeypot and log_contacts:
+                    internet.log_honeypot_contact(inst, probe_time, scanner, "l4")
+
+        for lo, hi in ranges:
+            scan_block(self._cols, lo, hi)
+            pseudo_cols = self._pseudo_cols
+            if pseudo_cols is not None:
+                p_left = int(pseudo_cols.positions.searchsorted(np.uint64(lo), side="left"))
+                p_right = int(pseudo_cols.positions.searchsorted(np.uint64(hi), side="left"))
                 for j in range(p_left, p_right):
-                    probe_time = t0 + offset_of(int(positions[j])) / rate
+                    pseudo = pseudo_cols.pseudos[int(pseudo_cols.owners[j])]
+                    probe_time = t0 + offset_of(int(pseudo_cols.positions[j])) / rate
                     if not pseudo.alive_at(probe_time):
                         continue
-                    if not self.internet.reachable(pseudo.ip_index, vantage, probe_time, salt=-pseudo.pseudo_id - 1):
+                    if not internet.reachable_scalar(
+                        pseudo.ip_index, vantage, probe_time, salt=-pseudo.pseudo_id - 1
+                    ):
                         continue
                     hits.append(
-                        ProbeHit(ProbeTarget(pseudo.ip_index, int(ports[j])), probe_time, pseudo=pseudo)
+                        ProbeHit(
+                            ProbeTarget(pseudo.ip_index, int(pseudo_cols.ports[j])),
+                            probe_time,
+                            pseudo=pseudo,
+                        )
                     )
-        for position, inst in self._extras:
-            if any(lo <= position < hi for lo, hi in _mod_ranges(start, count, m)):
-                probe_time = t0 + offset_of(position) / rate
-                if inst.alive_at(probe_time) and self.internet.reachable(
-                    inst.ip_index, vantage, probe_time, salt=inst.instance_id
-                ):
-                    hits.append(ProbeHit(ProbeTarget(inst.ip_index, inst.port), probe_time, instance=inst))
-                    if inst.is_honeypot:
-                        self.internet.log_honeypot_contact(inst, probe_time, scanner, "l4")
+        if self._extra_cols is not None:
+            for lo, hi in ranges:
+                scan_block(self._extra_cols, lo, hi)
         hits.sort(key=lambda h: h.probe_time)
         return hits
 
@@ -270,6 +521,37 @@ class SimConnection:
         return tls_server_hello(profile.tls, sni=self.sni)
 
 
+class _AliveIndex:
+    """Interval index over instance lifetimes for stabbing queries.
+
+    Instances sorted by birth: the candidates alive at ``t`` are the prefix
+    with ``birth <= t`` (one binary search), filtered by a vectorized
+    ``death > t`` mask — no full-workload Python scan per call.
+    """
+
+    __slots__ = ("size", "order", "births", "deaths", "real")
+
+    def __init__(self, instances: Sequence[ServiceInstance]) -> None:
+        self.size = len(instances)
+        births = np.asarray([i.birth for i in instances], dtype=np.float64)
+        self.order = np.argsort(births, kind="stable").astype(np.int64)
+        self.births = births[self.order]
+        deaths = np.asarray([i.death for i in instances], dtype=np.float64)
+        self.deaths = deaths[self.order]
+        real = np.asarray([i.protocol != "NONE" for i in instances], dtype=bool)
+        self.real = real[self.order]
+
+    def alive_indices(self, t: float, real_only: bool) -> np.ndarray:
+        """Workload indices of instances alive at ``t``, in workload order."""
+        j = int(np.searchsorted(self.births, t, side="right"))
+        mask = self.deaths[:j] > t
+        if real_only:
+            mask &= self.real[:j]
+        selected = self.order[:j][mask]
+        selected.sort()
+        return selected
+
+
 class SimulatedInternet:
     """Ground-truth population plus visibility physics."""
 
@@ -300,6 +582,9 @@ class SimulatedInternet:
             chain.sort(key=lambda i: i.birth)
         self._pseudo_by_ip: Dict[int, PseudoHost] = {p.ip_index: p for p in workload.pseudo_hosts}
         self._webprops_by_name: Dict[str, WebProperty] = {p.name: p for p in workload.web_properties}
+        self._alive_index: Optional[_AliveIndex] = None
+        #: (vantage_id, week) -> per-network routing-block mask.
+        self._routing_block_masks: Dict[Tuple[int, int], np.ndarray] = {}
         # Dual-stack: ~60% of devices fronting web properties also hold an
         # IPv6 address, discoverable only through DNS on known names (the
         # paper does not run comprehensive IPv6 scans either).
@@ -328,8 +613,21 @@ class SimulatedInternet:
             return pseudo
         return None
 
+    def _alive(self) -> _AliveIndex:
+        index = self._alive_index
+        if index is None or index.size != len(self.workload.instances):
+            index = _AliveIndex(self.workload.instances)
+            self._alive_index = index
+        return index
+
     def services_alive_at(self, t: float) -> List[ServiceInstance]:
-        return self.workload.services_alive_at(t)
+        instances = self.workload.instances
+        return [instances[i] for i in self._alive().alive_indices(t, real_only=True)]
+
+    def instances_alive_at(self, t: float) -> List[ServiceInstance]:
+        """All live instances at ``t``, phantoms included (indexed query)."""
+        instances = self.workload.instances
+        return [instances[i] for i in self._alive().alive_indices(t, real_only=False)]
 
     def device_instances(self, device_id: int) -> List[ServiceInstance]:
         return list(self._by_device.get(device_id, ()))
@@ -340,6 +638,7 @@ class SimulatedInternet:
         self._by_binding.setdefault(inst.key, []).append(inst)
         self._by_binding[inst.key].sort(key=lambda i: i.birth)
         self._by_device.setdefault(inst.device_id, []).append(inst)
+        self._alive_index = None
 
     def allocate_instance_id(self) -> int:
         self._next_instance_id += 1
@@ -347,8 +646,86 @@ class SimulatedInternet:
 
     # -- reachability -------------------------------------------------------
 
+    def _reachable_kernel(
+        self,
+        net_ords: np.ndarray,
+        salts: np.ndarray,
+        vantage: Vantage,
+        times: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized visibility physics over pre-resolved network ordinals.
+
+        ``net_ords`` and ``salts`` must be arrays (broadcastable against
+        ``times``); ``salts`` must already be ``uint64`` — the two's
+        complement of negative salts, exactly as the scalar path masks
+        them.  All uint64 arithmetic wraps mod 2**64, matching the scalar
+        mixer's explicit masking.
+        """
+        topology = self.topology
+        geo_blocked = topology.region_blocked_array(vantage.region)[net_ords]
+        weeks = np.floor_divide(times, 7 * 24.0).astype(np.int64)
+        week_lo = int(weeks.min()) if weeks.size else 0
+        week_hi = int(weeks.max()) if weeks.size else 0
+        if week_lo == week_hi:
+            # The common case — a segment spans one routing week, and the
+            # block draw only depends on (network, vantage, week): gather
+            # from a cached per-network mask instead of re-mixing.
+            routing_blocked = self._routing_block_mask(vantage, week_lo)[net_ords]
+        else:
+            net_ids = topology.network_id_array[net_ords].view(np.uint64)
+            block_base = np.uint64((self.seed ^ vantage.vantage_id * 0x79B9) & MASK64)
+            block_draw = mix64_array(block_base ^ net_ids * np.uint64(0x9E37) ^ weeks.view(np.uint64))
+            routing_blocked = (block_draw % np.uint64(10_000)) < self.ROUTING_BLOCK_RATE * 10_000
+        visible = ~(geo_blocked | routing_blocked)
+        if vantage.loss_rate <= 0.0:
+            return visible  # threshold 0: every loss draw passes
+        windows = np.floor_divide(times, 6.0).astype(np.int64).view(np.uint64)
+        loss_base = np.uint64((self.seed ^ vantage.vantage_id * 0x85EB) & MASK64)
+        loss_draw = mix64_array(loss_base ^ salts * np.uint64(0xC2B2) ^ windows)
+        delivered = (loss_draw % np.uint64(10_000)) >= vantage.loss_rate * 10_000
+        return visible & delivered
+
+    def _routing_block_mask(self, vantage: Vantage, week: int) -> np.ndarray:
+        """Per-network routing-block mask for one (vantage, week)."""
+        key = (vantage.vantage_id, week)
+        mask = self._routing_block_masks.get(key)
+        if mask is None:
+            base = np.uint64((self.seed ^ vantage.vantage_id * 0x79B9 ^ (week & MASK64)) & MASK64)
+            ids = self.topology.network_id_array.view(np.uint64)
+            draws = mix64_array(base ^ ids * np.uint64(0x9E37))
+            mask = (draws % np.uint64(10_000)) < self.ROUTING_BLOCK_RATE * 10_000
+            self._routing_block_masks[key] = mask
+        return mask
+
+    def reachable_many(
+        self,
+        ip_indices,
+        vantage: Vantage,
+        times,
+        salts=None,
+    ) -> np.ndarray:
+        """Batched :meth:`reachable`: boolean array over aligned inputs.
+
+        ``ip_indices``, ``times``, and ``salts`` broadcast against each
+        other (any may be scalar); salts may be negative, matching the
+        pseudo-host convention.
+        """
+        ips = np.asarray(ip_indices, dtype=np.int64)
+        times_arr = np.asarray(times, dtype=np.float64)
+        if salts is None:
+            salts_u = np.zeros(1, dtype=np.uint64)
+        else:
+            salts_arr = np.asarray(salts)
+            salts_u = salts_arr if salts_arr.dtype == np.uint64 else salts_arr.astype(np.int64).view(np.uint64)
+        net_ords = self.topology.ordinals_of(ips)
+        return self._reachable_kernel(net_ords, np.atleast_1d(salts_u), vantage, times_arr)
+
     def reachable(self, ip_index: int, vantage: Vantage, t: float, salt: int = 0) -> bool:
         """Whether a probe from ``vantage`` reaches ``ip_index`` at ``t``."""
+        return bool(self.reachable_many([ip_index], vantage, [t], [salt])[0])
+
+    def reachable_scalar(self, ip_index: int, vantage: Vantage, t: float, salt: int = 0) -> bool:
+        """Retained pure-Python reference for the vectorized kernel."""
         network = self.topology.network_of(ip_index)
         if vantage.region in network.blocked_regions:
             return False

@@ -14,6 +14,8 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.net import AddressSpace
 
 __all__ = ["NetworkKind", "Network", "Topology", "TopologyConfig", "COUNTRY_WEIGHTS"]
@@ -125,6 +127,10 @@ class Topology:
         self.space = space
         self.networks = networks
         self._starts = [n.start for n in networks]
+        # Columnar caches for the vectorized reachability kernels.
+        self._starts_arr = np.asarray(self._starts, dtype=np.int64)
+        self._network_ids = np.asarray([n.network_id for n in networks], dtype=np.int64)
+        self._region_blocked: Dict[str, np.ndarray] = {}
 
     @classmethod
     def generate(cls, space: AddressSpace, config: TopologyConfig | None = None) -> "Topology":
@@ -174,6 +180,28 @@ class Topology:
             raise ValueError(f"address index {ip_index} outside the space")
         i = bisect_right(self._starts, ip_index) - 1
         return self.networks[i]
+
+    def ordinals_of(self, ip_indices: np.ndarray) -> np.ndarray:
+        """Vectorized ``network_of``: positions into ``self.networks``.
+
+        Callers are expected to pass in-space indices (as ``network_of``
+        enforces one at a time); out-of-range inputs are clipped.
+        """
+        ords = np.searchsorted(self._starts_arr, np.asarray(ip_indices, dtype=np.int64), side="right") - 1
+        return np.clip(ords, 0, len(self.networks) - 1)
+
+    @property
+    def network_id_array(self) -> np.ndarray:
+        """``network_id`` per ordinal (aligned with ``self.networks``)."""
+        return self._network_ids
+
+    def region_blocked_array(self, region: str) -> np.ndarray:
+        """Boolean mask per network ordinal: does it geoblock ``region``?"""
+        mask = self._region_blocked.get(region)
+        if mask is None:
+            mask = np.asarray([region in n.blocked_regions for n in self.networks], dtype=bool)
+            self._region_blocked[region] = mask
+        return mask
 
     def networks_of_kind(self, kind: str) -> List[Network]:
         return [n for n in self.networks if n.kind == kind]
