@@ -1,11 +1,32 @@
-"""CQRS data pipeline: events, journal, snapshots, write/read sides, queues."""
+"""CQRS data pipeline: events, journal, snapshots, write/read sides, queues.
 
+Durability and fault tolerance layer on the same surface: a write-ahead
+log backend (``wal``), crash recovery (``EventJournal.recover``), seeded
+fault injection (``faults``), retry/dead-letter policies (``reliability``),
+and an at-least-once delivery simulation (``delivery``).
+"""
+
+from repro.pipeline.delivery import AtLeastOnceSource, FaultyChannel, Resequencer
 from repro.pipeline.events import Event, EventKind, service_key
+from repro.pipeline.faults import (
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+    SimulatedCrash,
+    TransientScanError,
+)
 from repro.pipeline.journal import EventJournal, JournalStats
 from repro.pipeline.queues import EventBus
 from repro.pipeline.read_side import Enricher, ReadSide
+from repro.pipeline.reliability import DeadLetter, DeadLetterQueue, RetryPolicy
 from repro.pipeline.state import apply_event, live_services, new_entity_state
-from repro.pipeline.write_side import ScanObservation, WriteSideProcessor, host_entity_id
+from repro.pipeline.wal import WalCorruptionError, WriteAheadLog
+from repro.pipeline.write_side import (
+    ScanObservation,
+    WriteSideProcessor,
+    WriteStats,
+    host_entity_id,
+)
 
 __all__ = [
     "Event",
@@ -21,5 +42,20 @@ __all__ = [
     "live_services",
     "ScanObservation",
     "WriteSideProcessor",
+    "WriteStats",
     "host_entity_id",
+    # Durability & fault tolerance
+    "WriteAheadLog",
+    "WalCorruptionError",
+    "FaultPlan",
+    "FaultInjector",
+    "CrashPoint",
+    "SimulatedCrash",
+    "TransientScanError",
+    "RetryPolicy",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "AtLeastOnceSource",
+    "FaultyChannel",
+    "Resequencer",
 ]

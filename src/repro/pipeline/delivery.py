@@ -1,0 +1,162 @@
+"""At-least-once observation delivery over a faulty channel.
+
+Real scanner fleets deliver results over queues that drop, duplicate,
+delay, and reorder.  This module models that path explicitly so the chaos
+harness can prove the write side converges anyway:
+
+* :class:`AtLeastOnceSource` — retransmits unacknowledged work each round
+  (the scanner / queue redelivery loop);
+* :class:`FaultyChannel` — applies a :class:`~repro.pipeline.faults.FaultPlan`'s
+  drop / duplicate / delay / reorder schedule to each transmission round;
+* :class:`Resequencer` — restores source order on the consumer side from
+  the monotonic per-item sequence numbers, discarding duplicates, so the
+  write side observes the exact oracle order (TCP-style gap buffering).
+
+Sequence numbers are assigned by the producer (``obs_seq`` on
+:class:`~repro.pipeline.write_side.ScanObservation`); after a crash the
+consumer resumes the resequencer at ``max durable seq + 1`` and the source
+re-marks everything at or below it as acknowledged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.pipeline.faults import FaultInjector
+
+__all__ = ["AtLeastOnceSource", "FaultyChannel", "Resequencer", "item_seq"]
+
+
+def item_seq(item: Any) -> int:
+    """The delivery sequence number of a work item (``obs_seq`` or ``seq``)."""
+    seq = getattr(item, "obs_seq", None)
+    if seq is None:
+        seq = getattr(item, "seq", None)
+    if seq is None:
+        raise ValueError(f"work item {item!r} has no sequence number")
+    return seq
+
+
+class AtLeastOnceSource:
+    """Holds the scripted workload; retransmits until acknowledged."""
+
+    def __init__(self, items: Iterable[Any]) -> None:
+        self._items: Dict[int, Any] = {}
+        for item in items:
+            seq = item_seq(item)
+            if seq in self._items:
+                raise ValueError(f"duplicate work-item sequence {seq}")
+            self._items[seq] = item
+        self._unacked = set(self._items)
+        self.transmissions = 0
+
+    def pending(self) -> List[Any]:
+        """Everything unacknowledged, in sequence order (one round's send)."""
+        batch = [self._items[seq] for seq in sorted(self._unacked)]
+        self.transmissions += len(batch)
+        return batch
+
+    def ack(self, seq: int) -> None:
+        self._unacked.discard(seq)
+
+    def ack_through(self, seq: int) -> None:
+        """Acknowledge every item with sequence <= ``seq`` (crash recovery)."""
+        self._unacked = {s for s in self._unacked if s > seq}
+
+    def reset_all_unacked(self) -> None:
+        """Forget every ack (a consumer that lost all state)."""
+        self._unacked = set(self._items)
+
+    @property
+    def done(self) -> bool:
+        return not self._unacked
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._unacked)
+
+
+class FaultyChannel:
+    """One-way lossy channel driven by a deterministic fault injector.
+
+    Each :meth:`transmit` call is one delivery round: per item the injector
+    decides drop (the source will retransmit), duplicate, or delay (held in
+    the channel for k rounds); finally seeded adjacent swaps reorder the
+    round's deliveries.  All decisions are keyed by (item seq, attempt
+    number), so the schedule is replayable regardless of retransmission
+    counts.
+    """
+
+    def __init__(self, injector: Optional[FaultInjector]) -> None:
+        self.injector = injector
+        self._held: List[Tuple[int, Any]] = []  # (deliver_at_round, item)
+        self._attempts: Dict[int, int] = {}
+        self.round_no = 0
+
+    def transmit(self, items: Iterable[Any]) -> List[Any]:
+        """Deliver one round; returns the items that arrive, in arrival order."""
+        self.round_no += 1
+        if self.injector is None:
+            return list(items)
+        arriving: List[Any] = []
+        still_held: List[Tuple[int, Any]] = []
+        for deliver_at, item in self._held:
+            if deliver_at <= self.round_no:
+                arriving.append(item)
+            else:
+                still_held.append((deliver_at, item))
+        self._held = still_held
+        for item in items:
+            seq = item_seq(item)
+            attempt = self._attempts.get(seq, 0)
+            self._attempts[seq] = attempt + 1
+            if self.injector.should_drop(seq, attempt):
+                continue
+            copies = 2 if self.injector.should_duplicate(seq, attempt) else 1
+            delay = self.injector.delay_rounds(seq, attempt)
+            for _ in range(copies):
+                if delay:
+                    self._held.append((self.round_no + delay, item))
+                else:
+                    arriving.append(item)
+        # Seeded adjacent swaps: bounded, deterministic reordering.
+        for pos in range(len(arriving) - 1):
+            if self.injector.should_swap(self.round_no, pos):
+                arriving[pos], arriving[pos + 1] = arriving[pos + 1], arriving[pos]
+        return arriving
+
+    def reset(self) -> None:
+        """Drop in-flight items (a crash loses whatever was in the channel)."""
+        self._held.clear()
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._held)
+
+
+class Resequencer:
+    """Restores total source order from sequence numbers (gap buffering)."""
+
+    def __init__(self, next_seq: int = 0) -> None:
+        self.next_seq = next_seq
+        self._buffer: Dict[int, Any] = {}
+        self.duplicates_dropped = 0
+        self.buffered_high_water = 0
+
+    def push(self, item: Any) -> List[Any]:
+        """Offer one arrival; returns the in-order run it unlocks (maybe [])."""
+        seq = item_seq(item)
+        if seq < self.next_seq or seq in self._buffer:
+            self.duplicates_dropped += 1
+            return []
+        self._buffer[seq] = item
+        self.buffered_high_water = max(self.buffered_high_water, len(self._buffer))
+        ready: List[Any] = []
+        while self.next_seq in self._buffer:
+            ready.append(self._buffer.pop(self.next_seq))
+            self.next_seq += 1
+        return ready
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,223 @@
+"""Seeded, deterministic fault injection for the CQRS pipeline.
+
+A :class:`FaultPlan` declares *what* can go wrong — observation drops,
+duplicates, reorderings, delivery delays, transient interrogation
+timeouts, and simulated write-side crashes at configurable durable-event
+indices — and a :class:`FaultInjector` turns the plan into concrete,
+replayable decisions.
+
+Every decision is a pure function of ``(plan.seed, decision key)``: rolls
+are derived by hashing the key with BLAKE2b rather than drawing from a
+shared RNG stream, so the schedule for observation #17's third delivery
+attempt is identical no matter how many other decisions were made first,
+across processes and platforms (no dependence on ``PYTHONHASHSEED``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "CrashPoint",
+    "FaultPlan",
+    "FaultInjector",
+    "SimulatedCrash",
+    "TransientScanError",
+]
+
+
+class SimulatedCrash(Exception):
+    """The write side 'died' at a planned crash point (chaos testing)."""
+
+    def __init__(self, point: "CrashPoint") -> None:
+        super().__init__(f"simulated crash {point.mode!r} at durable event {point.event_index}")
+        self.point = point
+
+
+class TransientScanError(Exception):
+    """A transient interrogation failure (timeout); retryable."""
+
+
+@dataclass(frozen=True, slots=True)
+class CrashPoint:
+    """Crash when durable event number ``event_index`` (1-based) commits.
+
+    ``mode`` controls what reaches the WAL for the batch containing that
+    event: ``"before"`` — nothing; ``"torn"`` — a truncated record that
+    recovery must detect and discard; ``"after"`` — the full batch (the
+    crash hits between the fsync and the acknowledgement).
+    """
+
+    event_index: int
+    mode: str = "after"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("before", "after", "torn"):
+            raise ValueError(f"unknown crash mode {self.mode!r}")
+        if self.event_index < 1:
+            raise ValueError("event_index is 1-based")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A declarative, seeded schedule of pipeline faults.
+
+    Rates are independent per-decision probabilities in [0, 1].  The plan
+    is immutable and hashable so test grids can parametrize over it.
+    """
+
+    seed: int = 0
+    #: Delivery-channel faults (applied per transmission attempt).
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay_rounds: int = 2
+    #: Write-side faults.
+    timeout_rate: float = 0.0
+    max_timeout_burst: int = 2
+    crash_points: Tuple[CrashPoint, ...] = ()
+    #: Event-bus faults (applied per queued message).
+    bus_drop_rate: float = 0.0
+    bus_duplicate_rate: float = 0.0
+    bus_delay_rate: float = 0.0
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+
+@dataclass(slots=True)
+class FaultCounters:
+    """What the injector actually did (for assertions and reporting)."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    bus_dropped: int = 0
+    bus_duplicated: int = 0
+    bus_delayed: int = 0
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` with hash-derived deterministic rolls."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.counters = FaultCounters()
+        self._crash_points = sorted(plan.crash_points, key=lambda p: p.event_index)
+        self._timeout_bursts: Dict[int, int] = {}
+        self._timeout_attempts: Dict[int, int] = {}
+        self._auto_key = 0
+
+    # -- deterministic rolls ----------------------------------------------
+
+    def roll(self, key: str) -> float:
+        """Uniform [0, 1) derived from (seed, key); stable across processes."""
+        digest = hashlib.blake2b(
+            f"{self.plan.seed}:{key}".encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    # -- channel faults (per transmission attempt) -------------------------
+
+    def should_drop(self, seq: int, attempt: int) -> bool:
+        hit = self.roll(f"drop:{seq}:{attempt}") < self.plan.drop_rate
+        if hit:
+            self.counters.dropped += 1
+        return hit
+
+    def should_duplicate(self, seq: int, attempt: int) -> bool:
+        hit = self.roll(f"dup:{seq}:{attempt}") < self.plan.duplicate_rate
+        if hit:
+            self.counters.duplicated += 1
+        return hit
+
+    def delay_rounds(self, seq: int, attempt: int) -> int:
+        """0 = deliver this round; k>0 = hold for k delivery rounds."""
+        if self.roll(f"delay:{seq}:{attempt}") >= self.plan.delay_rate:
+            return 0
+        self.counters.delayed += 1
+        span = max(1, self.plan.max_delay_rounds)
+        return 1 + int(self.roll(f"delayn:{seq}:{attempt}") * span) % span
+
+    def should_swap(self, round_no: int, position: int) -> bool:
+        """Whether to swap the adjacent pair at ``position`` this round."""
+        hit = self.roll(f"swap:{round_no}:{position}") < self.plan.reorder_rate
+        if hit:
+            self.counters.reordered += 1
+        return hit
+
+    # -- write-side faults -------------------------------------------------
+
+    def timeout_burst(self, key: int) -> int:
+        """How many consecutive attempts for this observation time out.
+
+        Decided once per observation key, so retries see a finite burst and
+        the schedule does not depend on how many retries actually happen.
+        """
+        if key not in self._timeout_bursts:
+            burst = 0
+            if self.roll(f"timeout:{key}") < self.plan.timeout_rate:
+                burst = 1 + int(
+                    self.roll(f"timeoutn:{key}") * max(1, self.plan.max_timeout_burst)
+                ) % max(1, self.plan.max_timeout_burst)
+            self._timeout_bursts[key] = burst
+        return self._timeout_bursts[key]
+
+    def maybe_timeout(self, key: Optional[int]) -> None:
+        """Raise :class:`TransientScanError` while the burst lasts."""
+        if key is None:
+            self._auto_key -= 1  # negative keys: never collide with obs seqs
+            key = self._auto_key
+        burst = self.timeout_burst(key)
+        attempt = self._timeout_attempts.get(key, 0)
+        if attempt < burst:
+            self._timeout_attempts[key] = attempt + 1
+            self.counters.timeouts += 1
+            raise TransientScanError(f"injected interrogation timeout (obs {key}, attempt {attempt})")
+
+    # -- crash points ------------------------------------------------------
+
+    def crash_for_range(self, lo: int, hi: int) -> Optional[CrashPoint]:
+        """The crash point covered by durable-event range [lo, hi], if any.
+
+        Consumes the point so the retried batch commits cleanly.  Stale
+        points (index below ``lo``, e.g. skipped by a ``before`` crash whose
+        batch was never retried) are discarded.
+        """
+        while self._crash_points and self._crash_points[0].event_index < lo:
+            self._crash_points.pop(0)
+        if self._crash_points and lo <= self._crash_points[0].event_index <= hi:
+            return self._crash_points.pop(0)
+        return None
+
+    def raise_crash(self, point: CrashPoint) -> None:
+        self.counters.crashes += 1
+        raise SimulatedCrash(point)
+
+    # -- bus faults --------------------------------------------------------
+
+    def bus_should_drop(self, seq: int) -> bool:
+        hit = self.roll(f"bus-drop:{seq}") < self.plan.bus_drop_rate
+        if hit:
+            self.counters.bus_dropped += 1
+        return hit
+
+    def bus_should_duplicate(self, seq: int) -> bool:
+        hit = self.roll(f"bus-dup:{seq}") < self.plan.bus_duplicate_rate
+        if hit:
+            self.counters.bus_duplicated += 1
+        return hit
+
+    def bus_should_delay(self, seq: int, times_delayed: int) -> bool:
+        if times_delayed >= max(0, self.plan.max_delay_rounds):
+            return False
+        hit = self.roll(f"bus-delay:{seq}:{times_delayed}") < self.plan.bus_delay_rate
+        if hit:
+            self.counters.bus_delayed += 1
+        return hit

@@ -5,48 +5,118 @@ processing, predictive-model updates) instead of doing it inline — the
 paper's "minimal processing during initial data ingestion".  Delivery is
 deferred until :meth:`EventBus.pump`, which the platform calls once per
 tick, so ingestion stays cheap and ordering across topics is explicit.
+
+Fault tolerance (opt-in): a :class:`~repro.pipeline.faults.FaultInjector`
+can drop, duplicate, or delay queued messages deterministically, and a
+:class:`~repro.pipeline.reliability.RetryPolicy` turns handler exceptions
+into bounded redelivery with a dead-letter queue instead of a lost
+message.  Without those, behaviour is byte-identical to the original bus:
+strict publish-order delivery, handler exceptions propagate.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.pipeline.faults import FaultInjector
+from repro.pipeline.reliability import DeadLetterQueue, RetryPolicy
 
 __all__ = ["EventBus"]
 
 Handler = Callable[[Dict[str, Any]], None]
 
 
+@dataclass(slots=True)
+class _Queued:
+    """One queued delivery: the message plus its fault/retry bookkeeping."""
+
+    topic: str
+    message: Dict[str, Any]
+    seq: int
+    attempts: int = 0
+    times_delayed: int = 0
+    is_duplicate: bool = False
+
+
 class EventBus:
     """Topic-based fan-out with deferred delivery."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        dlq: Optional[DeadLetterQueue] = None,
+    ) -> None:
         self._subscribers: Dict[str, List[Handler]] = {}
-        self._pending: Deque[Tuple[str, Dict[str, Any]]] = deque()
+        self._pending: Deque[_Queued] = deque()
+        self._next_seq = 0
+        self.faults = faults
+        #: None preserves the original contract: handler exceptions propagate
+        #: out of pump() and the message is lost.
+        self.retry = retry
+        self.dlq = dlq if dlq is not None else DeadLetterQueue()
         self.published = 0
         self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.retried = 0
+        self.dead_lettered = 0
 
     def subscribe(self, topic: str, handler: Handler) -> None:
         self._subscribers.setdefault(topic, []).append(handler)
 
     def publish(self, topic: str, message: Dict[str, Any]) -> None:
-        self._pending.append((topic, message))
+        self._pending.append(_Queued(topic, message, self._next_seq))
+        self._next_seq += 1
         self.published += 1
 
-    def pump(self, max_messages: int | None = None) -> int:
+    def pump(self, max_messages: Optional[int] = None) -> int:
         """Deliver queued messages to subscribers; returns count delivered.
 
         Messages published *during* delivery are processed in the same pump
-        unless ``max_messages`` caps the batch.
+        unless ``max_messages`` caps the batch.  ``max_messages=0`` (or any
+        non-positive cap) delivers nothing and leaves the backlog intact —
+        zero is a cap of zero, not "unlimited".
         """
+        if max_messages is not None and max_messages <= 0:
+            return 0
         delivered = 0
         while self._pending:
             if max_messages is not None and delivered >= max_messages:
                 break
-            topic, message = self._pending.popleft()
-            for handler in self._subscribers.get(topic, ()):  # fan-out
-                handler(message)
+            entry = self._pending.popleft()
+            if self.faults is not None and not entry.is_duplicate:
+                if self.faults.bus_should_drop(entry.seq):
+                    self.dropped += 1
+                    self.dlq.push((entry.topic, entry.message), "injected bus drop")
+                    continue
+                if self.faults.bus_should_delay(entry.seq, entry.times_delayed):
+                    entry.times_delayed += 1
+                    self.delayed += 1
+                    self._pending.append(entry)
+                    continue
+                if entry.times_delayed == 0 and entry.attempts == 0 and \
+                        self.faults.bus_should_duplicate(entry.seq):
+                    self.duplicated += 1
+                    dup = _Queued(entry.topic, entry.message, entry.seq, is_duplicate=True)
+                    self._pending.append(dup)
+            try:
+                for handler in self._subscribers.get(entry.topic, ()):  # fan-out
+                    handler(entry.message)
+            except Exception:
+                if self.retry is None:
+                    raise
+                entry.attempts += 1
+                self.retried += 1
+                if entry.attempts >= self.retry.max_attempts:
+                    self.dead_lettered += 1
+                    self.dlq.push((entry.topic, entry.message), "handler retries exhausted")
+                else:
+                    self._pending.append(entry)  # redeliver later in this pump
+                continue
             delivered += 1
             self.delivered += 1
         return delivered

@@ -1,0 +1,91 @@
+"""Retry-with-backoff and dead-lettering for observation processing.
+
+Transient interrogation failures are retried on an exponential backoff
+schedule (simulated hours — nothing sleeps; the accumulated backoff is
+accounted so tests can assert on it).  Observations that exhaust their
+attempts land in a :class:`DeadLetterQueue` instead of being silently
+dropped, and can be re-driven once the underlying fault clears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, NamedTuple, Tuple
+
+__all__ = ["RetryPolicy", "DeadLetter", "DeadLetterQueue"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff: base * multiplier^(attempt-1), capped.
+
+    ``max_attempts`` counts the initial try plus retries; attempt numbers
+    passed to :meth:`backoff` are 1-based (the delay *after* that attempt
+    failed).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1:
+            raise ValueError("invalid backoff parameters")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay (simulated hours) after the ``attempt``-th failure."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+    def schedule(self) -> Tuple[float, ...]:
+        """The full backoff schedule for a message that always fails."""
+        return tuple(self.backoff(a) for a in range(1, self.max_attempts))
+
+
+class DeadLetter(NamedTuple):
+    """One poisoned work item: the payload plus why and how hard we tried."""
+
+    item: Any
+    reason: str
+    attempts: int
+
+
+class DeadLetterQueue:
+    """Terminal parking lot for work that exhausted its retries."""
+
+    def __init__(self) -> None:
+        self._entries: List[DeadLetter] = []
+        self.total_pushed = 0
+
+    def push(self, item: Any, reason: str, attempts: int = 0) -> None:
+        self._entries.append(DeadLetter(item, reason, attempts))
+        self.total_pushed += 1
+
+    def entries(self) -> List[DeadLetter]:
+        return list(self._entries)
+
+    def drain(self) -> List[DeadLetter]:
+        """Remove and return everything (the redrive primitive)."""
+        out, self._entries = self._entries, []
+        return out
+
+    def redrive(self, handler) -> int:
+        """Re-submit every entry through ``handler(item)``; returns count.
+
+        Entries are drained first, so a handler that dead-letters again
+        (fault still present) re-parks them rather than looping forever.
+        """
+        entries = self.drain()
+        for entry in entries:
+            handler(entry.item)
+        return len(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)

@@ -1,0 +1,296 @@
+"""Write-ahead log: append-only segments with length+checksum framing.
+
+The durable backend for :class:`~repro.pipeline.journal.EventJournal`.
+Events are committed in per-observation batches — one framed record per
+batch — so an observation is either fully durable or not at all.  Records
+use explicit framing so recovery can distinguish a *torn* final record
+(the process died mid-write: discard it and keep the valid prefix) from
+corruption in the middle of a segment (refuse to recover silently).
+
+Record framing, one record per line::
+
+    +----------+----------+------------------+----+
+    | length:8 | crc32:8  | body (JSON, utf8)| \\n |
+    +----------+----------+------------------+----+
+
+``length`` and ``crc32`` are fixed-width lowercase hex of the body's byte
+length and CRC-32.  Bodies are compact JSON with no embedded newlines, so
+a segment doubles as a (framed) JSONL file readable with standard tools.
+
+Segments rotate every ``segment_max_records`` records.  Snapshots are not
+interleaved with events; they go to per-segment *sidecar* files
+(``segment-00000.snap``) with the same framing, used at recovery time to
+cross-check the deterministically regenerated snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "WalCorruptionError",
+    "WalStats",
+    "WriteAheadLog",
+    "encode_record",
+    "decode_segment",
+]
+
+_HEADER_LEN = 16  # 8 hex chars length + 8 hex chars crc32
+SEGMENT_PATTERN = "segment-%05d.log"
+SIDECAR_PATTERN = "segment-%05d.snap"
+
+
+class WalCorruptionError(Exception):
+    """A non-final WAL record failed validation (not a torn tail)."""
+
+
+@dataclass(slots=True)
+class WalStats:
+    """Durable-storage accounting for one WAL instance."""
+
+    records: int = 0
+    segments: int = 0
+    bytes_written: int = 0
+    fsyncs: int = 0
+    torn_writes: int = 0
+
+
+def encode_record(body: Dict[str, Any]) -> bytes:
+    """Frame one record: fixed hex header (length+crc32) + JSON body + newline."""
+    data = json.dumps(body, separators=(",", ":"), sort_keys=True, default=str).encode("utf-8")
+    header = f"{len(data):08x}{zlib.crc32(data) & 0xFFFFFFFF:08x}".encode("ascii")
+    return header + data + b"\n"
+
+
+def _decode_buffer(
+    raw: bytes, *, path: str, tolerate_torn_tail: bool
+) -> Tuple[List[Dict[str, Any]], int, int]:
+    """Parse framed records; returns (records, valid_byte_length, torn_discarded).
+
+    A framing violation at the very end of the buffer is a torn write and is
+    discarded (when ``tolerate_torn_tail``); anywhere else it is corruption.
+    """
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    n = len(raw)
+    while offset < n:
+        torn_reason: Optional[str] = None
+        end = offset
+        if offset + _HEADER_LEN > n:
+            torn_reason = "truncated header"
+        else:
+            header = raw[offset : offset + _HEADER_LEN]
+            try:
+                length = int(header[:8], 16)
+                crc = int(header[8:], 16)
+            except ValueError:
+                torn_reason = "unparseable header"
+            else:
+                end = offset + _HEADER_LEN + length + 1
+                if end > n:
+                    torn_reason = "truncated body"
+                else:
+                    body = raw[offset + _HEADER_LEN : end - 1]
+                    if raw[end - 1 : end] != b"\n":
+                        torn_reason = "missing record terminator"
+                    elif (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+                        torn_reason = "checksum mismatch"
+                    else:
+                        try:
+                            records.append(json.loads(body.decode("utf-8")))
+                        except (UnicodeDecodeError, json.JSONDecodeError):
+                            torn_reason = "undecodable body"
+        if torn_reason is None:
+            offset = end
+            continue
+        # The bad record must be the last thing in the buffer to count as torn.
+        if tolerate_torn_tail and _is_tail(raw, offset, end):
+            return records, offset, 1
+        raise WalCorruptionError(f"{path}: {torn_reason} at byte {offset}")
+    return records, offset, 0
+
+
+def _is_tail(raw: bytes, offset: int, end: int) -> bool:
+    """True when the record starting at ``offset`` is the buffer's last."""
+    if end >= len(raw):
+        return True
+    # A bad header length can point past a valid record boundary; treat the
+    # record as the tail only if nothing after it parses as a record start.
+    rest = raw[offset:]
+    return b"\n" not in rest[:-1]
+
+
+def decode_segment(path: str, *, tolerate_torn_tail: bool) -> Tuple[List[Dict[str, Any]], int, int]:
+    """Read one segment file; returns (records, valid_bytes, torn_discarded)."""
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    return _decode_buffer(raw, path=path, tolerate_torn_tail=tolerate_torn_tail)
+
+
+@dataclass(slots=True)
+class _ScanResult:
+    """Everything recovery needs from one pass over a WAL directory."""
+
+    batches: List[Dict[str, Any]] = field(default_factory=list)
+    snapshots: List[Dict[str, Any]] = field(default_factory=list)
+    torn_discarded: int = 0
+    segment_indices: List[int] = field(default_factory=list)
+    #: Records in the highest segment (so an appender can resume rotation).
+    tail_records: int = 0
+
+
+class WriteAheadLog:
+    """Append-only framed segment files plus snapshot sidecars.
+
+    Opening a directory that already holds segments resumes appending to the
+    highest one, truncating a torn tail first (crash-consistent resume).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        segment_max_records: int = 128,
+        fsync_every: int = 1,
+    ) -> None:
+        if segment_max_records < 1:
+            raise ValueError("segment_max_records must be >= 1")
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
+        self.directory = str(directory)
+        self.segment_max_records = segment_max_records
+        self.fsync_every = fsync_every
+        self.stats = WalStats()
+        self._fh = None
+        self._sidecar_fh = None
+        self._records_since_fsync = 0
+        os.makedirs(self.directory, exist_ok=True)
+        scan = self.scan(self.directory, truncate_torn=True)
+        self._segment_index = scan.segment_indices[-1] if scan.segment_indices else 0
+        self._segment_records = scan.tail_records
+        self.stats.segments = max(1, len(scan.segment_indices))
+        self._open_segment()
+
+    # -- file management ---------------------------------------------------
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, SEGMENT_PATTERN % index)
+
+    def _sidecar_path(self, index: int) -> str:
+        return os.path.join(self.directory, SIDECAR_PATTERN % index)
+
+    def _open_segment(self) -> None:
+        self._close_handles()
+        self._fh = open(self._segment_path(self._segment_index), "ab")
+        self._sidecar_fh = open(self._sidecar_path(self._segment_index), "ab")
+
+    def _close_handles(self) -> None:
+        for fh in (self._fh, self._sidecar_fh):
+            if fh is not None and not fh.closed:
+                fh.flush()
+                os.fsync(fh.fileno())
+                fh.close()
+        self._fh = self._sidecar_fh = None
+
+    def _maybe_rotate(self) -> None:
+        if self._segment_records >= self.segment_max_records:
+            self._segment_index += 1
+            self._segment_records = 0
+            self.stats.segments += 1
+            self._open_segment()
+
+    def close(self) -> None:
+        self._close_handles()
+
+    # -- append path -------------------------------------------------------
+
+    def append_batch(self, events: List[Dict[str, Any]], *, torn: bool = False) -> None:
+        """Durably append one committed batch (one framed record).
+
+        ``torn=True`` simulates a crash mid-write: only a prefix of the framed
+        record reaches the file and no newline terminator is written.  The
+        caller is expected to raise a simulated crash immediately after.
+        """
+        self._maybe_rotate()
+        record = encode_record({"t": "batch", "events": events})
+        if torn:
+            cut = max(_HEADER_LEN + 1, len(record) // 2)
+            self._fh.write(record[:cut])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self.stats.torn_writes += 1
+            return
+        self._fh.write(record)
+        self._fh.flush()
+        self._segment_records += 1
+        self.stats.records += 1
+        self.stats.bytes_written += len(record)
+        self._records_since_fsync += 1
+        if self._records_since_fsync >= self.fsync_every:
+            os.fsync(self._fh.fileno())
+            self.stats.fsyncs += 1
+            self._records_since_fsync = 0
+
+    def append_snapshot(
+        self, entity_id: str, seq_after: int, time: float, state: Dict[str, Any]
+    ) -> None:
+        """Write one snapshot record to the current segment's sidecar."""
+        record = encode_record(
+            {"t": "snap", "entity": entity_id, "seq_after": seq_after, "time": time, "state": state}
+        )
+        self._sidecar_fh.write(record)
+        self._sidecar_fh.flush()
+        self.stats.bytes_written += len(record)
+
+    # -- recovery scan -----------------------------------------------------
+
+    @staticmethod
+    def scan(directory: str, *, truncate_torn: bool = False) -> _ScanResult:
+        """Read every segment (and sidecar) in order, validating framing.
+
+        A torn record is tolerated only at the tail of the *final* segment
+        (or final sidecar); with ``truncate_torn`` the file is truncated back
+        to its last valid record so appending can resume safely.  Any other
+        framing violation raises :class:`WalCorruptionError`.
+        """
+        result = _ScanResult()
+        if not os.path.isdir(directory):
+            return result
+        indices = sorted(
+            int(name[len("segment-") : -len(".log")])
+            for name in os.listdir(directory)
+            if name.startswith("segment-") and name.endswith(".log")
+        )
+        result.segment_indices = indices
+        for pos, index in enumerate(indices):
+            is_last = pos == len(indices) - 1
+            path = os.path.join(directory, SEGMENT_PATTERN % index)
+            records, valid_bytes, torn = decode_segment(path, tolerate_torn_tail=is_last)
+            if torn and truncate_torn:
+                with open(path, "ab") as fh:
+                    fh.truncate(valid_bytes)
+            result.torn_discarded += torn
+            for record in records:
+                if record.get("t") != "batch":
+                    raise WalCorruptionError(f"{path}: unexpected record type {record.get('t')!r}")
+                result.batches.append(record)
+            if is_last:
+                result.tail_records = len(records)
+            sidecar = os.path.join(directory, SIDECAR_PATTERN % index)
+            if os.path.exists(sidecar):
+                snaps, valid_bytes, torn = decode_segment(sidecar, tolerate_torn_tail=is_last)
+                if torn and truncate_torn:
+                    with open(sidecar, "ab") as fh:
+                        fh.truncate(valid_bytes)
+                result.torn_discarded += torn
+                for record in snaps:
+                    if record.get("t") != "snap":
+                        raise WalCorruptionError(
+                            f"{sidecar}: unexpected record type {record.get('t')!r}"
+                        )
+                    result.snapshots.append(record)
+        return result

@@ -11,19 +11,32 @@ steps.  It also implements two Censys data-quality policies:
 * *pseudo-service filtering*: hosts answering identically on many ports are
   flagged and excluded from serving (competitor engines skip this, which
   is one source of their inflated self-reported counts).
+
+Fault tolerance (opt-in): with a :class:`~repro.pipeline.faults.FaultInjector`
+attached, :meth:`WriteSideProcessor.submit` retries transient interrogation
+timeouts on the processor's exponential-backoff
+:class:`~repro.pipeline.reliability.RetryPolicy` and dead-letters
+observations that exhaust their attempts.  Observations older than the
+entity's journal head (redelivered after a crash, or reordered in transit)
+are dropped as *stale* — last-writer-wins — instead of corrupting the
+journal's time order.  Each observation's events commit as one atomic WAL
+batch when the journal is durable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.pipeline.events import EventKind, service_key
+from repro.pipeline.faults import FaultInjector, TransientScanError
 from repro.pipeline.journal import EventJournal
 from repro.pipeline.queues import EventBus
+from repro.pipeline.reliability import DeadLetterQueue, RetryPolicy
 from repro.protocols.interrogate import InterrogationResult
 
-__all__ = ["ScanObservation", "WriteSideProcessor", "host_entity_id"]
+__all__ = ["ScanObservation", "WriteStats", "WriteSideProcessor", "host_entity_id"]
 
 
 def host_entity_id(ip_text: str) -> str:
@@ -40,6 +53,9 @@ class ScanObservation:
     transport: str
     result: InterrogationResult
     source: str = "scan"   # "discovery" | "refresh" | "predictive" | "name"
+    #: Monotonic delivery sequence number (set by the ingest layer when the
+    #: pipeline runs over an at-least-once channel; None for direct calls).
+    obs_seq: Optional[int] = None
 
 
 @dataclass(slots=True)
@@ -51,6 +67,11 @@ class WriteStats:
     pending: int = 0
     removed: int = 0
     pseudo_flagged: int = 0
+    #: Fault-tolerance accounting.
+    retries: int = 0
+    backoff_hours: float = 0.0
+    dead_lettered: int = 0
+    stale_dropped: int = 0
 
 
 class WriteSideProcessor:
@@ -65,6 +86,9 @@ class WriteSideProcessor:
         bus: Optional[EventBus] = None,
         filter_pseudo_services: bool = True,
         delta_encoding: bool = True,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        dlq: Optional[DeadLetterQueue] = None,
     ) -> None:
         self.journal = journal
         self.bus = bus or EventBus()
@@ -72,21 +96,63 @@ class WriteSideProcessor:
         #: False journals the full record on every rescan instead of the
         #: field-level diff — the storage-cost ablation's strawman.
         self.delta_encoding = delta_encoding
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        self.dlq = dlq if dlq is not None else DeadLetterQueue()
         self.stats = WriteStats()
 
     # ------------------------------------------------------------------
 
+    def submit(self, obs: ScanObservation) -> Optional[str]:
+        """Process with retries: the at-least-once ingestion entry point.
+
+        Transient interrogation timeouts back off exponentially; once
+        ``retry.max_attempts`` is exhausted the observation is dead-lettered
+        and ``None`` is returned.  A :class:`SimulatedCrash` always
+        propagates — the driver owns recovery.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self.process(obs)
+            except TransientScanError:
+                if attempt >= self.retry.max_attempts:
+                    self.dlq.push(obs, "transient timeouts exhausted", attempts=attempt)
+                    self.stats.dead_lettered += 1
+                    return None
+                self.stats.retries += 1
+                self.stats.backoff_hours += self.retry.backoff(attempt)
+
     def process(self, obs: ScanObservation) -> Optional[str]:
         """Apply one observation; returns the journal event kind (or None)."""
+        if self.faults is not None:
+            self.faults.maybe_timeout(obs.obs_seq)  # raises TransientScanError
         self.stats.observations += 1
         state = self.journal.peek_current(obs.entity_id)
+        last_time = state.get("last_event_time")
+        if last_time is not None and obs.time < last_time:
+            # Redelivered or reordered observation older than the journal
+            # head: everything it could say has been superseded.
+            self.stats.stale_dropped += 1
+            return None
         if self.filter_pseudo_services and state["meta"].get("pseudo_host"):
             return None  # filtered: pseudo hosts are not part of the map
         key = service_key(obs.port, obs.transport)
         existing = state["services"].get(key)
-        if obs.result.success and obs.result.service_name:
-            return self._apply_success(obs, key, existing)
-        return self._apply_failure(obs, key, existing)
+        with self.journal.transaction():
+            if obs.result.success and obs.result.service_name:
+                return self._apply_success(obs, key, existing)
+            return self._apply_failure(obs, key, existing)
+
+    def _journal(
+        self, obs: ScanObservation, kind: str, payload: Dict[str, Any]
+    ) -> None:
+        """Append one event, stamping the delivery sequence when present."""
+        if obs.obs_seq is not None:
+            payload = dict(payload)
+            payload["obs_seq"] = obs.obs_seq
+        self.journal.append(obs.entity_id, obs.time, kind, payload)
 
     def _apply_success(
         self, obs: ScanObservation, key: str, existing: Optional[Dict[str, Any]]
@@ -94,9 +160,8 @@ class WriteSideProcessor:
         record = dict(obs.result.record)
         service_name = obs.result.service_name
         if existing is None:
-            self.journal.append(
-                obs.entity_id,
-                obs.time,
+            self._journal(
+                obs,
                 EventKind.SERVICE_FOUND,
                 {
                     "key": key,
@@ -123,9 +188,7 @@ class WriteSideProcessor:
             refresh_payload: Dict[str, Any] = {"key": key}
             if not self.delta_encoding:
                 refresh_payload["record"] = record  # full-record strawman
-            self.journal.append(
-                obs.entity_id, obs.time, EventKind.SERVICE_REFRESHED, refresh_payload
-            )
+            self._journal(obs, EventKind.SERVICE_REFRESHED, refresh_payload)
             self.stats.refreshed += 1
             return EventKind.SERVICE_REFRESHED
         if not self.delta_encoding:
@@ -134,7 +197,7 @@ class WriteSideProcessor:
         if name_changed:
             payload["service_name"] = service_name
             payload["protocol"] = obs.result.protocol
-        self.journal.append(obs.entity_id, obs.time, EventKind.SERVICE_CHANGED, payload)
+        self._journal(obs, EventKind.SERVICE_CHANGED, payload)
         self.stats.changed += 1
         self.bus.publish(
             "service_changed",
@@ -152,9 +215,7 @@ class WriteSideProcessor:
         # Repeated failures are journaled too: they record the scan attempt
         # (last_checked) while the original staging time keeps the eviction
         # clock running.
-        self.journal.append(
-            obs.entity_id, obs.time, EventKind.SERVICE_PENDING_REMOVAL, {"key": key}
-        )
+        self._journal(obs, EventKind.SERVICE_PENDING_REMOVAL, {"key": key})
         if first_failure:
             self.stats.pending += 1
             self.bus.publish(
@@ -165,13 +226,22 @@ class WriteSideProcessor:
 
     # ------------------------------------------------------------------
 
-    def remove_service(self, entity_id: str, key: str, time: float) -> bool:
+    def remove_service(
+        self, entity_id: str, key: str, time: float, obs_seq: Optional[int] = None
+    ) -> bool:
         """Evict a staged service (scheduler command after the 72 h window)."""
         state = self.journal.peek_current(entity_id)
+        last_time = state.get("last_event_time")
+        if last_time is not None and time < last_time:
+            self.stats.stale_dropped += 1  # replayed command from before a crash
+            return False
         service = state["services"].get(key)
         if service is None:
             return False
-        self.journal.append(entity_id, time, EventKind.SERVICE_REMOVED, {"key": key})
+        payload: Dict[str, Any] = {"key": key}
+        if obs_seq is not None:
+            payload["obs_seq"] = obs_seq
+        self.journal.append(entity_id, time, EventKind.SERVICE_REMOVED, payload)
         self.stats.removed += 1
         self.bus.publish("service_removed", {"entity_id": entity_id, "key": key, "time": time})
         return True
@@ -188,9 +258,7 @@ class WriteSideProcessor:
             signatures.add(_record_signature(service["record"]))
             if len(signatures) > 2:
                 return
-        self.journal.append(
-            obs.entity_id, obs.time, EventKind.HOST_META, {"meta": {"pseudo_host": True}}
-        )
+        self._journal(obs, EventKind.HOST_META, {"meta": {"pseudo_host": True}})
         self.bus.publish(
             "host_pseudo_flagged", {"entity_id": obs.entity_id, "time": obs.time}
         )
@@ -205,9 +273,14 @@ def _diff_records(old: Dict[str, Any], new: Dict[str, Any]) -> Tuple[Dict[str, A
 
 
 def _record_signature(record: Dict[str, Any]) -> str:
-    """A loose identity for pseudo-service detection (raw banner shape)."""
-    interesting = {k: v for k, v in sorted(record.items()) if not k.startswith("tls.")}
-    return repr(interesting)
+    """A loose identity for pseudo-service detection (raw banner shape).
+
+    Canonical JSON (sorted keys at every nesting level) so two records with
+    the same content but different dict insertion order — including inside
+    nested values — hash identically.
+    """
+    interesting = {k: v for k, v in record.items() if not k.startswith("tls.")}
+    return json.dumps(interesting, sort_keys=True, default=repr, separators=(",", ":"))
 
 
 _MISSING = object()

@@ -1,0 +1,255 @@
+"""Deterministic chaos-harness helpers: workloads, oracle, faulted driver.
+
+The harness runs the same scripted scan workload two ways:
+
+* **oracle** — in-memory pipeline, observations applied in source order,
+  no faults: the ground truth;
+* **chaos** — durable (WAL-backed) pipeline fed through an at-least-once
+  source, a seeded faulty channel (drop/duplicate/delay/reorder), a
+  resequencer, and a write side with injected transient timeouts; planned
+  crashes kill the in-memory journal mid-run and recovery rebuilds it
+  from the WAL.
+
+Convergence means the recovered journal is *byte-identical* to the
+oracle: same events (sequence, time, kind, payload), same regenerated
+snapshots, same materialized state, same storage accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.pipeline import (
+    AtLeastOnceSource,
+    DeadLetterQueue,
+    EventBus,
+    EventJournal,
+    FaultPlan,
+    FaultyChannel,
+    Resequencer,
+    RetryPolicy,
+    ScanObservation,
+    SimulatedCrash,
+    WriteAheadLog,
+    WriteSideProcessor,
+)
+from repro.pipeline.delivery import item_seq
+from repro.protocols.interrogate import InterrogationResult
+
+SNAPSHOT_EVERY = 5
+
+
+@dataclass(frozen=True)
+class RemoveCommand:
+    """A scheduler eviction command, sequenced like an observation."""
+
+    entity_id: str
+    key: str
+    time: float
+    seq: int
+
+
+def _ok(record: Dict[str, Any], port: int, protocol: str = "HTTP") -> InterrogationResult:
+    return InterrogationResult(
+        port=port, transport="tcp", success=True, protocol=protocol, record=record
+    )
+
+
+def _fail(port: int) -> InterrogationResult:
+    return InterrogationResult(port=port, transport="tcp", success=False)
+
+
+def build_workload(seed: int = 7, n_hosts: int = 5, sweeps: int = 8) -> List[Any]:
+    """A scripted scan workload: finds, refreshes, changes, failures,
+    evictions, and one pseudo-host storm.  Times strictly increase with the
+    global sequence number, so source order is also time order."""
+    rng = random.Random(seed)
+    hosts = [f"host:10.0.0.{i + 1}" for i in range(n_hosts)]
+    ports = [22, 80, 443]
+    versions: Dict[Tuple[str, int], int] = {}
+    items: List[Any] = []
+
+    def stamp(obs_or_cmd: Any) -> None:
+        items.append(obs_or_cmd)
+
+    def next_seq() -> int:
+        return len(items)
+
+    for sweep in range(sweeps):
+        for host in hosts:
+            for port in ports:
+                roll = rng.random()
+                seq = next_seq()
+                t = float(seq)
+                key = (host, port)
+                if roll < 0.15 and sweep > 0:
+                    stamp(ScanObservation(host, t, port, "tcp", _fail(port), obs_seq=seq))
+                elif roll < 0.25:
+                    versions[key] = versions.get(key, 0) + 1
+                    record = {"http.status": 200 + versions[key], "banner": f"v{versions[key]}"}
+                    stamp(ScanObservation(host, t, port, "tcp", _ok(record, port), obs_seq=seq))
+                else:
+                    versions.setdefault(key, 1)
+                    record = {"http.status": 200 + versions[key], "banner": f"v{versions[key]}"}
+                    stamp(ScanObservation(host, t, port, "tcp", _ok(record, port), obs_seq=seq))
+            if rng.random() < 0.1 and sweep > 1:
+                seq = next_seq()
+                stamp(RemoveCommand(host, f"{rng.choice(ports)}/tcp", float(seq), seq))
+    # One pseudo-host storm: identical banners on many ports.
+    pseudo = "host:10.0.9.9"
+    for port in range(7000, 7022):
+        seq = next_seq()
+        stamp(
+            ScanObservation(
+                pseudo, float(seq), port, "tcp", _ok({"banner": "ECHO"}, port), obs_seq=seq
+            )
+        )
+    return items
+
+
+def apply_item(processor: WriteSideProcessor, item: Any) -> Any:
+    if isinstance(item, RemoveCommand):
+        return processor.remove_service(item.entity_id, item.key, item.time, obs_seq=item.seq)
+    return processor.submit(item)
+
+
+def run_oracle(
+    items: List[Any], snapshot_every: int = SNAPSHOT_EVERY
+) -> Tuple[EventJournal, WriteSideProcessor]:
+    """The fault-free reference run: in order, in memory."""
+    journal = EventJournal(snapshot_every=snapshot_every)
+    processor = WriteSideProcessor(journal, EventBus())
+    for item in items:
+        apply_item(processor, item)
+    return journal, processor
+
+
+def journal_fingerprint(journal: EventJournal) -> Dict[str, Any]:
+    """Everything that defines journal state, in comparable form."""
+    out: Dict[str, Any] = {}
+    for entity_id in sorted(journal.entity_ids()):
+        log = journal._logs[entity_id]
+        out[entity_id] = {
+            "current": journal.reconstruct(entity_id),
+            "events": [
+                (e.seq, e.time, e.kind, dict(e.payload)) for e in journal.events_for(entity_id)
+            ],
+            "snapshots": [(seq, t, state) for seq, t, state in log.snapshots],
+            "hdd_watermark": log.hdd_watermark,
+        }
+    return out
+
+
+def storage_fingerprint(journal: EventJournal) -> Dict[str, int]:
+    s = journal.stats
+    return {
+        "events": s.events,
+        "snapshots": s.snapshots,
+        "event_bytes": s.event_bytes,
+        "snapshot_bytes": s.snapshot_bytes,
+        "ssd_bytes": s.ssd_bytes,
+        "hdd_bytes": s.hdd_bytes,
+    }
+
+
+def max_durable_seq(journal: EventJournal) -> int:
+    """The highest delivery sequence stamped into any durable event."""
+    best = -1
+    for entity_id in journal.entity_ids():
+        for event in journal.events_for(entity_id):
+            seq = event.payload.get("obs_seq")
+            if seq is not None and seq > best:
+                best = seq
+    return best
+
+
+@dataclass
+class ChaosResult:
+    journal: EventJournal          # the live journal at end of run
+    recovered: EventJournal        # a cold recovery from disk after the run
+    crashes: int
+    recoveries: int
+    rounds: int
+    torn_discarded: int
+    injector: Any
+    processor: WriteSideProcessor
+
+
+def run_chaos(
+    items: List[Any],
+    plan: FaultPlan,
+    wal_dir: str,
+    snapshot_every: int = SNAPSHOT_EVERY,
+    retry: Optional[RetryPolicy] = None,
+    max_rounds: int = 3000,
+) -> ChaosResult:
+    """Drive the workload through the faulted, durable pipeline to completion."""
+    retry = retry or RetryPolicy(max_attempts=6, base_delay=0.05)
+    injector = plan.injector()
+
+    def fresh_processor(journal: EventJournal) -> WriteSideProcessor:
+        return WriteSideProcessor(
+            journal, EventBus(), faults=injector, retry=retry, dlq=DeadLetterQueue()
+        )
+
+    journal = EventJournal(
+        snapshot_every=snapshot_every,
+        wal=WriteAheadLog(wal_dir),
+        fault_injector=injector,
+    )
+    processor = fresh_processor(journal)
+    source = AtLeastOnceSource(items)
+    resequencer = Resequencer()
+    channel = FaultyChannel(injector)
+    crashes = recoveries = rounds = torn = 0
+
+    while not source.done:
+        rounds += 1
+        if rounds > max_rounds:
+            raise AssertionError(
+                f"chaos run did not converge in {max_rounds} rounds "
+                f"({source.outstanding} items outstanding)"
+            )
+        arrivals = channel.transmit(source.pending())
+        crashed = False
+        for arrival in arrivals:
+            for ready in resequencer.push(arrival):
+                try:
+                    apply_item(processor, ready)
+                    source.ack(item_seq(ready))
+                except SimulatedCrash:
+                    # The process 'dies': in-memory journal, processor state,
+                    # resequencer buffer, and channel in-flight are all lost.
+                    crashes += 1
+                    journal.close()
+                    journal = EventJournal.recover(
+                        wal_dir, snapshot_every, fault_injector=injector
+                    )
+                    recoveries += 1
+                    torn += journal.stats.torn_records_discarded
+                    processor = fresh_processor(journal)
+                    durable = max_durable_seq(journal)
+                    source.reset_all_unacked()
+                    source.ack_through(durable)
+                    resequencer = Resequencer(next_seq=durable + 1)
+                    channel.reset()
+                    crashed = True
+                    break
+            if crashed:
+                break
+
+    journal.close()
+    recovered = EventJournal.recover(wal_dir, snapshot_every, reopen=False)
+    torn += recovered.stats.torn_records_discarded
+    return ChaosResult(
+        journal=journal,
+        recovered=recovered,
+        crashes=crashes,
+        recoveries=recoveries,
+        rounds=rounds,
+        torn_discarded=torn,
+        injector=injector,
+        processor=processor,
+    )

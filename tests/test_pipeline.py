@@ -297,3 +297,68 @@ class TestEventBus:
         bus = EventBus()
         bus.publish("nobody", {"x": 1})
         assert bus.pump() == 1
+
+    def test_pump_zero_delivers_nothing(self):
+        """max_messages=0 is a cap of zero, not falsy-unlimited."""
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", lambda m: seen.append(m["i"]))
+        for i in range(3):
+            bus.publish("t", {"i": i})
+        assert bus.pump(max_messages=0) == 0
+        assert seen == []
+        assert bus.backlog == 3  # backlog untouched
+        assert bus.pump() == 3  # a later unlimited pump drains it
+
+    def test_pump_negative_cap_delivers_nothing(self):
+        bus = EventBus()
+        bus.publish("t", {"i": 0})
+        assert bus.pump(max_messages=-5) == 0
+        assert bus.backlog == 1
+
+    def test_backlog_preserves_cross_topic_publish_order(self):
+        """Delivery order is global publish order, not per-topic batches."""
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a", lambda m: seen.append(("a", m["i"])))
+        bus.subscribe("b", lambda m: seen.append(("b", m["i"])))
+        for i in range(3):
+            bus.publish("a", {"i": i})
+            bus.publish("b", {"i": i})
+        bus.pump()
+        assert seen == [("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+    def test_capped_pump_resumes_in_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", lambda m: seen.append(m["i"]))
+        for i in range(5):
+            bus.publish("t", {"i": i})
+        assert bus.pump(max_messages=2) == 2
+        assert bus.pump(max_messages=2) == 2
+        assert bus.pump() == 1
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_reentrant_publish_during_pump_is_delivered_same_pump(self):
+        """A handler publishing to ANOTHER topic: the follow-up message is
+        appended to the backlog and delivered later in the same pump."""
+        bus = EventBus()
+        seen = []
+        bus.subscribe("first", lambda m: (seen.append("first"), bus.publish("second", {})))
+        bus.subscribe("second", lambda m: seen.append("second"))
+        bus.publish("first", {})
+        bus.publish("first", {})
+        assert bus.pump() == 4
+        assert seen == ["first", "first", "second", "second"]
+
+    def test_reentrant_publish_beyond_cap_stays_queued(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("first", lambda m: (seen.append("first"), bus.publish("second", {})))
+        bus.subscribe("second", lambda m: seen.append("second"))
+        bus.publish("first", {})
+        assert bus.pump(max_messages=1) == 1
+        assert seen == ["first"]
+        assert bus.backlog == 1  # the re-entrant message waits for the next pump
+        bus.pump()
+        assert seen == ["first", "second"]

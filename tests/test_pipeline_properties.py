@@ -1,0 +1,209 @@
+"""Seeded property tests: journal round-trips and write-side diff edges.
+
+The round-trip property: for ANY random event sequence with interleaved
+snapshots, ``reconstruct(at=t)`` must equal replaying the event prefix
+with time <= t by hand through ``apply_event`` — and ``peek_current``
+must equal the full hand replay.  Generators are plain seeded
+``random.Random`` (no hypothesis dependency).
+"""
+
+import random
+
+from repro.pipeline import (
+    EventJournal,
+    EventKind,
+    WriteAheadLog,
+    apply_event,
+    new_entity_state,
+)
+from repro.pipeline.write_side import _diff_records, _record_signature
+
+SEEDS = [11, 23, 47, 89, 131]
+
+
+def random_event_args(rng, state, t):
+    """One random (kind, payload) consistent with the current hand state."""
+    keys = sorted(state["services"])
+    kind = rng.choice(
+        [
+            EventKind.SERVICE_FOUND,
+            EventKind.SERVICE_CHANGED,
+            EventKind.SERVICE_REFRESHED,
+            EventKind.SERVICE_PENDING_REMOVAL,
+            EventKind.SERVICE_UNPENDED,
+            EventKind.SERVICE_REMOVED,
+            EventKind.HOST_META,
+        ]
+    )
+    if kind == EventKind.SERVICE_FOUND or not keys:
+        port = rng.choice([22, 80, 443, 8080])
+        return EventKind.SERVICE_FOUND, {
+            "key": f"{port}/tcp",
+            "protocol": "HTTP",
+            "service_name": "HTTP",
+            "record": {"v": rng.randrange(5), "w": "x" * rng.randrange(4)},
+            "source": "discovery",
+        }
+    key = rng.choice(keys)
+    if kind == EventKind.SERVICE_CHANGED:
+        return kind, {
+            "key": key,
+            "changed": {"v": rng.randrange(5), "n": rng.randrange(3)},
+            "removed_fields": ["w"] if rng.random() < 0.3 else [],
+        }
+    if kind == EventKind.HOST_META:
+        return kind, {"meta": {f"m{rng.randrange(3)}": rng.randrange(9)}}
+    return kind, {"key": key}
+
+
+def build_sequences(seed, n_events):
+    """Random event args (time, kind, payload) with strictly rising times."""
+    rng = random.Random(seed)
+    state = new_entity_state("e")  # tracked only to generate plausible events
+    out = []
+    t = 0.0
+    for _ in range(n_events):
+        t += rng.choice([0.25, 1.0, 3.0])
+        kind, payload = random_event_args(rng, state, t)
+        out.append((t, kind, payload))
+        apply_event(state, _mk_event(len(out) - 1, t, kind, payload))
+    return out
+
+
+def _mk_event(seq, t, kind, payload):
+    from repro.pipeline.events import Event
+
+    return Event(entity_id="e", seq=seq, time=t, kind=kind, payload=payload)
+
+
+def hand_replay(events, at=None):
+    """The specification: apply the prefix with time <= at to empty state."""
+    state = new_entity_state("e")
+    for event in events:
+        if at is not None and event.time > at:
+            break
+        apply_event(state, event)
+    return state
+
+
+class TestReconstructRoundTrip:
+    def test_reconstruct_matches_hand_replay_at_every_time(self):
+        for seed in SEEDS:
+            args = build_sequences(seed, n_events=60)
+            for snapshot_every in (1, 3, 7, 1000):
+                journal = EventJournal(snapshot_every=snapshot_every)
+                events = [journal.append("e", t, kind, payload) for t, kind, payload in args]
+                times = sorted(
+                    {0.0}
+                    | {t for t, _, _ in args}
+                    | {t + 0.1 for t, _, _ in args}
+                    | {args[-1][0] + 100.0}
+                )
+                for at in times:
+                    expected = hand_replay(events, at=at)
+                    actual = journal.reconstruct("e", at=at)
+                    assert actual == expected, (
+                        f"seed={seed} snapshot_every={snapshot_every} at={at}"
+                    )
+
+    def test_peek_current_matches_hand_replay(self):
+        for seed in SEEDS:
+            args = build_sequences(seed, n_events=40)
+            journal = EventJournal(snapshot_every=4)
+            events = [journal.append("e", t, kind, payload) for t, kind, payload in args]
+            assert journal.peek_current("e") == hand_replay(events)
+            assert journal.reconstruct("e") == hand_replay(events)
+
+    def test_reconstruct_at_none_equals_latest_time(self):
+        for seed in SEEDS[:2]:
+            args = build_sequences(seed, n_events=30)
+            journal = EventJournal(snapshot_every=5)
+            journal2 = EventJournal(snapshot_every=5)
+            for t, kind, payload in args:
+                journal.append("e", t, kind, payload)
+                journal2.append("e", t, kind, payload)
+            assert journal.reconstruct("e") == journal2.reconstruct("e", at=args[-1][0])
+
+    def test_round_trip_survives_wal_recovery(self, tmp_path):
+        """The same property holds on a journal recovered from its WAL."""
+        for seed in SEEDS[:2]:
+            args = build_sequences(seed, n_events=40)
+            wal_dir = str(tmp_path / f"wal-{seed}")
+            journal = EventJournal(snapshot_every=4, wal=WriteAheadLog(wal_dir))
+            events = [journal.append("e", t, kind, payload) for t, kind, payload in args]
+            journal.close()
+            recovered = EventJournal.recover(wal_dir, snapshot_every=4, reopen=False)
+            for at in (None, args[len(args) // 2][0], args[-1][0] + 1.0):
+                assert recovered.reconstruct("e", at=at) == hand_replay(events, at=at)
+
+
+class TestDiffRecords:
+    def test_added_and_changed_fields(self):
+        changed, removed = _diff_records({"a": 1, "b": 2}, {"a": 1, "b": 3, "c": 4})
+        assert changed == {"b": 3, "c": 4}
+        assert removed == []
+
+    def test_key_deletion(self):
+        changed, removed = _diff_records({"a": 1, "b": 2, "c": 3}, {"b": 2})
+        assert changed == {}
+        assert sorted(removed) == ["a", "c"]
+
+    def test_delete_and_readd_with_new_value(self):
+        changed, removed = _diff_records({"a": 1}, {"a": 2})
+        assert changed == {"a": 2}
+        assert removed == []
+
+    def test_none_value_is_not_missing(self):
+        """A stored None must not diff against an incoming None (sentinel)."""
+        changed, removed = _diff_records({"a": None}, {"a": None})
+        assert changed == {}
+        assert removed == []
+        changed, _ = _diff_records({}, {"a": None})
+        assert changed == {"a": None}  # newly added None IS a change
+
+    def test_nested_dict_change_is_whole_value(self):
+        """The diff is field-level (shallow): a nested change ships the whole
+        nested value, and replay overwrites it wholesale."""
+        old = {"tls": {"version": "1.2", "cipher": "A"}, "status": 200}
+        new = {"tls": {"version": "1.3", "cipher": "A"}, "status": 200}
+        changed, removed = _diff_records(old, new)
+        assert changed == {"tls": {"version": "1.3", "cipher": "A"}}
+        assert removed == []
+
+    def test_nested_dict_equal_but_reordered_is_no_change(self):
+        old = {"tls": {"version": "1.2", "cipher": "A"}}
+        new = {"tls": {"cipher": "A", "version": "1.2"}}
+        changed, removed = _diff_records(old, new)
+        assert changed == {} and removed == []
+
+    def test_insertion_order_never_matters(self):
+        a = {"x": 1, "y": 2, "z": 3}
+        b = {"z": 3, "x": 1, "y": 2}
+        assert _diff_records(a, b) == ({}, [])
+
+
+class TestRecordSignature:
+    def test_stable_across_top_level_insertion_order(self):
+        a = {"banner": "ECHO", "status": 200}
+        b = {"status": 200, "banner": "ECHO"}
+        assert _record_signature(a) == _record_signature(b)
+
+    def test_stable_across_nested_insertion_order(self):
+        a = {"hdr": {"server": "nginx", "via": "cdn"}}
+        b = {"hdr": {"via": "cdn", "server": "nginx"}}
+        assert _record_signature(a) == _record_signature(b)
+
+    def test_tls_fields_excluded(self):
+        a = {"banner": "ECHO", "tls.cipher": "AES"}
+        b = {"banner": "ECHO", "tls.cipher": "CHACHA"}
+        assert _record_signature(a) == _record_signature(b)
+
+    def test_different_content_differs(self):
+        assert _record_signature({"banner": "A"}) != _record_signature({"banner": "B"})
+        assert _record_signature({"banner": "A"}) != _record_signature({})
+
+    def test_non_json_values_do_not_crash(self):
+        sig = _record_signature({"blob": b"\x00\x01", "when": complex(1, 2)})
+        assert isinstance(sig, str) and sig == _record_signature(
+            {"when": complex(1, 2), "blob": b"\x00\x01"}
+        )

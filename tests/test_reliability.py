@@ -1,0 +1,285 @@
+"""Retry/backoff, dead-lettering, delivery simulation, and bus fault tests."""
+
+import pytest
+
+from repro.pipeline import (
+    AtLeastOnceSource,
+    DeadLetterQueue,
+    EventBus,
+    EventJournal,
+    EventKind,
+    FaultPlan,
+    FaultyChannel,
+    Resequencer,
+    RetryPolicy,
+    ScanObservation,
+    TransientScanError,
+    WriteSideProcessor,
+)
+from repro.protocols.interrogate import InterrogationResult
+
+
+def ok_result(record=None, port=80):
+    return InterrogationResult(
+        port=port, transport="tcp", success=True, protocol="HTTP",
+        record=record if record is not None else {"http.status": 200},
+    )
+
+
+def obs(t=0.0, port=80, seq=None, entity="host:1.0.0.1", record=None):
+    return ScanObservation(
+        entity_id=entity, time=t, port=port, transport="tcp",
+        result=ok_result(record, port=port), obs_seq=seq,
+    )
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5)
+        assert policy.schedule() == (0.1, 0.2, 0.4, 0.5, 0.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=2).backoff(0)
+
+
+class TestWriteSideRetries:
+    def test_transient_timeouts_retried_to_success(self):
+        plan = FaultPlan(seed=5, timeout_rate=1.0, max_timeout_burst=2)
+        journal = EventJournal()
+        write = WriteSideProcessor(
+            journal, faults=plan.injector(), retry=RetryPolicy(max_attempts=5)
+        )
+        kind = write.submit(obs(seq=0))
+        assert kind == EventKind.SERVICE_FOUND  # eventually succeeded
+        assert write.stats.retries >= 1
+        assert write.stats.backoff_hours > 0
+        assert write.stats.dead_lettered == 0
+        assert len(write.dlq) == 0
+
+    def test_exhausted_retries_dead_letter(self):
+        plan = FaultPlan(seed=5, timeout_rate=1.0, max_timeout_burst=9)
+        journal = EventJournal()
+        write = WriteSideProcessor(
+            journal, faults=plan.injector(), retry=RetryPolicy(max_attempts=2)
+        )
+        assert write.submit(obs(seq=0)) is None
+        assert write.stats.dead_lettered == 1
+        assert len(write.dlq) == 1
+        entry = write.dlq.entries()[0]
+        assert entry.attempts == 2
+        assert not journal.has_entity("host:1.0.0.1")  # nothing journaled
+
+    def test_dlq_redrive_after_fault_clears(self):
+        plan = FaultPlan(seed=5, timeout_rate=1.0, max_timeout_burst=9)
+        journal = EventJournal()
+        write = WriteSideProcessor(
+            journal, faults=plan.injector(), retry=RetryPolicy(max_attempts=2)
+        )
+        write.submit(obs(seq=0))
+        assert len(write.dlq) == 1
+        write.faults = None  # the outage ends
+        assert write.dlq.redrive(write.submit) == 1
+        assert len(write.dlq) == 0
+        assert journal.reconstruct("host:1.0.0.1")["services"]["80/tcp"] is not None
+
+    def test_stale_observation_dropped_not_crashing(self):
+        journal = EventJournal()
+        write = WriteSideProcessor(journal)
+        write.submit(obs(t=10.0, record={"v": 2}))
+        assert write.submit(obs(t=3.0, record={"v": 1})) is None  # late replay
+        assert write.stats.stale_dropped == 1
+        assert journal.reconstruct("host:1.0.0.1")["services"]["80/tcp"]["record"]["v"] == 2
+
+    def test_stale_remove_command_dropped(self):
+        journal = EventJournal()
+        write = WriteSideProcessor(journal)
+        write.submit(obs(t=10.0))
+        assert not write.remove_service("host:1.0.0.1", "80/tcp", 3.0)
+        assert write.stats.stale_dropped == 1
+        assert "80/tcp" in journal.reconstruct("host:1.0.0.1")["services"]
+
+
+class TestResequencer:
+    def test_restores_order_and_drops_duplicates(self):
+        reseq = Resequencer()
+        o = {i: obs(t=float(i), seq=i) for i in range(4)}
+        assert reseq.push(o[2]) == []
+        assert reseq.push(o[0]) == [o[0]]
+        assert reseq.push(o[0]) == []  # duplicate
+        assert reseq.push(o[1]) == [o[1], o[2]]  # gap fill releases the run
+        assert reseq.push(o[3]) == [o[3]]
+        assert reseq.duplicates_dropped == 1
+        assert reseq.buffered == 0
+
+    def test_resume_after_crash_skips_durable_prefix(self):
+        reseq = Resequencer(next_seq=5)
+        assert reseq.push(obs(t=1.0, seq=3)) == []  # durable already
+        assert reseq.duplicates_dropped == 1
+        released = reseq.push(obs(t=5.0, seq=5))
+        assert [o.obs_seq for o in released] == [5]
+
+
+class TestAtLeastOnceSource:
+    def test_retransmits_until_acked(self):
+        items = [obs(t=float(i), seq=i) for i in range(3)]
+        source = AtLeastOnceSource(items)
+        assert len(source.pending()) == 3
+        source.ack(1)
+        assert [o.obs_seq for o in source.pending()] == [0, 2]
+        source.ack_through(2)
+        assert source.done
+
+    def test_duplicate_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            AtLeastOnceSource([obs(seq=1), obs(seq=1)])
+
+
+class TestFaultyChannel:
+    def test_no_injector_is_transparent(self):
+        channel = FaultyChannel(None)
+        items = [obs(t=float(i), seq=i) for i in range(5)]
+        assert channel.transmit(items) == items
+
+    def test_deterministic_across_instances(self):
+        plan = FaultPlan(seed=9, drop_rate=0.3, duplicate_rate=0.2, reorder_rate=0.3,
+                         delay_rate=0.2, max_delay_rounds=2)
+        items = [obs(t=float(i), seq=i) for i in range(20)]
+
+        def run():
+            channel = FaultyChannel(plan.injector())
+            rounds = []
+            for _ in range(5):
+                rounds.append([o.obs_seq for o in channel.transmit(items)])
+            return rounds
+
+        assert run() == run()
+
+    def test_drops_require_retransmission_to_deliver(self):
+        plan = FaultPlan(seed=2, drop_rate=0.5)
+        channel = FaultyChannel(plan.injector())
+        items = [obs(t=float(i), seq=i) for i in range(30)]
+        first = {o.obs_seq for o in channel.transmit(items)}
+        assert first != set(range(30))  # something was dropped
+        seen = set(first)
+        for _ in range(20):
+            missing = [o for o in items if o.obs_seq not in seen]
+            seen.update(o.obs_seq for o in channel.transmit(missing))
+            if len(seen) == 30:
+                break
+        assert seen == set(range(30))  # retransmission converges
+
+    def test_crash_reset_loses_in_flight(self):
+        plan = FaultPlan(seed=4, delay_rate=1.0, max_delay_rounds=3)
+        channel = FaultyChannel(plan.injector())
+        out = channel.transmit([obs(t=0.0, seq=0)])
+        assert out == [] and channel.in_flight == 1
+        channel.reset()
+        assert channel.in_flight == 0
+
+
+class TestBusFaults:
+    def _bus(self, **plan_kwargs):
+        plan = FaultPlan(seed=13, **plan_kwargs)
+        return EventBus(faults=plan.injector(), retry=RetryPolicy(max_attempts=3))
+
+    def test_dropped_messages_go_to_bus_dlq(self):
+        bus = self._bus(bus_drop_rate=1.0)
+        bus.subscribe("t", lambda m: None)
+        for i in range(4):
+            bus.publish("t", {"i": i})
+        assert bus.pump() == 0
+        assert bus.dropped == 4
+        assert len(bus.dlq) == 4
+        assert bus.backlog == 0  # dropped, not stuck
+
+    def test_duplicates_are_delivered_twice(self):
+        bus = self._bus(bus_duplicate_rate=1.0)
+        seen = []
+        bus.subscribe("t", lambda m: seen.append(m["i"]))
+        bus.publish("t", {"i": 7})
+        bus.pump()
+        assert seen == [7, 7]
+        assert bus.duplicated == 1
+
+    def test_delays_preserve_eventual_delivery(self):
+        bus = self._bus(bus_delay_rate=1.0)  # delay caps at max_delay_rounds
+        seen = []
+        bus.subscribe("t", lambda m: seen.append(m["i"]))
+        for i in range(3):
+            bus.publish("t", {"i": i})
+        bus.pump()
+        assert sorted(seen) == [0, 1, 2]
+        assert bus.delayed > 0
+
+    def test_handler_exception_retried_then_succeeds(self):
+        bus = EventBus(retry=RetryPolicy(max_attempts=3))
+        calls = []
+
+        def flaky(message):
+            calls.append(message["i"])
+            if len(calls) < 2:
+                raise RuntimeError("transient")
+
+        bus.subscribe("t", flaky)
+        bus.publish("t", {"i": 1})
+        assert bus.pump() == 1
+        assert calls == [1, 1]
+        assert bus.retried == 1
+        assert bus.dead_lettered == 0
+
+    def test_handler_exception_exhausts_to_dlq(self):
+        bus = EventBus(retry=RetryPolicy(max_attempts=2))
+
+        def broken(message):
+            raise RuntimeError("permanent")
+
+        bus.subscribe("t", broken)
+        bus.publish("t", {"i": 1})
+        assert bus.pump() == 0
+        assert bus.dead_lettered == 1
+        assert len(bus.dlq) == 1
+        assert bus.dlq.entries()[0].item[0] == "t"
+
+    def test_without_retry_policy_exceptions_propagate(self):
+        bus = EventBus()
+        bus.subscribe("t", lambda m: 1 / 0)
+        bus.publish("t", {})
+        with pytest.raises(ZeroDivisionError):
+            bus.pump()
+
+
+class TestDeadLetterQueue:
+    def test_redrive_drains_and_reparks_on_refailure(self):
+        dlq = DeadLetterQueue()
+        dlq.push("a", "broken")
+        dlq.push("b", "broken")
+
+        def handler(item):
+            if item == "a":
+                dlq.push(item, "still broken")
+
+        assert dlq.redrive(handler) == 2
+        assert [e.item for e in dlq.entries()] == ["a"]
+        assert dlq.total_pushed == 3
+
+    def test_timeout_injection_is_deterministic(self):
+        plan = FaultPlan(seed=3, timeout_rate=0.5, max_timeout_burst=3)
+        bursts_a = [plan.injector().timeout_burst(i) for i in range(50)]
+        bursts_b = [plan.injector().timeout_burst(i) for i in range(50)]
+        assert bursts_a == bursts_b
+        assert any(b > 0 for b in bursts_a) and any(b == 0 for b in bursts_a)
+
+    def test_injected_timeout_raises_for_burst_then_clears(self):
+        plan = FaultPlan(seed=3, timeout_rate=1.0, max_timeout_burst=1)
+        injector = plan.injector()
+        burst = injector.timeout_burst(0)
+        assert burst >= 1
+        for _ in range(burst):
+            with pytest.raises(TransientScanError):
+                injector.maybe_timeout(0)
+        injector.maybe_timeout(0)  # burst exhausted: clean

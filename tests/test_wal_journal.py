@@ -1,0 +1,212 @@
+"""WAL backend unit tests: framing, rotation, torn tails, recovery identity."""
+
+import os
+
+import pytest
+
+from repro.pipeline import (
+    EventBus,
+    EventJournal,
+    EventKind,
+    ScanObservation,
+    WalCorruptionError,
+    WriteAheadLog,
+    WriteSideProcessor,
+)
+from repro.pipeline.wal import _HEADER_LEN, decode_segment, encode_record
+from repro.protocols.interrogate import InterrogationResult
+from tests.chaos_harness import journal_fingerprint, storage_fingerprint
+
+
+def ok_result(record, port=80):
+    return InterrogationResult(
+        port=port, transport="tcp", success=True, protocol="HTTP", record=record
+    )
+
+
+def obs(t, record, port=80, entity="host:9.9.9.9", seq=None):
+    return ScanObservation(
+        entity_id=entity, time=t, port=port, transport="tcp",
+        result=ok_result(record, port=port), obs_seq=seq,
+    )
+
+
+def durable_journal(tmp_path, **wal_kwargs):
+    wal = WriteAheadLog(str(tmp_path / "wal"), **wal_kwargs)
+    return EventJournal(snapshot_every=3, wal=wal)
+
+
+def fill(journal, n=10, entity="host:9.9.9.9"):
+    write = WriteSideProcessor(journal, EventBus())
+    for i in range(n):
+        write.submit(obs(float(i), {"v": i // 2}, entity=entity, seq=i))
+    return write
+
+
+def segment_files(tmp_path, suffix=".log"):
+    wal_dir = tmp_path / "wal"
+    return sorted(p for p in os.listdir(wal_dir) if p.endswith(suffix))
+
+
+class TestFraming:
+    def test_record_round_trip(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        bodies = [{"t": "batch", "events": [{"x": i, "y": "z" * i}]} for i in range(5)]
+        with open(path, "wb") as fh:
+            for body in bodies:
+                fh.write(encode_record(body))
+        records, valid, torn = decode_segment(path, tolerate_torn_tail=True)
+        assert records == bodies
+        assert torn == 0
+        assert valid == os.path.getsize(path)
+
+    @pytest.mark.parametrize("cut", ["header", "body", "terminator"])
+    def test_torn_tail_variants_discarded(self, tmp_path, cut):
+        path = str(tmp_path / "seg.log")
+        good = encode_record({"t": "batch", "events": [{"a": 1}]})
+        tail = encode_record({"t": "batch", "events": [{"b": 2}]})
+        if cut == "header":
+            tail = tail[: _HEADER_LEN // 2]
+        elif cut == "body":
+            tail = tail[: _HEADER_LEN + 5]
+        else:
+            tail = tail[:-1]  # complete body, missing newline
+        with open(path, "wb") as fh:
+            fh.write(good + tail)
+        records, valid, torn = decode_segment(path, tolerate_torn_tail=True)
+        assert torn == 1
+        assert valid == len(good)
+        assert records == [{"t": "batch", "events": [{"a": 1}]}]
+
+    def test_checksum_mismatch_on_tail_is_torn(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        good = encode_record({"t": "batch", "events": [{"a": 1}]})
+        bad = bytearray(encode_record({"t": "batch", "events": [{"b": 2}]}))
+        bad[_HEADER_LEN + 2] ^= 0xFF  # flip a body byte; crc now mismatches
+        with open(path, "wb") as fh:
+            fh.write(good + bytes(bad))
+        records, _valid, torn = decode_segment(path, tolerate_torn_tail=True)
+        assert torn == 1 and len(records) == 1
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        records = [encode_record({"t": "batch", "events": [{"i": i}]}) for i in range(3)]
+        blob = bytearray(b"".join(records))
+        blob[_HEADER_LEN + 1] ^= 0xFF  # corrupt the FIRST record's body
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        with pytest.raises(WalCorruptionError):
+            decode_segment(path, tolerate_torn_tail=True)
+
+
+class TestDurableJournal:
+    def test_recovery_is_byte_identical(self, tmp_path):
+        journal = durable_journal(tmp_path)
+        fill(journal, n=12)
+        journal.close()
+        recovered = EventJournal.recover(str(tmp_path / "wal"), snapshot_every=3, reopen=False)
+        assert journal_fingerprint(recovered) == journal_fingerprint(journal)
+        assert storage_fingerprint(recovered) == storage_fingerprint(journal)
+        assert recovered.stats.recovered_events == 12
+        assert recovered.stats.torn_records_discarded == 0
+
+    def test_segment_rotation_and_resume(self, tmp_path):
+        journal = durable_journal(tmp_path, segment_max_records=4)
+        fill(journal, n=10)
+        journal.close()
+        assert len(segment_files(tmp_path)) >= 3
+        # Recovery reopens for append; new events land after the old ones.
+        recovered = EventJournal.recover(
+            str(tmp_path / "wal"), snapshot_every=3, segment_max_records=4
+        )
+        write = WriteSideProcessor(recovered, EventBus())
+        write.submit(obs(50.0, {"v": 99}, seq=50))
+        recovered.close()
+        again = EventJournal.recover(str(tmp_path / "wal"), snapshot_every=3, reopen=False)
+        assert again.stats.events == 11
+        assert again.reconstruct("host:9.9.9.9")["services"]["80/tcp"]["record"]["v"] == 99
+
+    def test_torn_tail_truncated_then_appendable(self, tmp_path):
+        journal = durable_journal(tmp_path)
+        fill(journal, n=6)
+        journal.close()
+        seg = tmp_path / "wal" / segment_files(tmp_path)[-1]
+        good_size = seg.stat().st_size
+        with open(seg, "ab") as fh:
+            fh.write(encode_record({"t": "batch", "events": [{"bogus": 1}]})[:-7])
+        recovered = EventJournal.recover(str(tmp_path / "wal"), snapshot_every=3)
+        assert recovered.stats.torn_records_discarded == 1
+        assert recovered.stats.events == 6
+        assert seg.stat().st_size == good_size  # tail truncated away
+        write = WriteSideProcessor(recovered, EventBus())
+        write.submit(obs(50.0, {"v": 7}, seq=50))
+        recovered.close()
+        final = EventJournal.recover(str(tmp_path / "wal"), snapshot_every=3, reopen=False)
+        assert final.stats.events == 7
+        assert final.stats.torn_records_discarded == 0
+
+    def test_transaction_groups_events_into_one_batch(self, tmp_path):
+        journal = durable_journal(tmp_path)
+        with journal.transaction():
+            journal.append("e", 1.0, EventKind.SERVICE_FOUND, {"key": "80/tcp", "record": {}})
+            journal.append("e", 1.0, EventKind.HOST_META, {"meta": {"x": 1}})
+        journal.append("e", 2.0, EventKind.SERVICE_REFRESHED, {"key": "80/tcp"})
+        journal.close()
+        assert journal.stats.wal_batches == 2  # txn batch + autocommitted append
+        assert journal.stats.wal_events == 3
+        recovered = EventJournal.recover(str(tmp_path / "wal"), snapshot_every=3, reopen=False)
+        assert recovered.stats.events == 3
+
+    def test_snapshot_sidecars_written_and_verified(self, tmp_path):
+        journal = durable_journal(tmp_path)  # snapshot_every=3
+        fill(journal, n=9)
+        journal.close()
+        sidecars = segment_files(tmp_path, suffix=".snap")
+        assert sidecars
+        scan = WriteAheadLog.scan(str(tmp_path / "wal"))
+        assert len(scan.snapshots) == journal.stats.snapshots
+        # verify_snapshots cross-checks sidecar state against the replay.
+        recovered = EventJournal.recover(
+            str(tmp_path / "wal"), snapshot_every=3, verify_snapshots=True, reopen=False
+        )
+        assert recovered.stats.snapshots == journal.stats.snapshots
+
+    def test_diverged_sidecar_snapshot_detected(self, tmp_path):
+        journal = durable_journal(tmp_path)
+        fill(journal, n=9)
+        journal.close()
+        sidecar = tmp_path / "wal" / segment_files(tmp_path, suffix=".snap")[0]
+        scan = WriteAheadLog.scan(str(tmp_path / "wal"))
+        snap = dict(scan.snapshots[0])
+        snap["state"] = dict(snap["state"], first_seen=-1.0)  # tamper
+        with open(sidecar, "wb") as fh:
+            fh.write(encode_record(snap))
+        with pytest.raises(WalCorruptionError):
+            EventJournal.recover(str(tmp_path / "wal"), snapshot_every=3, reopen=False)
+
+    def test_recover_empty_directory(self, tmp_path):
+        recovered = EventJournal.recover(str(tmp_path / "missing"), snapshot_every=3)
+        assert len(recovered) == 0
+        assert recovered.stats.events == 0
+        recovered.close()
+
+    def test_fsync_accounting(self, tmp_path):
+        journal = durable_journal(tmp_path, fsync_every=1)
+        fill(journal, n=5)
+        assert journal.wal.stats.fsyncs == journal.stats.wal_batches
+        journal.close()
+        batched = EventJournal(
+            snapshot_every=3, wal=WriteAheadLog(str(tmp_path / "wal2"), fsync_every=4)
+        )
+        fill(batched, n=5)
+        assert batched.wal.stats.fsyncs < batched.stats.wal_batches
+        batched.close()
+
+    def test_in_memory_journal_unaffected(self, tmp_path):
+        """durable=False stays the default and writes nothing anywhere."""
+        journal = EventJournal(snapshot_every=3)
+        fill(journal, n=6)
+        assert not journal.durable
+        assert journal.stats.wal_batches == 0
+        journal.close()  # no-op
+        assert list(tmp_path.iterdir()) == []
