@@ -155,6 +155,11 @@ def bench_search(rounds: int) -> dict:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=30, help="timing samples per path")
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default: benchmarks/results/BENCH_micro.json); "
+        "smoke runs point this elsewhere to leave the committed results alone",
+    )
     args = parser.parse_args()
 
     results = {"segment": bench_segment_query(args.rounds), "search": bench_search(args.rounds)}
@@ -186,8 +191,10 @@ def main() -> None:
         "benchmarks": benches,
         "speedups_vs_reference": speedups,
     }
-    RESULTS.mkdir(exist_ok=True)
-    out_path = RESULTS / "BENCH_micro.json"
+    out_path = args.out
+    if out_path is None:
+        RESULTS.mkdir(exist_ok=True)
+        out_path = RESULTS / "BENCH_micro.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload["speedups_vs_reference"], indent=2))
     print(f"wrote {out_path}")

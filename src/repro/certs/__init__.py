@@ -1,7 +1,7 @@
 """X.509 certificates: synthesis, CT logs, validation, revocation, linting."""
 
 from repro.certs.authority import CaWorld, RootStore
-from repro.certs.ct import CtEntry, CtLog
+from repro.certs.ct import CtEntry, CtLog, seed_ct_log_from_workload
 from repro.certs.processor import CertificateProcessor, cert_entity_id
 from repro.certs.validation import (
     CertificateValidator,
@@ -18,6 +18,7 @@ __all__ = [
     "RootStore",
     "CtLog",
     "CtEntry",
+    "seed_ct_log_from_workload",
     "CrlRegistry",
     "CertificateValidator",
     "ValidationResult",

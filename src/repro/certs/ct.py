@@ -12,7 +12,7 @@ from typing import List, Optional, Tuple
 
 from repro.certs.x509 import Certificate
 
-__all__ = ["CtEntry", "CtLog"]
+__all__ = ["CtEntry", "CtLog", "seed_ct_log_from_workload"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,3 +62,31 @@ class CtLog:
                 if name not in seen and not name.startswith("*."):
                     seen[name] = entry.timestamp
         return list(seen.items())
+
+
+def seed_ct_log_from_workload(internet, ca_world, ct_log: CtLog) -> int:
+    """Populate a public CT log with a workload's logged certificates.
+
+    Web properties marked ``in_ct_log`` get their serving device's TLS
+    certificate submitted at publication time — the world-bootstrap step
+    that makes CT-based name discovery possible.  ``internet`` is any
+    object with ``workload.web_properties`` and ``device_instances``
+    (kept duck-typed so certs stays independent of the simnet package).
+    """
+    submitted = 0
+    props = sorted(
+        (p for p in internet.workload.web_properties if p.in_ct_log),
+        key=lambda p: p.published_at,
+    )
+    for prop in props:
+        tls = None
+        for inst in internet.device_instances(prop.device_id):
+            if inst.profile.tls is not None:
+                tls = inst.profile.tls
+                break
+        if tls is None or tls.self_signed:
+            continue
+        cert = ca_world.certificate_for_tls_profile(tls, prop.published_at)
+        if ct_log.submit(cert, prop.published_at) is not None:
+            submitted += 1
+    return submitted

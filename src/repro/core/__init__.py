@@ -16,7 +16,15 @@ from repro.core.notifications import (
 )
 from repro.core.platform import CensysPlatform, PlatformConfig
 from repro.core.scheduler import KnownService, RefreshScheduler
-from repro.core.secondary import SecondaryIndexes
+from repro.core.secondary import SecondaryIndexes, ShardedSecondaryIndexes
+from repro.core.stages import (
+    DerivationStage,
+    DiscoveryStage,
+    IngestStage,
+    InterrogationStage,
+    ServingLayer,
+    TierSweep,
+)
 
 __all__ = [
     "CensysPlatform",
@@ -29,6 +37,13 @@ __all__ = [
     "RateLimitExceeded",
     "TIERS",
     "SecondaryIndexes",
+    "ShardedSecondaryIndexes",
+    "DiscoveryStage",
+    "InterrogationStage",
+    "IngestStage",
+    "DerivationStage",
+    "ServingLayer",
+    "TierSweep",
     "Exposure",
     "ResponseModel",
     "NotificationCampaign",

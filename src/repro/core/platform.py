@@ -1,43 +1,55 @@
-"""The Censys platform: every subsystem wired into one continuously
-running map of the simulated Internet.
+"""The Censys platform facade: composable pipeline stages over a
+keyspace-sharded journal/index layer.
 
-``CensysPlatform.tick`` advances the world by one slice of simulated time:
+``CensysPlatform`` no longer implements the pipeline — it *wires* it.
+Each tick advances five independently scalable stages (mirroring the
+production system's decomposition):
 
-1. the three TCP discovery tiers plus the UDP tier walk their permutation
-   segments, rotating across the PoPs;
-2. L4-responsive candidates enter the scan queue (deduplicated), joined by
-   predictive-engine proposals, re-injections of recently evicted
-   services, due refreshes, and newly discovered web-property names;
-3. interrogation workers drain the queue — protocol detection, full
-   handshakes, refresh fast-paths, multi-PoP retry on failure;
-4. the CQRS write side journals deltas and enqueues follow-up work, which
-   the bus pump delivers: search-index refreshes, certificate processing,
-   predictive-model updates;
-5. daily housekeeping: eviction of services staged beyond the 72-hour
-   window, CT polling, certificate revalidation, optional analytics
-   snapshots.
+1. :class:`~repro.core.stages.DiscoveryStage` — TCP/UDP discovery tiers,
+   predictive proposals, re-injections, due refreshes, and web-property
+   name discovery feed the deduplicating scan queue;
+2. :class:`~repro.core.stages.InterrogationStage` — workers drain the
+   queue (globally or per shard): protocol detection, full handshakes,
+   refresh fast-paths, multi-PoP retry;
+3. :class:`~repro.core.stages.IngestStage` — the CQRS write side journals
+   deltas into per-shard journals and pumps follow-up work onto the bus;
+4. :class:`~repro.core.stages.DerivationStage` — asynchronous consumers:
+   search reindexing, certificate processing, secondary indexes;
+5. :class:`~repro.core.stages.ServingLayer` — lookup, search, and
+   analytics read surfaces.
+
+Storage is partitioned by a deterministic
+:class:`~repro.pipeline.sharding.ShardMap`; ``shards=1`` (the default) is
+bit-identical to the unsharded seed platform, and ``shards=N`` keeps all
+query results invariant while letting stages drain shards independently.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
-from repro.certs import CaWorld, CertificateProcessor, CrlRegistry, CtLog, cert_entity_id
+from repro.certs import CaWorld, CrlRegistry, CtLog, seed_ct_log_from_workload
+from repro.core.scheduler import RefreshScheduler
+from repro.core.stages import (
+    DerivationStage,
+    DiscoveryStage,
+    IngestStage,
+    InterrogationStage,
+    ServingLayer,
+    TierSweep,
+)
 from repro.enrich import GeoIpRegistry, WhoisRegistry, standard_enrichers
-from repro.net import ip_to_str
 from repro.pipeline import (
     EventBus,
-    EventJournal,
     ReadSide,
-    ScanObservation,
+    ShardMap,
+    ShardedJournal,
     WriteSideProcessor,
-    host_entity_id,
 )
 from repro.protocols import Interrogator, ProtocolRegistry, default_registry
 from repro.scan import (
     PredictiveEngine,
-    ScanCandidate,
     ScanQueue,
     default_pops,
     make_background_tier,
@@ -48,16 +60,10 @@ from repro.scan import (
 )
 from repro.scan.exclusions import ExclusionList
 from repro.scan.pop import PointOfPresence
-from repro.search import (
-    SearchIndex,
-    SnapshotStore,
-    flatten_certificate_state,
-    flatten_host_view,
-    flatten_webproperty_view,
-)
+from repro.search import ShardedSearchIndex
 from repro.simnet import DAY, SimClock, SimulatedInternet
 from repro.simnet.instances import ServiceInstance
-from repro.webprops import NameFeed, WebPropertyScanner, web_entity_id
+from repro.webprops import NameFeed, WebPropertyScanner
 
 __all__ = ["PlatformConfig", "CensysPlatform"]
 
@@ -81,10 +87,17 @@ class PlatformConfig:
     l7_capacity_per_hour: Optional[int] = None
     scanner_id: str = "censys"
     seed: int = 0
+    #: Keyspace shards for the journal/index/queue layer (1 = unsharded).
+    shards: int = 1
+    #: Queue drain policy when sharded: "merged" (global order, shard-count
+    #: invariant) or "round_robin" (independent per-shard budgets).
+    shard_drain: str = "merged"
+    #: Directory for per-shard write-ahead logs (None = in-memory journal).
+    wal_dir: Optional[str] = None
 
 
 class CensysPlatform:
-    """The full pipeline over one simulated Internet."""
+    """Composition root: builds the shared substrate, wires the stages."""
 
     def __init__(
         self,
@@ -95,40 +108,20 @@ class CensysPlatform:
         start_time: Optional[float] = None,
     ) -> None:
         self.internet = internet
-        self.config = config or PlatformConfig()
+        self.config = cfg = config or PlatformConfig()
         self.registry = registry or default_registry()
         self.pops = pops or default_pops()
         start = start_time if start_time is not None else internet.workload.config.t_start
         self.clock = SimClock(start)
         self._start_time = start
-
-        # -- scanning ----------------------------------------------------
-        cfg = self.config
         sid = cfg.scanner_id
-        self.tiers = [
-            make_priority_tier(internet, cfg.priority_cycle_hours, seed=cfg.seed + 11, scanner_id=sid),
-            make_udp_tier(internet, cfg.priority_cycle_hours, seed=cfg.seed + 13, scanner_id=sid),
-        ]
-        cloud = make_cloud_tier(internet, cfg.cloud_cycle_hours, seed=cfg.seed + 17, scanner_id=sid)
-        if cloud is not None:
-            self.tiers.append(cloud)
-        self.tiers.append(
-            make_background_tier(
-                internet, cfg.background_ports_per_ip_per_day, seed=cfg.seed + 19, scanner_id=sid
-            )
-        )
-        self.queue = ScanQueue()
-        self.interrogator = Interrogator(self.registry)
-        self.exclusions = ExclusionList(internet.space)
-        self.predictive = PredictiveEngine(
-            internet.topology,
-            reinject_window_hours=cfg.reinject_window_hours,
-            seed=cfg.seed + 23,
-        )
-        self._priority_port_set = set(priority_ports())
 
-        # -- pipeline ------------------------------------------------------
-        self.journal = EventJournal()
+        # -- sharded storage substrate ------------------------------------
+        self.shard_map = ShardMap(cfg.shards)
+        if cfg.wal_dir:
+            self.journal = ShardedJournal.durable(cfg.wal_dir, self.shard_map)
+        else:
+            self.journal = ShardedJournal(self.shard_map)
         self.bus = EventBus()
         self.write_side = WriteSideProcessor(
             self.journal, self.bus, filter_pseudo_services=cfg.filter_pseudo_services
@@ -136,68 +129,76 @@ class CensysPlatform:
         self.geoip = GeoIpRegistry(internet.topology)
         self.whois = WhoisRegistry(internet.topology)
         self.read_side = ReadSide(
-            self.journal,
-            standard_enrichers(internet.space, self.geoip, self.whois),
+            self.journal, standard_enrichers(internet.space, self.geoip, self.whois)
         )
-        from repro.core.scheduler import RefreshScheduler
+        self.index = ShardedSearchIndex(self.shard_map)
 
+        # -- shared scanning components ------------------------------------
+        tiers = [
+            make_priority_tier(internet, cfg.priority_cycle_hours, seed=cfg.seed + 11, scanner_id=sid),
+            make_udp_tier(internet, cfg.priority_cycle_hours, seed=cfg.seed + 13, scanner_id=sid),
+        ]
+        cloud = make_cloud_tier(internet, cfg.cloud_cycle_hours, seed=cfg.seed + 17, scanner_id=sid)
+        if cloud is not None:
+            tiers.append(cloud)
+        tiers.append(
+            make_background_tier(
+                internet, cfg.background_ports_per_ip_per_day, seed=cfg.seed + 19, scanner_id=sid
+            )
+        )
+        shard_of = None
+        if cfg.shards > 1:
+            shard_of = lambda ip_index: self.shard_map.shard_of(self.entity_for_ip(ip_index))  # noqa: E731
+        self.queue = ScanQueue(shards=cfg.shards, shard_of=shard_of)
+        self.interrogator = Interrogator(self.registry)
+        self.exclusions = ExclusionList(internet.space)
+        self.predictive = PredictiveEngine(
+            internet.topology, reinject_window_hours=cfg.reinject_window_hours, seed=cfg.seed + 23
+        )
         self.scheduler = RefreshScheduler(
-            refresh_interval=cfg.refresh_interval_hours,
-            eviction_after=cfg.eviction_after_hours,
+            refresh_interval=cfg.refresh_interval_hours, eviction_after=cfg.eviction_after_hours
         )
 
-        # -- search / analytics ----------------------------------------------
-        self.index = SearchIndex()
-        self.analytics = SnapshotStore()
-        self._dirty: Set[str] = set()
-        for topic in (
-            "service_found",
-            "service_changed",
-            "service_removed",
-            "service_unresponsive",
-            "host_pseudo_flagged",
-        ):
-            self.bus.subscribe(topic, self._mark_dirty)
-
-        # -- certificates -------------------------------------------------------
+        # -- certificates and web properties --------------------------------
         self.ca_world = CaWorld()
         self.crl = CrlRegistry()
         self.ct_log = CtLog()
-        self._seed_ct_log()
-        self.cert_processor = CertificateProcessor(
-            self.journal, self.ca_world, self.crl, self.ct_log,
-            on_processed=self._index_certificate,
-        )
-        self.bus.subscribe("service_found", self._on_tls_service)
-        self.bus.subscribe("service_changed", self._on_tls_service)
-        from repro.core.secondary import SecondaryIndexes
-
-        self.secondary = SecondaryIndexes(self.bus)
-
-        # -- web properties ---------------------------------------------------------
+        seed_ct_log_from_workload(internet, self.ca_world, self.ct_log)
         self.name_feed = NameFeed(internet.workload, self.ct_log, seed=cfg.seed)
         self.web_scanner = WebPropertyScanner(internet, self.interrogator, scanner_id=sid)
-        #: name -> next refresh time.
-        self._web_refresh: Dict[str, float] = {}
 
-        #: Temporary fast tiers spun up for CVE response: (tier, expires).
-        self._cve_tiers: List[Tuple[Any, float]] = []
+        # -- the stages ------------------------------------------------------
+        self.ingest = IngestStage(self.journal, self.bus, self.write_side)
+        self.derivation = DerivationStage(
+            self.journal, self.bus, self.read_side, self.index,
+            self.ca_world, self.crl, self.ct_log, self.shard_map,
+        )
+        self.discovery = DiscoveryStage(
+            internet, TierSweep(tiers), self.queue, self.pops, self.exclusions,
+            self.predictive, self.scheduler, self.name_feed,
+            predictive_enabled=cfg.predictive_enabled,
+            predictive_daily_budget=cfg.predictive_daily_budget,
+            webprop_refresh_hours=cfg.webprop_refresh_hours,
+        )
+        self.interrogation = InterrogationStage(
+            internet, self.interrogator, self.queue, self.pops, self.exclusions,
+            self.scheduler, self.predictive, self.ingest, self.web_scanner,
+            frozenset(priority_ports()),
+            scanner_id=sid, l7_capacity_per_hour=cfg.l7_capacity_per_hour,
+            shard_drain=cfg.shard_drain,
+        )
+        self.serving = ServingLayer(internet, self.journal, self.read_side, self.index)
+        self.stages = [
+            self.discovery, self.interrogation, self.ingest, self.derivation, self.serving
+        ]
 
-        # -- bookkeeping ------------------------------------------------------------
-        self._tick_counter = 0
+        # -- aliases kept for the public API --------------------------------
+        self.secondary = self.derivation.secondary
+        self.cert_processor = self.derivation.cert_processor
+        self.analytics = self.serving.analytics
         self._last_daily = self.clock.now
-        self.observations_processed = 0
 
-    # ------------------------------------------------------------------
-    # identity helpers
-    # ------------------------------------------------------------------
-
-    def entity_for_ip(self, ip_index: int) -> str:
-        return host_entity_id(ip_to_str(self.internet.space.ip_at(ip_index)))
-
-    # ------------------------------------------------------------------
-    # main loop
-    # ------------------------------------------------------------------
+    # -- main loop ----------------------------------------------------------
 
     def run_until(self, t_end: float, tick_hours: float = 6.0) -> None:
         """Advance the platform (and simulated time) to ``t_end``."""
@@ -206,27 +207,43 @@ class CensysPlatform:
             self.tick(dt)
 
     def tick(self, dt: float = 6.0) -> None:
+        """One slice of simulated time through every stage, in stage order."""
         t0 = self.clock.now
-        self._tick_counter += 1
-        self._advance_discovery(t0, dt)
-        if self.config.predictive_enabled:
-            self._predictive_work(t0, dt)
-        self._schedule_refreshes(t0 + dt)
-        self._discover_web_properties(t0 + dt)
+        due_names = self.discovery.advance(t0, dt)
+        self.interrogation.scan_web_properties(due_names, t0 + dt, self.derivation.mark_dirty)
         self.clock.advance(dt)
         now = self.clock.now
-        self._drain_queue(now, dt)
-        self.bus.pump()
-        self._reindex_dirty()
+        self.interrogation.advance(now, dt)
+        self.ingest.pump()
+        self.derivation.advance()
         if now - self._last_daily >= 24.0:
             self._daily_housekeeping(now)
             self._last_daily = now
 
-    # -- discovery -----------------------------------------------------------
+    def _daily_housekeeping(self, now: float) -> None:
+        self.ingest.evict_due(now, self.scheduler, self.predictive)
+        self.derivation.daily(now)
+        self.ingest.pump()
+        self.derivation.advance()
+        if self.config.snapshot_daily:
+            self.snapshot_now()
+
+    # -- operational controls ------------------------------------------------
+
+    @property
+    def tiers(self) -> List:
+        return self.discovery.tiers
+
+    @tiers.setter
+    def tiers(self, value: List) -> None:
+        self.discovery.sweep.tiers = list(value)
+
+    @property
+    def observations_processed(self) -> int:
+        return self.interrogation.counters["interrogations_run"]
 
     def trigger_cve_response(
-        self, cve_id: str, ports: List[int], duration_days: float = 21.0,
-        cycle_hours: float = 6.0,
+        self, cve_id: str, ports: List[int], duration_days: float = 21.0, cycle_hours: float = 6.0
     ):
         """Scan CVE-relevant ports more frequently for several weeks (§4.1).
 
@@ -240,131 +257,11 @@ class CensysPlatform:
         tier = DiscoveryTier(
             f"cve-response-{cve_id}", self.internet, space,
             rate_per_hour=space.size / cycle_hours,
-            seed=self.config.seed + len(self._cve_tiers) + 101,
+            seed=self.config.seed + len(self.discovery.cve_tiers) + 101,
             scanner_id=self.config.scanner_id,
         )
-        self._cve_tiers.append((tier, self.clock.now + duration_days * 24.0))
+        self.discovery.add_cve_tier(tier, self.clock.now + duration_days * 24.0)
         return tier
-
-    def _active_tiers(self, t0: float):
-        self._cve_tiers = [(tier, expiry) for tier, expiry in self._cve_tiers if expiry > t0]
-        return list(self.tiers) + [tier for tier, _ in self._cve_tiers]
-
-    def _advance_discovery(self, t0: float, dt: float) -> None:
-        for i, tier in enumerate(self._active_tiers(t0)):
-            pop = self.pops[(self._tick_counter + i) % len(self.pops)]
-            for hit in tier.advance(t0, dt, pop):
-                if self.exclusions.is_excluded(hit.target.ip_index, hit.probe_time):
-                    continue
-                self.queue.push_new(
-                    hit.target.ip_index,
-                    hit.target.port,
-                    tier.transport,
-                    source="discovery",
-                    not_before=hit.probe_time + 0.1,
-                )
-
-    def _predictive_work(self, t0: float, dt: float) -> None:
-        budget = max(1, int(self.config.predictive_daily_budget * dt / 24.0))
-        for prediction in self.predictive.propose(budget):
-            self.queue.push_new(
-                prediction.ip_index, prediction.port, "tcp",
-                source="predictive", not_before=t0 + 0.05,
-            )
-        for ip_index, port, transport in self.predictive.reinjections(t0):
-            self.queue.push_new(ip_index, port, transport, source="reinject", not_before=t0 + 0.05)
-
-    def _schedule_refreshes(self, now: float) -> None:
-        for known in self.scheduler.due_refreshes(now):
-            self.queue.push_new(
-                known.ip_index, known.port, known.transport,
-                source="refresh", not_before=known.next_refresh,
-                expected_protocol=known.protocol,
-            )
-            self.scheduler.mark_refresh_dispatched(known.ip_index, known.port, known.transport, now)
-
-    # -- interrogation ---------------------------------------------------------
-
-    def _drain_queue(self, now: float, dt: float) -> None:
-        limit = None
-        if self.config.l7_capacity_per_hour is not None:
-            limit = int(self.config.l7_capacity_per_hour * dt)
-        for candidate in self.queue.pop_ready(now, limit=limit):
-            self._interrogate(candidate, min(max(candidate.not_before, now - dt), now))
-
-    def _pop_for(self, candidate: ScanCandidate) -> PointOfPresence:
-        if candidate.source == "refresh":
-            untried = self.scheduler.untried_pop(
-                candidate.ip_index, candidate.port, candidate.transport,
-                [p.name for p in self.pops],
-            )
-            if untried is not None:
-                for pop in self.pops:
-                    if pop.name == untried:
-                        return pop
-        # Rotate the serving PoP over time so an endpoint invisible from one
-        # vantage (geoblocking, routing anomaly) is retried from the others.
-        day = int(candidate.not_before // 24.0)
-        return self.pops[(candidate.ip_index + candidate.port + day) % len(self.pops)]
-
-    def _interrogate(self, candidate: ScanCandidate, t: float) -> None:
-        if self.exclusions.is_excluded(candidate.ip_index, t):
-            self._purge_excluded(candidate.ip_index, t)
-            return
-        pop = self._pop_for(candidate)
-        conn = self.internet.connect(
-            candidate.ip_index, candidate.port, t, pop.vantage,
-            transport=candidate.transport, scanner=self.config.scanner_id,
-        )
-        if conn is None:
-            from repro.protocols.interrogate import InterrogationResult
-
-            result = InterrogationResult(port=candidate.port, transport=candidate.transport, success=False)
-        elif candidate.expected_protocol:
-            result = self.interrogator.refresh(conn, candidate.expected_protocol)
-        else:
-            result = self.interrogator.interrogate(conn)
-        entity = self.entity_for_ip(candidate.ip_index)
-        obs = ScanObservation(
-            entity_id=entity, time=t, port=candidate.port,
-            transport=candidate.transport, result=result, source=candidate.source,
-        )
-        self.write_side.process(obs)
-        self.observations_processed += 1
-        binding = (candidate.ip_index, candidate.port, candidate.transport)
-        if self.journal.peek_current(entity)["meta"].get("pseudo_host"):
-            # Filtered host: stop refreshing its bindings and keep its noise
-            # out of the predictive models.
-            self.scheduler.forget(*binding)
-            return
-        if result.success and result.service_name:
-            self.scheduler.service_seen(
-                entity, candidate.ip_index, candidate.port, candidate.transport,
-                result.protocol, t,
-            )
-            self.predictive.forget_evicted(*binding)
-        elif self.scheduler.known(*binding) is not None:
-            self.scheduler.refresh_failed(
-                candidate.ip_index, candidate.port, candidate.transport, pop.name, t
-            )
-        if candidate.port not in self._priority_port_set and candidate.transport == "tcp":
-            # Only fingerprint-validated services train the models: raw
-            # unidentified responders (middleboxes, pseudo-services) would
-            # otherwise send the sweeps chasing noise.
-            if result.protocol is not None:
-                self.predictive.observe(candidate.ip_index, candidate.port, True)
-            elif not result.success:
-                self.predictive.observe(candidate.ip_index, candidate.port, False)
-
-    def _purge_excluded(self, ip_index: int, t: float) -> None:
-        """Drop everything known about a newly opted-out address."""
-        entity = self.entity_for_ip(ip_index)
-        state = self.journal.peek_current(entity)
-        for key in list(state["services"]):
-            self.write_side.remove_service(entity, key, t)
-            port_text, _, transport = key.partition("/")
-            self.scheduler.forget(ip_index, int(port_text), transport)
-            self.predictive.forget_evicted(ip_index, int(port_text), transport)
 
     def request_exclusion(self, cidr, organization: str, whois_verified: bool = True):
         """File an operator opt-out (the §8 process) at the current time."""
@@ -372,128 +269,50 @@ class CensysPlatform:
             cidr, organization, self.clock.now, whois_verified=whois_verified
         )
 
-    # -- async processors ---------------------------------------------------------
+    def request_scan(self, ip_index: int, port: int, transport: str = "tcp") -> None:
+        """Real-time user scan requests jump the queue."""
+        self.queue.push_new(ip_index, port, transport, source="user", not_before=self.clock.now)
 
-    def _mark_dirty(self, message: Dict[str, Any]) -> None:
-        self._dirty.add(message["entity_id"])
+    def on_new_endpoints(self, instances: List[ServiceInstance]) -> None:
+        """Notify running tiers about endpoints injected mid-run (honeypots)."""
+        self.discovery.sweep.notify_new_instances(instances)
 
-    def _on_tls_service(self, message: Dict[str, Any]) -> None:
-        record = message.get("record") or {}
-        if not record.get("tls.certificate_sha256"):
-            return
-        self.cert_processor.observe_tls_scan(message)
+    # -- read surfaces (delegating to the serving layer) ---------------------
 
-    def _index_certificate(self, cert, time: float) -> None:
-        entity = cert_entity_id(cert.sha256)
-        self.index.put(entity, flatten_certificate_state(self.journal.reconstruct(entity)))
+    def entity_for_ip(self, ip_index: int) -> str:
+        return self.serving.entity_for_ip(ip_index)
 
-    def _reindex_dirty(self) -> None:
-        for entity_id in self._dirty:
-            if entity_id.startswith("host:"):
-                view = self.read_side.lookup(entity_id)
-                if view["services"]:
-                    self.index.put(entity_id, flatten_host_view(view))
-                else:
-                    self.index.delete(entity_id)
-            elif entity_id.startswith(("web:", "host6:")):
-                view = self.read_side.lookup(entity_id, enrich=False)
-                if view["services"]:
-                    self.index.put(entity_id, flatten_webproperty_view(view))
-                else:
-                    self.index.delete(entity_id)
-        self._dirty.clear()
+    def lookup_host(self, ip_index: int, at: Optional[float] = None) -> Dict[str, Any]:
+        """The Fast Lookup API: host state by address (and timestamp)."""
+        return self.serving.lookup_host(ip_index, at=at)
 
-    # -- web properties --------------------------------------------------------------
+    def host_view(self, ip_index: int, at: Optional[float] = None):
+        """Typed variant of :meth:`lookup_host` (a HostView dataclass)."""
+        return self.serving.host_view(ip_index, at=at)
 
-    def _discover_web_properties(self, now: float) -> None:
-        for discovered in self.name_feed.poll(now):
-            self._web_refresh.setdefault(discovered.name, now)
-        due = [name for name, when in self._web_refresh.items() if when <= now]
-        for name in due:
-            import zlib
+    def certificate_view(self, sha256: str):
+        """Typed certificate lookup by fingerprint."""
+        return self.serving.certificate_view(sha256)
 
-            pop = self.pops[zlib.crc32(name.encode()) % len(self.pops)]
-            obs = self.web_scanner.scan(name, now, pop.vantage)
-            self.write_side.process(obs)
-            self._scan_ipv6_of_name(name, now, pop)
-            self._web_refresh[name] = now + self.config.webprop_refresh_hours
-
-    def _scan_ipv6_of_name(self, name: str, now: float, pop: PointOfPresence) -> None:
-        """Track and scan IPv6 addresses found through DNS of known names
-        (§4.1 — no comprehensive IPv6 scanning, only name-fed)."""
-        address = self.internet.resolve_name_v6(name, now)
-        if address is None:
-            return
-        conn = self.internet.connect_v6(
-            address, now, pop.vantage, scanner=self.config.scanner_id, sni=name
-        )
-        if conn is None:
-            result = None
-        else:
-            result = self.interrogator.interrogate(conn)
-        if result is None or not result.success:
-            from repro.protocols.interrogate import InterrogationResult
-
-            result = InterrogationResult(port=conn.port if conn else 443, transport="tcp", success=False)
-        obs = ScanObservation(
-            entity_id=f"host6:{address}", time=now, port=result.port,
-            transport="tcp", result=result, source="name",
-        )
-        self.write_side.process(obs)
-        self._dirty.add(f"host6:{address}")
-
-    # -- daily work ----------------------------------------------------------------------
-
-    def _daily_housekeeping(self, now: float) -> None:
-        for known in self.scheduler.due_evictions(now):
-            from repro.pipeline.events import service_key
-
-            self.write_side.remove_service(
-                known.entity_id, service_key(known.port, known.transport), now
-            )
-            self.predictive.remember_evicted(known.ip_index, known.port, known.transport, now)
-            self.scheduler.forget(known.ip_index, known.port, known.transport)
-        self.cert_processor.poll_ct(now)
-        self.cert_processor.revalidate_all(now)
-        self.bus.pump()
-        self._reindex_dirty()
-        if self.config.snapshot_daily:
-            self.snapshot_now()
-
-    def export_snapshot(self, path) -> int:
-        """Raw data download: dump the current map as JSON-lines.
-
-        Stands in for the paper's daily Apache Avro snapshots (academic
-        researchers prefer full downloads over APIs, §5.3).
-        """
-        import json
-        from pathlib import Path
-
-        count = 0
-        with Path(path).open("w") as handle:
-            for doc_id in self.index.doc_ids():
-                handle.write(json.dumps({"entity_id": doc_id, **self.index.get(doc_id)},
-                                        default=str, sort_keys=True))
-                handle.write("\n")
-                count += 1
-        return count
+    def search(self, query: str, limit: Optional[int] = None) -> List[str]:
+        """The interactive search interface."""
+        return self.serving.search(query, limit=limit)
 
     def snapshot_now(self) -> int:
         """Store the current map into the analytics snapshot store."""
-        day = int(self.clock.now // 24.0)
-        docs = [dict(self.index.get(doc_id)) for doc_id in self.index.doc_ids()]
-        self.analytics.store(day, docs)
-        return len(docs)
+        return self.serving.snapshot_now(self.clock.now)
+
+    def export_snapshot(self, path) -> int:
+        """Raw data download: dump the current map as JSON-lines."""
+        return self.serving.export_snapshot(path)
+
+    # -- accounting -----------------------------------------------------------
 
     def traffic_report(self) -> Dict[str, Any]:
-        """Scan-traffic accounting (the §8 ethics arithmetic).
-
-        Reports per-tier probe counts, the aggregate probe rate, and the
-        mean interval between probes seen by any single address — the
-        paper's "a public IP sees a probe every 2.5 minutes" number.
+        """Scan-traffic and per-stage accounting (the §8 ethics arithmetic
+        plus one counter block per pipeline stage and per-shard storage).
         """
-        elapsed = self.clock.now - (self._traffic_epoch if hasattr(self, "_traffic_epoch") else self.clock.now)
-        tiers = {tier.name: tier.probes_sent for tier in self._active_tiers(self.clock.now)}
+        tiers = self.discovery.sweep.probes_by_tier(self.discovery.active_tiers(self.clock.now))
         total = sum(tiers.values())
         hours = max(1e-9, self.clock.now - self._start_time)
         probes_per_hour = total / hours
@@ -505,55 +324,23 @@ class CensysPlatform:
             "mean_minutes_between_probes_per_ip": (
                 60.0 / per_ip_per_hour if per_ip_per_hour > 0 else float("inf")
             ),
+            "stages": {
+                "discovery": dict(self.discovery.counters),
+                "interrogation": dict(self.interrogation.counters),
+                "ingest": dict(self.ingest.counters),
+                "derivation": dict(self.derivation.counters),
+                "serving": dict(self.serving.counters),
+            },
+            "queue": self.queue.stats(),
+            "scheduler": {
+                "tracked_services": self.scheduler.tracked_count,
+                "pending_eviction": self.scheduler.pending_count(),
+                "evictions": self.scheduler.evictions,
+            },
+            "shards": {
+                "count": self.shard_map.shards,
+                "events_per_shard": self.journal.events_per_shard(),
+                "entities_per_shard": self.journal.entities_per_shard(),
+                "documents_per_shard": self.index.docs_per_shard(),
+            },
         }
-
-    # -- external surfaces -----------------------------------------------------------------
-
-    def lookup_host(self, ip_index: int, at: Optional[float] = None) -> Dict[str, Any]:
-        """The Fast Lookup API: host state by address (and timestamp)."""
-        return self.read_side.lookup(self.entity_for_ip(ip_index), at=at)
-
-    def host_view(self, ip_index: int, at: Optional[float] = None):
-        """Typed variant of :meth:`lookup_host` (a HostView dataclass)."""
-        from repro.entities import HostView
-
-        return HostView.from_view(self.lookup_host(ip_index, at=at))
-
-    def certificate_view(self, sha256: str):
-        """Typed certificate lookup by fingerprint."""
-        from repro.entities import CertificateView
-
-        return CertificateView.from_state(self.journal.reconstruct(cert_entity_id(sha256)))
-
-    def search(self, query: str, limit: Optional[int] = None) -> List[str]:
-        """The interactive search interface."""
-        return self.index.search(query, limit=limit)
-
-    def request_scan(self, ip_index: int, port: int, transport: str = "tcp") -> None:
-        """Real-time user scan requests jump the queue."""
-        self.queue.push_new(ip_index, port, transport, source="user", not_before=self.clock.now)
-
-    def on_new_endpoints(self, instances: List[ServiceInstance]) -> None:
-        """Notify running tiers about endpoints injected mid-run (honeypots)."""
-        for tier in self.tiers:
-            for inst in instances:
-                tier.notify_new_instance(inst)
-
-    # -- internal -------------------------------------------------------------------------------
-
-    def _seed_ct_log(self) -> None:
-        """Populate the public CT log with the workload's logged certificates."""
-        props = sorted(
-            (p for p in self.internet.workload.web_properties if p.in_ct_log),
-            key=lambda p: p.published_at,
-        )
-        for prop in props:
-            tls = None
-            for inst in self.internet.device_instances(prop.device_id):
-                if inst.profile.tls is not None:
-                    tls = inst.profile.tls
-                    break
-            if tls is None or tls.self_signed:
-                continue
-            cert = self.ca_world.certificate_for_tls_profile(tls, prop.published_at)
-            self.ct_log.submit(cert, prop.published_at)

@@ -5,6 +5,12 @@ fingerprint to IP address" — these inverted relations power the Fast
 Lookup API's pivot queries ("What IP addresses has certificate X been seen
 on?") and threat-hunting joins (JA4S and SSH-host-key reuse).  The tables
 are fed exclusively from bus messages, never inline with ingestion.
+
+:class:`ShardedSecondaryIndexes` partitions the tables by the host
+entity's keyspace shard: one bus subscription routes each message to the
+owning shard's :class:`SecondaryIndexes`, and pivot queries merge across
+shards with the same sorted order the unsharded tables return — so the
+answers are shard-count invariant.
 """
 
 from __future__ import annotations
@@ -13,22 +19,29 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
 from repro.pipeline.queues import EventBus
+from repro.pipeline.sharding import ShardMap
 
-__all__ = ["SecondaryIndexes"]
+__all__ = ["SecondaryIndexes", "ShardedSecondaryIndexes"]
 
 
 class SecondaryIndexes:
-    """cert/JA4S/SSH-host-key -> host entity mappings."""
+    """cert/JA4S/SSH-host-key -> host entity mappings.
 
-    def __init__(self, bus: EventBus) -> None:
+    ``bus=None`` builds an unsubscribed instance fed by a router (the
+    sharded wrapper below); passing a bus preserves the original
+    self-subscribing behaviour.
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
         self._cert_to_hosts: Dict[str, Set[str]] = {}
         self._ja4s_to_hosts: Dict[str, Set[str]] = {}
         self._hostkey_to_hosts: Dict[str, Set[str]] = {}
         #: first/last sighting per (cert, host) pair.
         self._sightings: Dict[tuple, List[float]] = {}
         self.updates = 0
-        bus.subscribe("service_found", self._on_service)
-        bus.subscribe("service_changed", self._on_service)
+        if bus is not None:
+            bus.subscribe("service_found", self._on_service)
+            bus.subscribe("service_changed", self._on_service)
 
     # -- ingestion (bus handlers) ------------------------------------------
 
@@ -68,6 +81,81 @@ class SecondaryIndexes:
         """(first, last) time the certificate was seen on the host."""
         window = self._sightings.get((sha256, entity_id))
         return tuple(window) if window else None
+
+    def reused_certificates(self, min_hosts: int = 2) -> Dict[str, List[str]]:
+        return {
+            sha: sorted(hosts)
+            for sha, hosts in self._cert_to_hosts.items()
+            if len(hosts) >= min_hosts
+        }
+
+    def reused_ssh_keys(self, min_hosts: int = 2) -> Dict[str, List[str]]:
+        return {
+            key: sorted(hosts)
+            for key, hosts in self._hostkey_to_hosts.items()
+            if len(hosts) >= min_hosts
+        }
+
+
+class ShardedSecondaryIndexes:
+    """Per-shard secondary tables behind the unsharded query surface."""
+
+    def __init__(self, bus: EventBus, shard_map: Optional[ShardMap] = None) -> None:
+        self.shard_map = shard_map or ShardMap(1)
+        self.tables = [SecondaryIndexes() for _ in range(self.shard_map.shards)]
+        bus.subscribe("service_found", self._on_service)
+        bus.subscribe("service_changed", self._on_service)
+
+    def _on_service(self, message: Dict[str, Any]) -> None:
+        self.tables[self.shard_map.shard_of(message["entity_id"])]._on_service(message)
+
+    @property
+    def updates(self) -> int:
+        return sum(table.updates for table in self.tables)
+
+    # -- merged pivot queries ----------------------------------------------
+
+    def _merged(self, attr: str) -> Dict[str, Set[str]]:
+        if len(self.tables) == 1:
+            return getattr(self.tables[0], attr)
+        merged: Dict[str, Set[str]] = {}
+        for table in self.tables:
+            for key, hosts in getattr(table, attr).items():
+                merged.setdefault(key, set()).update(hosts)
+        return merged
+
+    #: The raw tables, merged across shards (kept for callers that iterate
+    #: the mappings directly; shard-count invariant up to key order).
+    @property
+    def _cert_to_hosts(self) -> Dict[str, Set[str]]:
+        return self._merged("_cert_to_hosts")
+
+    @property
+    def _ja4s_to_hosts(self) -> Dict[str, Set[str]]:
+        return self._merged("_ja4s_to_hosts")
+
+    @property
+    def _hostkey_to_hosts(self) -> Dict[str, Set[str]]:
+        return self._merged("_hostkey_to_hosts")
+
+    def hosts_with_certificate(self, sha256: str) -> List[str]:
+        return sorted(
+            host for table in self.tables for host in table._cert_to_hosts.get(sha256, ())
+        )
+
+    def hosts_with_ja4s(self, ja4s: str) -> List[str]:
+        return sorted(
+            host for table in self.tables for host in table._ja4s_to_hosts.get(ja4s, ())
+        )
+
+    def hosts_with_ssh_key(self, host_key_sha256: str) -> List[str]:
+        return sorted(
+            host for table in self.tables for host in table._hostkey_to_hosts.get(host_key_sha256, ())
+        )
+
+    def certificate_sighting_window(self, sha256: str, entity_id: str) -> Optional[tuple]:
+        table = self.tables[self.shard_map.shard_of(entity_id)]
+        return table.certificate_sighting_window(sha256, entity_id)
 
     def reused_certificates(self, min_hosts: int = 2) -> Dict[str, List[str]]:
         return {

@@ -1,0 +1,36 @@
+"""The platform decomposed into independently schedulable pipeline stages.
+
+Production Censys is not one loop: discovery, interrogation, the CQRS
+write side, asynchronous derivation, and serving each scale on their own
+(§4–5).  This package mirrors that decomposition.  Each stage owns its
+components, exposes a narrow ``advance``-style interface plus a
+``counters()`` dict, and is composed — not subclassed — by the
+:class:`~repro.core.platform.CensysPlatform` facade.
+
+Stage graph (per tick)::
+
+    DiscoveryStage ──candidates──▶ ScanQueue ──▶ InterrogationStage
+                                                      │ observations
+                                                      ▼
+    ServingLayer ◀── SearchIndex ◀── DerivationStage ◀── IngestStage
+        │                 ▲              (bus consumers)   (write side,
+        ▼                 └── reindex                       sharded journal)
+    lookups / search / analytics
+"""
+
+from repro.core.stages.base import StageCounters
+from repro.core.stages.derivation import DerivationStage
+from repro.core.stages.discovery import DiscoveryStage, TierSweep
+from repro.core.stages.ingest import IngestStage
+from repro.core.stages.interrogation import InterrogationStage
+from repro.core.stages.serving import ServingLayer
+
+__all__ = [
+    "StageCounters",
+    "DiscoveryStage",
+    "TierSweep",
+    "InterrogationStage",
+    "IngestStage",
+    "DerivationStage",
+    "ServingLayer",
+]

@@ -1,0 +1,18 @@
+"""Shared plumbing for pipeline stages."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["StageCounters"]
+
+
+class StageCounters(Dict[str, int]):
+    """A named counter bag every stage reports into ``traffic_report``.
+
+    A plain dict with an increment helper; keys are created on first
+    bump so a stage's schema is visible where the counting happens.
+    """
+
+    def bump(self, key: str, by: int = 1) -> None:
+        self[key] = self.get(key, 0) + by

@@ -1,0 +1,77 @@
+"""The ingest stage: the CQRS write side over the sharded journal.
+
+Minimal processing at ingestion time (the paper's write-side rule):
+observations become journal events through the
+:class:`~repro.pipeline.write_side.WriteSideProcessor`, follow-up work is
+published to the bus, and :meth:`pump` delivers it to the asynchronous
+consumers once per tick.  Eviction of services staged past the retention
+window runs here too — removals are write-side commands.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.scheduler import RefreshScheduler
+from repro.core.stages.base import StageCounters
+from repro.pipeline import EventBus, EventJournal, ScanObservation, WriteSideProcessor
+from repro.pipeline.sharding import ShardedJournal
+from repro.scan import PredictiveEngine
+
+__all__ = ["IngestStage"]
+
+
+class IngestStage:
+    """Observations in, journal events and bus messages out."""
+
+    def __init__(
+        self,
+        journal: Union[EventJournal, ShardedJournal],
+        bus: EventBus,
+        write_side: WriteSideProcessor,
+    ) -> None:
+        self.journal = journal
+        self.bus = bus
+        self.write_side = write_side
+        self.counters = StageCounters(
+            observations_ingested=0,
+            events_journaled=0,
+            messages_pumped=0,
+            evictions=0,
+        )
+
+    # -- write path ----------------------------------------------------------
+
+    def submit(self, obs: ScanObservation) -> Optional[str]:
+        """Apply one observation; returns the journal event kind (or None)."""
+        before = self.journal.stats.events
+        kind = self.write_side.process(obs)
+        self.counters.bump("observations_ingested")
+        self.counters.bump("events_journaled", self.journal.stats.events - before)
+        return kind
+
+    def remove_service(self, entity_id: str, key: str, time: float) -> bool:
+        return self.write_side.remove_service(entity_id, key, time)
+
+    # -- asynchronous delivery ------------------------------------------------
+
+    def pump(self) -> int:
+        """Deliver queued bus messages to the derivation-side consumers."""
+        delivered = self.bus.pump()
+        self.counters.bump("messages_pumped", delivered)
+        return delivered
+
+    # -- retention ------------------------------------------------------------
+
+    def evict_due(self, now: float, scheduler: RefreshScheduler, predictive: PredictiveEngine) -> int:
+        """Remove services staged past the eviction window (daily work)."""
+        from repro.pipeline.events import service_key
+
+        evicted = 0
+        for known in scheduler.due_evictions(now):
+            self.remove_service(known.entity_id, service_key(known.port, known.transport), now)
+            predictive.remember_evicted(known.ip_index, known.port, known.transport, now)
+            scheduler.forget(known.ip_index, known.port, known.transport)
+            evicted += 1
+        self.counters.bump("evictions", evicted)
+        return evicted

@@ -1,0 +1,215 @@
+"""The interrogation stage: L7 handshakes over queued candidates.
+
+Drains the scan queue (globally or shard-by-shard), runs protocol
+detection / full handshakes / refresh fast-paths against the simulated
+Internet, and hands the resulting observations to the ingest stage.  Also
+owns web-property scanning (HTTP over names plus name-fed IPv6), which
+produces observations through the same ingest path.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional
+
+from repro.core.scheduler import RefreshScheduler
+from repro.core.stages.base import StageCounters
+from repro.core.stages.ingest import IngestStage
+from repro.net import ip_to_str
+from repro.pipeline import ScanObservation, host_entity_id
+from repro.protocols import Interrogator
+from repro.scan import PredictiveEngine, ScanCandidate, ScanQueue
+from repro.scan.exclusions import ExclusionList
+from repro.scan.pop import PointOfPresence
+from repro.simnet import SimulatedInternet
+from repro.webprops import WebPropertyScanner
+
+__all__ = ["InterrogationStage"]
+
+
+class InterrogationStage:
+    """Turns ready candidates into scan observations."""
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        interrogator: Interrogator,
+        queue: ScanQueue,
+        pops: List[PointOfPresence],
+        exclusions: ExclusionList,
+        scheduler: RefreshScheduler,
+        predictive: PredictiveEngine,
+        ingest: IngestStage,
+        web_scanner: WebPropertyScanner,
+        priority_port_set: frozenset,
+        *,
+        scanner_id: str = "censys",
+        l7_capacity_per_hour: Optional[int] = None,
+        shard_drain: str = "merged",
+    ) -> None:
+        self.internet = internet
+        self.interrogator = interrogator
+        self.queue = queue
+        self.pops = pops
+        self.exclusions = exclusions
+        self.scheduler = scheduler
+        self.predictive = predictive
+        self.ingest = ingest
+        self.web_scanner = web_scanner
+        self.priority_port_set = priority_port_set
+        self.scanner_id = scanner_id
+        self.l7_capacity_per_hour = l7_capacity_per_hour
+        #: "merged" drains the queue in global order (shard-count
+        #: invariant); "round_robin" drains shard-by-shard with a per-shard
+        #: budget — the independent-worker scheduling mode.
+        self.shard_drain = shard_drain
+        self.counters = StageCounters(
+            interrogations_run=0,
+            connect_failures=0,
+            refresh_fastpaths=0,
+            excluded_purged=0,
+            web_scans=0,
+            ipv6_scans=0,
+        )
+
+    def entity_for_ip(self, ip_index: int) -> str:
+        return host_entity_id(ip_to_str(self.internet.space.ip_at(ip_index)))
+
+    # -- the stage interface -------------------------------------------------
+
+    def advance(self, now: float, dt: float) -> int:
+        """Drain and interrogate ready candidates; returns work done."""
+        limit = None
+        if self.l7_capacity_per_hour is not None:
+            limit = int(self.l7_capacity_per_hour * dt)
+        if self.shard_drain == "round_robin" and self.queue.shards > 1:
+            candidates = self._drain_round_robin(now, limit)
+        else:
+            candidates = self.queue.pop_ready(now, limit=limit)
+        for candidate in candidates:
+            self._interrogate(candidate, min(max(candidate.not_before, now - dt), now))
+        return len(candidates)
+
+    def _drain_round_robin(self, now: float, limit: Optional[int]) -> List[ScanCandidate]:
+        """Per-shard budgets: each shard drains independently this tick."""
+        shards = self.queue.shards
+        per_shard = None if limit is None else max(1, limit // shards)
+        candidates: List[ScanCandidate] = []
+        for shard in range(shards):
+            candidates.extend(self.queue.pop_ready_shard(shard, now, limit=per_shard))
+        return candidates
+
+    # -- single-candidate pipeline -------------------------------------------
+
+    def _pop_for(self, candidate: ScanCandidate) -> PointOfPresence:
+        if candidate.source == "refresh":
+            untried = self.scheduler.untried_pop(
+                candidate.ip_index, candidate.port, candidate.transport,
+                [p.name for p in self.pops],
+            )
+            if untried is not None:
+                for pop in self.pops:
+                    if pop.name == untried:
+                        return pop
+        # Rotate the serving PoP over time so an endpoint invisible from one
+        # vantage (geoblocking, routing anomaly) is retried from the others.
+        day = int(candidate.not_before // 24.0)
+        return self.pops[(candidate.ip_index + candidate.port + day) % len(self.pops)]
+
+    def _interrogate(self, candidate: ScanCandidate, t: float) -> None:
+        if self.exclusions.is_excluded(candidate.ip_index, t):
+            self._purge_excluded(candidate.ip_index, t)
+            return
+        pop = self._pop_for(candidate)
+        conn = self.internet.connect(
+            candidate.ip_index, candidate.port, t, pop.vantage,
+            transport=candidate.transport, scanner=self.scanner_id,
+        )
+        if conn is None:
+            from repro.protocols.interrogate import InterrogationResult
+
+            result = InterrogationResult(port=candidate.port, transport=candidate.transport, success=False)
+            self.counters.bump("connect_failures")
+        elif candidate.expected_protocol:
+            result = self.interrogator.refresh(conn, candidate.expected_protocol)
+            self.counters.bump("refresh_fastpaths")
+        else:
+            result = self.interrogator.interrogate(conn)
+        entity = self.entity_for_ip(candidate.ip_index)
+        obs = ScanObservation(
+            entity_id=entity, time=t, port=candidate.port,
+            transport=candidate.transport, result=result, source=candidate.source,
+        )
+        self.ingest.submit(obs)
+        self.counters.bump("interrogations_run")
+        binding = (candidate.ip_index, candidate.port, candidate.transport)
+        if self.ingest.journal.peek_current(entity)["meta"].get("pseudo_host"):
+            # Filtered host: stop refreshing its bindings and keep its noise
+            # out of the predictive models.
+            self.scheduler.forget(*binding)
+            return
+        if result.success and result.service_name:
+            self.scheduler.service_seen(
+                entity, candidate.ip_index, candidate.port, candidate.transport,
+                result.protocol, t,
+            )
+            self.predictive.forget_evicted(*binding)
+        elif self.scheduler.known(*binding) is not None:
+            self.scheduler.refresh_failed(
+                candidate.ip_index, candidate.port, candidate.transport, pop.name, t
+            )
+        if candidate.port not in self.priority_port_set and candidate.transport == "tcp":
+            # Only fingerprint-validated services train the models: raw
+            # unidentified responders (middleboxes, pseudo-services) would
+            # otherwise send the sweeps chasing noise.
+            if result.protocol is not None:
+                self.predictive.observe(candidate.ip_index, candidate.port, True)
+            elif not result.success:
+                self.predictive.observe(candidate.ip_index, candidate.port, False)
+
+    def _purge_excluded(self, ip_index: int, t: float) -> None:
+        """Drop everything known about a newly opted-out address."""
+        entity = self.entity_for_ip(ip_index)
+        state = self.ingest.journal.peek_current(entity)
+        for key in list(state["services"]):
+            self.ingest.remove_service(entity, key, t)
+            port_text, _, transport = key.partition("/")
+            self.scheduler.forget(ip_index, int(port_text), transport)
+            self.predictive.forget_evicted(ip_index, int(port_text), transport)
+        self.counters.bump("excluded_purged")
+
+    # -- web properties -------------------------------------------------------
+
+    def scan_web_properties(self, names: List[str], now: float, mark_dirty) -> None:
+        """Scan due web-property names (and their name-fed IPv6 hosts)."""
+        for name in names:
+            pop = self.pops[zlib.crc32(name.encode()) % len(self.pops)]
+            obs = self.web_scanner.scan(name, now, pop.vantage)
+            self.ingest.submit(obs)
+            self.counters.bump("web_scans")
+            self._scan_ipv6_of_name(name, now, pop, mark_dirty)
+
+    def _scan_ipv6_of_name(self, name: str, now: float, pop: PointOfPresence, mark_dirty) -> None:
+        """Track and scan IPv6 addresses found through DNS of known names
+        (§4.1 — no comprehensive IPv6 scanning, only name-fed)."""
+        address = self.internet.resolve_name_v6(name, now)
+        if address is None:
+            return
+        conn = self.internet.connect_v6(
+            address, now, pop.vantage, scanner=self.scanner_id, sni=name
+        )
+        if conn is None:
+            result = None
+        else:
+            result = self.interrogator.interrogate(conn)
+        if result is None or not result.success:
+            from repro.protocols.interrogate import InterrogationResult
+
+            result = InterrogationResult(port=conn.port if conn else 443, transport="tcp", success=False)
+        obs = ScanObservation(
+            entity_id=f"host6:{address}", time=now, port=result.port,
+            transport="tcp", result=result, source="name",
+        )
+        self.ingest.submit(obs)
+        self.counters.bump("ipv6_scans")
+        mark_dirty(f"host6:{address}")

@@ -1,0 +1,102 @@
+"""The serving layer: lookup, search, and analytics surfaces.
+
+The three read surfaces of the paper — the fast lookup API (journal
+reconstruction + read-time enrichment), interactive search (the sharded
+inverted index), and the analytics snapshot store — behind one object so
+the facade, access-control client, and evaluation harness all query
+through the same counted entry points.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.certs import cert_entity_id
+from repro.core.stages.base import StageCounters
+from repro.net import ip_to_str
+from repro.pipeline import EventJournal, ReadSide, host_entity_id
+from repro.pipeline.sharding import ShardedJournal
+from repro.search import ShardedSearchIndex, SnapshotStore
+from repro.simnet import SimulatedInternet
+
+__all__ = ["ServingLayer"]
+
+
+class ServingLayer:
+    """Counted query surfaces over the journal, index, and snapshots."""
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        journal: Union[EventJournal, ShardedJournal],
+        read_side: ReadSide,
+        index: ShardedSearchIndex,
+        analytics: Optional[SnapshotStore] = None,
+    ) -> None:
+        self.internet = internet
+        self.journal = journal
+        self.read_side = read_side
+        self.index = index
+        self.analytics = analytics or SnapshotStore()
+        self.counters = StageCounters(
+            lookups_served=0,
+            searches_served=0,
+            snapshots_taken=0,
+            documents_exported=0,
+        )
+
+    def entity_for_ip(self, ip_index: int) -> str:
+        return host_entity_id(ip_to_str(self.internet.space.ip_at(ip_index)))
+
+    # -- the fast lookup API --------------------------------------------------
+
+    def lookup_host(self, ip_index: int, at: Optional[float] = None) -> Dict[str, Any]:
+        """Host state by address (and timestamp), enriched at read time."""
+        self.counters.bump("lookups_served")
+        return self.read_side.lookup(self.entity_for_ip(ip_index), at=at)
+
+    def host_view(self, ip_index: int, at: Optional[float] = None):
+        """Typed variant of :meth:`lookup_host` (a HostView dataclass)."""
+        from repro.entities import HostView
+
+        return HostView.from_view(self.lookup_host(ip_index, at=at))
+
+    def certificate_view(self, sha256: str):
+        """Typed certificate lookup by fingerprint."""
+        from repro.entities import CertificateView
+
+        return CertificateView.from_state(self.journal.reconstruct(cert_entity_id(sha256)))
+
+    # -- interactive search ----------------------------------------------------
+
+    def search(self, query: str, limit: Optional[int] = None) -> List[str]:
+        self.counters.bump("searches_served")
+        return self.index.search(query, limit=limit)
+
+    # -- analytics / raw data --------------------------------------------------
+
+    def snapshot_now(self, now: float) -> int:
+        """Store the current map into the analytics snapshot store."""
+        day = int(now // 24.0)
+        docs = [dict(self.index.get(doc_id)) for doc_id in self.index.doc_ids()]
+        self.analytics.store(day, docs)
+        self.counters.bump("snapshots_taken")
+        return len(docs)
+
+    def export_snapshot(self, path) -> int:
+        """Raw data download: dump the current map as JSON-lines.
+
+        Stands in for the paper's daily Apache Avro snapshots (academic
+        researchers prefer full downloads over APIs, §5.3).
+        """
+        count = 0
+        with Path(path).open("w") as handle:
+            for doc_id in self.index.doc_ids():
+                handle.write(json.dumps({"entity_id": doc_id, **self.index.get(doc_id)},
+                                        default=str, sort_keys=True))
+                handle.write("\n")
+                count += 1
+        self.counters.bump("documents_exported", count)
+        return count

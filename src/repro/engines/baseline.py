@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.stages import TierSweep
 from repro.engines.base import ReportedService
 from repro.engines.labeling import KeywordLabeler
 from repro.net import ProbeSpace
@@ -80,7 +81,10 @@ class BaselineEngine:
         self.pop: PointOfPresence = single_pop(
             policy.region, policy.loss_rate, vantage_id=policy.seed % 251 + 10
         )[0]
-        self.tiers: List[DiscoveryTier] = []
+        #: The same sweep mechanism the Censys discovery stage uses, with a
+        #: fixed single-vantage PoP policy instead of per-tick rotation.
+        self.sweep = TierSweep()
+        self.tiers: List[DiscoveryTier] = self.sweep.tiers
         space = ProbeSpace.single_range(0, internet.space.size, list(policy.ports))
         self.tiers.append(
             DiscoveryTier(
@@ -124,9 +128,8 @@ class BaselineEngine:
     # -- main loop ----------------------------------------------------------
 
     def tick(self, t0: float, dt: float) -> None:
-        for tier in self.tiers:
-            for hit in tier.advance(t0, dt, self.pop):
-                self._scan_binding(hit.target.ip_index, hit.target.port, tier.transport, hit.probe_time)
+        for tier, hit in self.sweep.sweep(self.tiers, t0, dt, lambda i: self.pop):
+            self._scan_binding(hit.target.ip_index, hit.target.port, tier.transport, hit.probe_time)
 
     def run_until(self, now: float, t_end: float, tick_hours: float = 12.0) -> float:
         t = now
@@ -137,9 +140,7 @@ class BaselineEngine:
         return t
 
     def notify_new_instances(self, instances: List[ServiceInstance]) -> None:
-        for tier in self.tiers:
-            for inst in instances:
-                tier.notify_new_instance(inst)
+        self.sweep.notify_new_instances(instances)
 
     # -- scanning -------------------------------------------------------------
 

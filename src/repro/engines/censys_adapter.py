@@ -20,9 +20,12 @@ class CensysHarness:
     def __init__(self, platform: CensysPlatform, include_pending: bool = True) -> None:
         self.platform = platform
         self.include_pending = include_pending
+        #: Reads go through the serving stage's journal handle, which is the
+        #: sharded router when the platform runs with ``shards > 1``.
+        self.journal = platform.serving.journal
 
     def _entity_services(self, entity_id: str) -> List[ReportedService]:
-        state = self.platform.journal.peek_current(entity_id)
+        state = self.journal.peek_current(entity_id)
         if state["meta"].get("pseudo_host"):
             return []
         ip_text = entity_id[len("host:"):]
@@ -56,11 +59,11 @@ class CensysHarness:
         return reported
 
     def query_ip(self, ip_index: int, now: float) -> List[ReportedService]:
-        return self._entity_services(self.platform.entity_for_ip(ip_index))
+        return self._entity_services(self.platform.serving.entity_for_ip(ip_index))
 
     def query_label(self, label: str, now: float) -> List[ReportedService]:
         results = []
-        for entity_id in self.platform.journal.entity_ids():
+        for entity_id in self.journal.entity_ids():
             if not entity_id.startswith("host:"):
                 continue
             for service in self._entity_services(entity_id):
@@ -70,7 +73,7 @@ class CensysHarness:
 
     def all_entries(self, now: float) -> List[ReportedService]:
         results = []
-        for entity_id in list(self.platform.journal.entity_ids()):
+        for entity_id in list(self.journal.entity_ids()):
             if entity_id.startswith("host:"):
                 results.extend(self._entity_services(entity_id))
         return results

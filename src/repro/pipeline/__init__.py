@@ -17,6 +17,7 @@ from repro.pipeline.faults import (
 )
 from repro.pipeline.journal import EventJournal, JournalStats
 from repro.pipeline.queues import EventBus
+from repro.pipeline.sharding import ShardMap, ShardedJournal
 from repro.pipeline.read_side import Enricher, ReadSide
 from repro.pipeline.reliability import DeadLetter, DeadLetterQueue, RetryPolicy
 from repro.pipeline.state import apply_event, live_services, new_entity_state
@@ -34,6 +35,8 @@ __all__ = [
     "service_key",
     "EventJournal",
     "JournalStats",
+    "ShardMap",
+    "ShardedJournal",
     "EventBus",
     "ReadSide",
     "Enricher",

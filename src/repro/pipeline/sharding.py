@@ -1,0 +1,232 @@
+"""Keyspace sharding for the journal layer (the Bigtable tablet split).
+
+Production Censys horizontally partitions its Bigtable rows so that
+ingestion, reindexing, and serving scale independently of any single
+tablet server.  This module is that partitioning for the reproduction:
+
+* :class:`ShardMap` — the deterministic entity-id → shard routing
+  function (CRC-32 of the id, stable across processes and runs; Python's
+  randomized ``hash()`` is deliberately avoided);
+* :class:`ShardedJournal` — N per-shard :class:`EventJournal` instances
+  behind the journal's read/write interface, with per-shard write-ahead
+  log directories (``shard-00/``, ``shard-01/``, …) when durable.
+
+Merge-order guarantees
+----------------------
+
+``entity_ids()`` iterates entities in **global first-append order**
+regardless of the shard count: the wrapper records the (entity, shard)
+assignment in an insertion-ordered dict at first append.  With
+``shards=1`` every call delegates to the single underlying journal, so
+behaviour — iteration order, stats objects, storage accounting — is
+bit-identical to an unsharded :class:`EventJournal`.  After
+:meth:`ShardedJournal.recover` the global order degrades to shard-major
+(shard 0's entities first, each shard in its own append order): per-shard
+WALs carry no cross-shard ordering, and no caller depends on one.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from contextlib import ExitStack, contextmanager
+from dataclasses import fields as dataclass_fields
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.pipeline.events import Event
+from repro.pipeline.journal import EventJournal, JournalStats
+from repro.pipeline.state import new_entity_state
+
+__all__ = ["ShardMap", "ShardedJournal"]
+
+
+class ShardMap:
+    """Deterministic keyspace partitioning: entity id → shard number."""
+
+    def __init__(self, shards: int = 1) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+
+    def shard_of(self, entity_id: str) -> int:
+        if self.shards == 1:
+            return 0
+        return zlib.crc32(entity_id.encode("utf-8")) % self.shards
+
+    def shard_dir(self, directory: str, shard: int) -> str:
+        """The per-shard WAL directory under a durable root."""
+        return os.path.join(directory, f"shard-{shard:02d}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"ShardMap(shards={self.shards})"
+
+
+def _merge_stats(per_shard: List[JournalStats]) -> JournalStats:
+    merged = JournalStats()
+    for stats in per_shard:
+        for f in dataclass_fields(JournalStats):
+            setattr(merged, f.name, getattr(merged, f.name) + getattr(stats, f.name))
+    return merged
+
+
+class ShardedJournal:
+    """N per-shard event journals behind the single-journal interface.
+
+    Every method routes by ``shard_map.shard_of(entity_id)``; whole-map
+    operations merge across shards in the stable order described in the
+    module docstring.  The write side, certificate processor, read side,
+    and serving layer all take either journal flavour interchangeably.
+    """
+
+    def __init__(
+        self,
+        shard_map: Optional[ShardMap] = None,
+        journals: Optional[List[EventJournal]] = None,
+        snapshot_every: int = 32,
+    ) -> None:
+        self.shard_map = shard_map or ShardMap(1)
+        if journals is None:
+            journals = [EventJournal(snapshot_every=snapshot_every) for _ in range(self.shard_map.shards)]
+        if len(journals) != self.shard_map.shards:
+            raise ValueError(
+                f"expected {self.shard_map.shards} journals, got {len(journals)}"
+            )
+        self.journals = journals
+        #: entity id -> shard, insertion-ordered by first append: the global
+        #: iteration order that keeps entity_ids() shard-count invariant.
+        self._entity_shard: Dict[str, int] = {}
+        for shard, journal in enumerate(self.journals):
+            for entity_id in journal.entity_ids():
+                self._entity_shard[entity_id] = shard
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def durable(
+        cls,
+        directory: str,
+        shard_map: Optional[ShardMap] = None,
+        snapshot_every: int = 32,
+        *,
+        segment_max_records: int = 128,
+        fsync_every: int = 1,
+        fault_injector: Optional[Any] = None,
+    ) -> "ShardedJournal":
+        """A sharded journal whose shards each own a WAL subdirectory."""
+        from repro.pipeline.wal import WriteAheadLog
+
+        shard_map = shard_map or ShardMap(1)
+        journals = []
+        for shard in range(shard_map.shards):
+            wal = WriteAheadLog(
+                shard_map.shard_dir(directory, shard),
+                segment_max_records=segment_max_records,
+                fsync_every=fsync_every,
+            )
+            journals.append(
+                EventJournal(snapshot_every=snapshot_every, wal=wal, fault_injector=fault_injector)
+            )
+        return cls(shard_map, journals)
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        shard_map: Optional[ShardMap] = None,
+        snapshot_every: int = 32,
+        **kwargs: Any,
+    ) -> "ShardedJournal":
+        """Recover every shard from its WAL subdirectory after a crash.
+
+        Each shard recovers independently through
+        :meth:`EventJournal.recover`, so the per-shard durable prefix is
+        byte-identical to the pre-crash shard; the global entity order is
+        rebuilt shard-major (see the module docstring).
+        """
+        shard_map = shard_map or ShardMap(1)
+        journals = [
+            EventJournal.recover(
+                shard_map.shard_dir(directory, shard), snapshot_every=snapshot_every, **kwargs
+            )
+            for shard in range(shard_map.shards)
+        ]
+        return cls(shard_map, journals)
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return self.shard_map.shards
+
+    def shard_of(self, entity_id: str) -> int:
+        return self.shard_map.shard_of(entity_id)
+
+    def journal_for(self, entity_id: str) -> EventJournal:
+        return self.journals[self.shard_map.shard_of(entity_id)]
+
+    # -- write path --------------------------------------------------------
+
+    def append(self, entity_id: str, time: float, kind: str, payload: Dict[str, Any]) -> Event:
+        shard = self.shard_map.shard_of(entity_id)
+        event = self.journals[shard].append(entity_id, time, kind, payload)
+        if entity_id not in self._entity_shard:
+            self._entity_shard[entity_id] = shard
+        return event
+
+    def transaction(self):
+        """One atomic batch per shard (an observation only touches one)."""
+        if len(self.journals) == 1:
+            return self.journals[0].transaction()
+        return self._transaction_all()
+
+    @contextmanager
+    def _transaction_all(self):
+        with ExitStack() as stack:
+            for journal in self.journals:
+                stack.enter_context(journal.transaction())
+            yield self
+
+    def close(self) -> None:
+        for journal in self.journals:
+            journal.close()
+
+    # -- read path ---------------------------------------------------------
+
+    def reconstruct(self, entity_id: str, at: Optional[float] = None) -> Dict[str, Any]:
+        return self.journal_for(entity_id).reconstruct(entity_id, at=at)
+
+    def peek_current(self, entity_id: str) -> Dict[str, Any]:
+        shard = self._entity_shard.get(entity_id)
+        if shard is None:
+            return new_entity_state(entity_id)
+        return self.journals[shard].peek_current(entity_id)
+
+    def events_for(self, entity_id: str, since_seq: int = 0) -> List[Event]:
+        return self.journal_for(entity_id).events_for(entity_id, since_seq=since_seq)
+
+    def entity_ids(self) -> Iterator[str]:
+        return iter(self._entity_shard.keys())
+
+    def has_entity(self, entity_id: str) -> bool:
+        return entity_id in self._entity_shard
+
+    def event_count(self, entity_id: str) -> int:
+        return self.journal_for(entity_id).event_count(entity_id)
+
+    def __len__(self) -> int:
+        return len(self._entity_shard)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def stats(self) -> JournalStats:
+        """Aggregate storage accounting (the live object for one shard)."""
+        if len(self.journals) == 1:
+            return self.journals[0].stats
+        return _merge_stats([j.stats for j in self.journals])
+
+    def events_per_shard(self) -> List[int]:
+        return [journal.stats.events for journal in self.journals]
+
+    def entities_per_shard(self) -> List[int]:
+        return [len(journal) for journal in self.journals]

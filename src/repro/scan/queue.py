@@ -5,13 +5,30 @@ requests all enqueue candidates here; interrogation workers drain it.  The
 queue deduplicates bindings within a cooldown window (repeat L4 hits on a
 daily tier must not multiply L7 work) and supports priorities so real-time
 user requests and CVE-response scans jump ahead of background candidates.
+
+The queue is keyspace-sharded to mirror the journal layer: candidates
+route to one of N shard heaps via ``shard_of`` (an ip_index → shard
+function, typically the journal's :class:`~repro.pipeline.sharding.ShardMap`
+applied to the host entity id).  Two drain modes:
+
+* :meth:`pop_ready` — the global drain: a k-way merge over the shard
+  heads in (not_before, priority, arrival) order.  Because arrival
+  counters are global, the merged order is **identical for every shard
+  count** — the property the shard-invariance suite relies on.
+* :meth:`pop_ready_shard` — one shard only, for independently scheduled
+  per-shard interrogation workers (round-robin or per-shard budgets).
+
+Dedup state is bounded: ``pop_ready`` prunes ``_last_enqueued`` entries
+older than the cooldown window.  Pruning cannot change dedup decisions —
+every future candidate's ``not_before`` is at or after the draining
+``now``, so an entry aged past the window could never suppress it.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["ScanCandidate", "ScanQueue"]
 
@@ -41,21 +58,40 @@ class ScanCandidate:
 #: Priorities by source (user requests first, background last).
 SOURCE_PRIORITY = {"user": 0, "refresh": 2, "discovery": 3, "name": 3, "reinject": 4, "predictive": 4}
 
+_Item = Tuple[float, int, int, ScanCandidate]
+
 
 class ScanQueue:
-    """Priority queue with per-binding dedup cooldown."""
+    """Sharded priority queue with per-binding dedup cooldown."""
 
-    def __init__(self, dedup_window_hours: float = 12.0) -> None:
+    def __init__(
+        self,
+        dedup_window_hours: float = 12.0,
+        shards: int = 1,
+        shard_of: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.dedup_window = dedup_window_hours
-        self._heap: List[Tuple[int, float, int, ScanCandidate]] = []
+        self.shards = shards
+        self._shard_of = shard_of
+        self._heaps: List[List[_Item]] = [[] for _ in range(shards)]
         self._counter = 0
-        self._last_enqueued: Dict[Tuple[int, int, str], float] = {}
+        self._last_enqueued: List[Dict[Tuple[int, int, str], float]] = [{} for _ in range(shards)]
         self.enqueued = 0
         self.deduplicated = 0
+        self.pruned = 0
+
+    def _shard(self, ip_index: int) -> int:
+        if self.shards == 1 or self._shard_of is None:
+            return 0
+        return self._shard_of(ip_index) % self.shards
 
     def push(self, candidate: ScanCandidate) -> bool:
         """Enqueue unless the binding was queued within the cooldown."""
-        last = self._last_enqueued.get(candidate.binding)
+        shard = self._shard(candidate.ip_index)
+        last_map = self._last_enqueued[shard]
+        last = last_map.get(candidate.binding)
         if (
             last is not None
             and candidate.not_before - last < self.dedup_window
@@ -63,11 +99,11 @@ class ScanQueue:
         ):
             self.deduplicated += 1
             return False
-        self._last_enqueued[candidate.binding] = candidate.not_before
+        last_map[candidate.binding] = candidate.not_before
         # Ordered by readiness first, then priority: pop_ready stops at the
         # first not-yet-due candidate, so draining is O(ready), not O(queue).
         heapq.heappush(
-            self._heap, (candidate.not_before, candidate.priority, self._counter, candidate)
+            self._heaps[shard], (candidate.not_before, candidate.priority, self._counter, candidate)
         )
         self._counter += 1
         self.enqueued += 1
@@ -94,15 +130,82 @@ class ScanQueue:
             )
         )
 
+    # -- draining ----------------------------------------------------------
+
     def pop_ready(self, now: float, limit: Optional[int] = None) -> List[ScanCandidate]:
-        """Dequeue candidates whose ``not_before`` has passed."""
+        """Dequeue due candidates in global (not_before, priority, arrival)
+        order — a k-way merge over the shard heaps, identical to the
+        single-heap order for any shard count."""
+        self._prune(now)
         ready: List[ScanCandidate] = []
-        while self._heap and self._heap[0][0] <= now:
+        heaps = self._heaps
+        if self.shards == 1:
+            heap = heaps[0]
+            while heap and heap[0][0] <= now:
+                if limit is not None and len(ready) >= limit:
+                    break
+                ready.append(heapq.heappop(heap)[3])
+            return ready
+        while True:
             if limit is not None and len(ready) >= limit:
                 break
-            _, _, _, candidate = heapq.heappop(self._heap)
-            ready.append(candidate)
+            best: Optional[int] = None
+            for shard, heap in enumerate(heaps):
+                if heap and heap[0][0] <= now:
+                    if best is None or heap[0][:3] < heaps[best][0][:3]:
+                        best = shard
+            if best is None:
+                break
+            ready.append(heapq.heappop(heaps[best])[3])
         return ready
 
+    def pop_ready_shard(
+        self, shard: int, now: float, limit: Optional[int] = None
+    ) -> List[ScanCandidate]:
+        """Dequeue due candidates from one shard only (independent drain)."""
+        self._prune_shard(shard, now)
+        ready: List[ScanCandidate] = []
+        heap = self._heaps[shard]
+        while heap and heap[0][0] <= now:
+            if limit is not None and len(ready) >= limit:
+                break
+            ready.append(heapq.heappop(heap)[3])
+        return ready
+
+    # -- dedup-state bounding ----------------------------------------------
+
+    def _prune(self, now: float) -> None:
+        for shard in range(self.shards):
+            self._prune_shard(shard, now)
+
+    def _prune_shard(self, shard: int, now: float) -> None:
+        """Drop cooldown entries that can no longer suppress anything."""
+        window = self.dedup_window
+        last_map = self._last_enqueued[shard]
+        expired = [binding for binding, t in last_map.items() if now - t >= window]
+        for binding in expired:
+            del last_map[binding]
+        self.pruned += len(expired)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def dedup_map_size(self) -> int:
+        return sum(len(m) for m in self._last_enqueued)
+
+    def backlog_per_shard(self) -> List[int]:
+        return [len(heap) for heap in self._heaps]
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue accounting for the platform's traffic report."""
+        return {
+            "enqueued": self.enqueued,
+            "deduplicated": self.deduplicated,
+            "pruned": self.pruned,
+            "backlog": len(self),
+            "dedup_map_size": self.dedup_map_size,
+            "backlog_per_shard": self.backlog_per_shard(),
+        }
+
     def __len__(self) -> int:
-        return len(self._heap)
+        return sum(len(heap) for heap in self._heaps)

@@ -7,6 +7,7 @@ from repro.search.flatten import (
     flatten_webproperty_view,
 )
 from repro.search.index import SearchIndex
+from repro.search.sharded import ShardedSearchIndex
 from repro.search.query import (
     Bool,
     Compare,
@@ -22,6 +23,7 @@ from repro.search.query import (
 
 __all__ = [
     "SearchIndex",
+    "ShardedSearchIndex",
     "SnapshotStore",
     "parse_query",
     "render_query",

@@ -1,0 +1,111 @@
+"""Keyspace-sharded search serving (the Elasticsearch shard layer).
+
+:class:`ShardedSearchIndex` routes each document to one of N
+:class:`~repro.search.index.SearchIndex` shards by the journal's
+:class:`~repro.pipeline.sharding.ShardMap` and merges query results with a
+stable order:
+
+* ``search`` — per-shard hit lists are already sorted by doc id, so a
+  k-way sorted merge yields exactly the global sorted order the unsharded
+  index produces (a document lives in exactly one shard: no dedup pass);
+* ``aggregate`` — per-shard value counts sum, then re-sort by
+  (-count, value) — the unsharded tie-break;
+* ``doc_ids`` — global *put order* via an insertion-ordered routing dict,
+  mirroring the unsharded index's dict semantics (re-putting a live doc
+  keeps its slot only if the single index would; SearchIndex.put
+  delete-then-inserts, moving the doc to the end, so the router does too).
+
+With ``shards=1`` every operation delegates straight to the one
+underlying index, making results and iteration order bit-identical to the
+unsharded seed behaviour — the property the shard-invariance suite pins.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.pipeline.sharding import ShardMap
+from repro.search.index import SearchIndex
+
+__all__ = ["ShardedSearchIndex"]
+
+
+class ShardedSearchIndex:
+    """N search-index shards behind the single-index interface."""
+
+    def __init__(
+        self,
+        shard_map: Optional[ShardMap] = None,
+        accelerated: bool = True,
+    ) -> None:
+        self.shard_map = shard_map or ShardMap(1)
+        self.indexes = [SearchIndex(accelerated=accelerated) for _ in range(self.shard_map.shards)]
+        #: doc id -> shard, maintained in unsharded-equivalent put order.
+        self._doc_shard: Dict[str, int] = {}
+        self.queries_run = 0
+
+    @property
+    def shards(self) -> int:
+        return self.shard_map.shards
+
+    def index_for(self, doc_id: str) -> SearchIndex:
+        return self.indexes[self.shard_map.shard_of(doc_id)]
+
+    # -- document management ----------------------------------------------
+
+    def put(self, doc_id: str, doc: Dict[str, List[Any]]) -> None:
+        shard = self.shard_map.shard_of(doc_id)
+        self.indexes[shard].put(doc_id, doc)
+        # Replacement moves the doc to the end of iteration order, exactly
+        # like the single index's delete-then-insert.
+        self._doc_shard.pop(doc_id, None)
+        self._doc_shard[doc_id] = shard
+
+    def delete(self, doc_id: str) -> bool:
+        shard = self._doc_shard.pop(doc_id, None)
+        if shard is None:
+            return False
+        return self.indexes[shard].delete(doc_id)
+
+    def get(self, doc_id: str) -> Optional[Dict[str, List[Any]]]:
+        shard = self._doc_shard.get(doc_id)
+        if shard is None:
+            return None
+        return self.indexes[shard].get(doc_id)
+
+    def doc_ids(self) -> Iterable[str]:
+        return self._doc_shard.keys()
+
+    def __len__(self) -> int:
+        return len(self._doc_shard)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_shard
+
+    def docs_per_shard(self) -> List[int]:
+        return [len(index) for index in self.indexes]
+
+    # -- querying ----------------------------------------------------------
+
+    def search(self, query: str, limit: Optional[int] = None) -> List[str]:
+        """Scatter-gather with a k-way sorted merge of per-shard hits."""
+        self.queries_run += 1
+        if len(self.indexes) == 1:
+            return self.indexes[0].search(query, limit=limit)
+        per_shard = [index.search(query) for index in self.indexes]
+        hits = list(heapq.merge(*per_shard))
+        return hits[:limit] if limit is not None else hits
+
+    def count(self, query: str) -> int:
+        return len(self.search(query))
+
+    def aggregate(self, query: str, field: str) -> Dict[Any, int]:
+        """Merged value counts with the unsharded (-count, value) order."""
+        if len(self.indexes) == 1:
+            return self.indexes[0].aggregate(query, field)
+        counts: Dict[Any, int] = {}
+        for index in self.indexes:
+            for value, count in index.aggregate(query, field).items():
+                counts[value] = counts.get(value, 0) + count
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))

@@ -362,3 +362,60 @@ class TestEventBus:
         assert bus.backlog == 1  # the re-entrant message waits for the next pump
         bus.pump()
         assert seen == ["first", "second"]
+
+
+class TestReadSideSurface:
+    def test_exists_tracks_journal_membership(self, pipeline):
+        journal, write, read = pipeline
+        assert not read.exists("host:1.0.0.1")
+        write.process(obs(t=1.0))
+        assert read.exists("host:1.0.0.1")
+        assert not read.exists("host:9.9.9.9")
+
+    def test_history_returns_full_event_stream(self, pipeline):
+        journal, write, read = pipeline
+        write.process(obs(t=1.0))
+        write.process(obs(t=2.0, result=ok_result(record={"http.status": 500})))
+        write.process(obs(t=3.0, result=fail_result()))
+        history = read.history("host:1.0.0.1")
+        assert [h["kind"] for h in history] == [
+            EventKind.SERVICE_FOUND,
+            EventKind.SERVICE_CHANGED,
+            EventKind.SERVICE_PENDING_REMOVAL,
+        ]
+        assert [h["time"] for h in history] == [1.0, 2.0, 3.0]
+        assert history[0]["seq"] < history[1]["seq"] < history[2]["seq"]
+        assert history[0]["payload"]["key"] == service_key(80, "tcp")
+        assert read.history("host:9.9.9.9") == []
+
+    def test_history_payloads_are_copies(self, pipeline):
+        journal, write, read = pipeline
+        write.process(obs(t=1.0))
+        read.history("host:1.0.0.1")[0]["payload"]["key"] = "tampered"
+        assert read.history("host:1.0.0.1")[0]["payload"]["key"] == service_key(80, "tcp")
+
+    def test_enrichers_run_in_registration_order(self, pipeline):
+        journal, write, read = pipeline
+        write.process(obs(t=1.0))
+
+        def first(view):
+            view["derived"]["order"] = ["first"]
+            view["derived"]["base_value"] = 41
+
+        def second(view):
+            # Later enrichers see (and build on) earlier derived keys.
+            view["derived"]["order"].append("second")
+            view["derived"]["refined"] = view["derived"]["base_value"] + 1
+
+        read.add_enricher(first)
+        read.add_enricher(second)
+        view = read.lookup("host:1.0.0.1")
+        assert view["derived"]["order"] == ["first", "second"]
+        assert view["derived"]["refined"] == 42
+
+    def test_enrichment_skipped_when_disabled(self, pipeline):
+        journal, write, read = pipeline
+        write.process(obs(t=1.0))
+        read.add_enricher(lambda view: view["derived"].__setitem__("marked", True))
+        assert read.lookup("host:1.0.0.1", enrich=False)["derived"] == {}
+        assert read.lookup("host:1.0.0.1")["derived"]["marked"] is True
