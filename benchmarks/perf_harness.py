@@ -1,19 +1,32 @@
-"""Perf-regression harness: timed microbenchmarks of the vectorized hot paths.
+"""Perf-regression harness: micro hot paths plus the macro serving workload.
 
-Runs each hot path and its retained scalar reference for N rounds and
-writes ``benchmarks/results/BENCH_micro.json`` with per-path median/p90
-latencies, the population sizes exercised, the git commit, and the
-vectorized-over-reference speedups.  The equality of the two paths is
+Two suites, selected with ``--suite``:
+
+* ``micro`` (default) — each vectorized hot path and its retained scalar
+  reference for N rounds → ``benchmarks/results/BENCH_micro.json`` with
+  per-path median/p90 latencies, population sizes, the git commit, and
+  the vectorized-over-reference speedups.
+* ``serving`` — a seeded Zipfian mixed workload (repeated lookups,
+  repeated searches, aggregates, and a segment interleaved with live
+  ingest ticks) against two identically-built platforms, one with the
+  versioned read-path caches and one with ``read_cache=False`` →
+  ``benchmarks/results/BENCH_serving.json`` with per-segment p50/p95
+  latency proxies, ops/s, cache hit rates, and cached-over-uncached
+  speedups.
+
+The equality of every cached/uncached and vectorized/reference pair is
 asserted separately by ``benchmarks/test_perf_regression.py``; this
 harness only measures.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py [--rounds N]
+    PYTHONPATH=src python benchmarks/perf_harness.py --suite serving [--ops-scale S]
 
-The default configuration matches ``test_microbenchmarks.py`` (bits=14,
-seed 71, 1500 services, a full-port probe space, one-day segments), so
-numbers are comparable across commits.
+Pass ``--out`` (CI smoke) to write somewhere other than the committed
+``benchmarks/results/`` artifacts.  The micro configuration matches
+``test_microbenchmarks.py`` (bits=14, seed 71, 1500 services, a full-port
+probe space, one-day segments), so numbers are comparable across commits.
 """
 
 from __future__ import annotations
@@ -152,15 +165,181 @@ def bench_search(rounds: int) -> dict:
     return out
 
 
+# -- the macro serving benchmark -------------------------------------------
+
+#: The interactive query pool the Zipfian search segments draw from.
+SERVING_QUERIES = [
+    "services.service_name: HTTP",
+    "services.service_name: SSH",
+    "services.port: [1 to 1024]",
+    "services.port < 1000 and location.country: US",
+    "services.service_name: MODBUS or services.service_name: DNP3",
+    "not services.service_name: HTTP",
+    "location.country: DE",
+    "services.port: 443",
+]
+
+SERVING_AGG_FIELDS = ["services.service_name", "location.country", "services.port"]
+
+
+def _zipf_weights(n: int, s: float = 1.1) -> list:
+    return [1.0 / (rank + 1) ** s for rank in range(n)]
+
+
+def _latency_stats(samples: list) -> dict:
+    ordered = sorted(samples)
+    total = sum(ordered)
+    return {
+        "ops": len(ordered),
+        "p50_us": round(statistics.median(ordered) * 1e6, 3),
+        "p95_us": round(ordered[int(0.95 * (len(ordered) - 1))] * 1e6, 3),
+        "ops_per_s": round(len(ordered) / total, 1) if total > 0 else float("inf"),
+    }
+
+
+def bench_serving(ops_scale: float = 1.0, seed: int = 11) -> dict:
+    """Zipfian mixed serving workload: cached platform vs read_cache=False.
+
+    Both platforms are built from the same world and warmed identically;
+    every segment replays the exact same seeded operation schedule against
+    each, so the latency ratio isolates the read-path caches (their
+    bit-identical answers are asserted in test_perf_regression.py).
+    """
+    from repro.core import CensysPlatform, PlatformConfig
+
+    def build(read_cache: bool) -> CensysPlatform:
+        net = build_simnet(
+            bits=12,
+            workload_config=WorkloadConfig(
+                seed=seed, services_target=250, t_start=-8 * DAY, t_end=8 * DAY
+            ),
+            seed=seed,
+        )
+        plat = CensysPlatform(
+            net,
+            PlatformConfig(predictive_daily_budget=300, seed=seed, shards=4,
+                           read_cache=read_cache),
+            start_time=-6 * DAY,
+        )
+        plat.run_until(0.0, tick_hours=6.0)
+        return plat
+
+    cached, uncached = build(True), build(False)
+    hosts = [i.ip_index for i in cached.internet.services_alive_at(0.0)][:120]
+    host_weights = _zipf_weights(len(hosts))
+    query_weights = _zipf_weights(len(SERVING_QUERIES))
+
+    def scaled(n: int) -> int:
+        return max(20, int(n * ops_scale))
+
+    def run_segment(make_schedule) -> dict:
+        out = {}
+        for label, plat in (("cached", cached), ("uncached", uncached)):
+            rng = random.Random(seed + 1)  # identical schedule per platform
+            samples = []
+            for op in make_schedule(plat, rng):
+                t0 = time.perf_counter()
+                op()
+                samples.append(time.perf_counter() - t0)
+            out[label] = _latency_stats(samples)
+        out["speedup_p50"] = round(out["uncached"]["p50_us"] / out["cached"]["p50_us"], 2)
+        return out
+
+    def lookup_schedule(plat, rng):
+        picks = rng.choices(range(len(hosts)), weights=host_weights, k=scaled(1500))
+        ats = [rng.choice([None, None, None, -2 * DAY, -4 * DAY]) for _ in picks]
+        return [
+            (lambda h=hosts[i], at=at: plat.lookup_host(h, at=at))
+            for i, at in zip(picks, ats)
+        ]
+
+    def search_schedule(plat, rng):
+        picks = rng.choices(range(len(SERVING_QUERIES)), weights=query_weights, k=scaled(1000))
+        return [(lambda q=SERVING_QUERIES[i]: plat.search(q, limit=10)) for i in picks]
+
+    def aggregate_schedule(plat, rng):
+        picks = rng.choices(range(len(SERVING_QUERIES)), weights=query_weights, k=scaled(300))
+        fields = rng.choices(SERVING_AGG_FIELDS, k=len(picks))
+        return [
+            (lambda q=SERVING_QUERIES[i], f=f: plat.index.aggregate(q, f))
+            for i, f in zip(picks, fields)
+        ]
+
+    def mixed_schedule(plat, rng):
+        # Lookups and searches interleaved with live ingest pumps: every
+        # 40th op ticks the platform (scans + journal writes + reindex),
+        # invalidating the entities and shards those writes touch.
+        ops = []
+        for n in range(scaled(800)):
+            if n % 40 == 39:
+                ops.append(lambda p=plat: p.tick(0.25))
+            elif rng.random() < 0.6:
+                i = rng.choices(range(len(hosts)), weights=host_weights, k=1)[0]
+                ops.append(lambda p=plat, h=hosts[i]: p.lookup_host(h))
+            else:
+                i = rng.choices(range(len(SERVING_QUERIES)), weights=query_weights, k=1)[0]
+                ops.append(lambda p=plat, q=SERVING_QUERIES[i]: p.search(q, limit=10))
+        return ops
+
+    segments = {
+        "repeated_lookup": run_segment(lookup_schedule),
+        "repeated_search": run_segment(search_schedule),
+        "aggregate": run_segment(aggregate_schedule),
+        "mixed_with_ingest": run_segment(mixed_schedule),
+    }
+    return {
+        "config": {
+            "bits": 12, "seed": seed, "services_target": 250, "shards": 4,
+            "warmup_days": 6, "hosts": len(hosts), "queries": len(SERVING_QUERIES),
+            "zipf_s": 1.1, "ops_scale": ops_scale,
+        },
+        "segments": segments,
+        "cache": cached.traffic_report()["read_cache"],
+    }
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except OSError:
+        return ""
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--rounds", type=int, default=30, help="timing samples per path")
+    parser.add_argument("--suite", choices=["micro", "serving"], default="micro")
+    parser.add_argument("--rounds", type=int, default=30, help="micro: timing samples per path")
+    parser.add_argument(
+        "--ops-scale", type=float, default=1.0,
+        help="serving: scale factor on per-segment op counts (CI smoke uses < 1)",
+    )
     parser.add_argument(
         "--out", type=Path, default=None,
-        help="output JSON path (default: benchmarks/results/BENCH_micro.json); "
-        "smoke runs point this elsewhere to leave the committed results alone",
+        help="output JSON path (default: the committed benchmarks/results/ artifact "
+        "for the suite); smoke runs point this elsewhere to leave committed results alone",
     )
     args = parser.parse_args()
+
+    if args.suite == "serving":
+        serving = bench_serving(ops_scale=args.ops_scale)
+        payload = {
+            "commit": _git_commit(),
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            **serving,
+        }
+        out_path = args.out
+        if out_path is None:
+            RESULTS.mkdir(exist_ok=True)
+            out_path = RESULTS / "BENCH_serving.json"
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(json.dumps(
+            {name: seg["speedup_p50"] for name, seg in payload["segments"].items()}, indent=2
+        ))
+        print(f"wrote {out_path}")
+        return
 
     results = {"segment": bench_segment_query(args.rounds), "search": bench_search(args.rounds)}
 
@@ -175,16 +354,8 @@ def main() -> None:
         if ref is not None and not name.endswith("_reference"):
             speedups[name] = round(ref["median_ms"] / stats["median_ms"], 2)
 
-    try:
-        commit = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True, text=True, cwd=Path(__file__).resolve().parent,
-        ).stdout.strip()
-    except OSError:
-        commit = ""
-
     payload = {
-        "commit": commit,
+        "commit": _git_commit(),
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "config": {"bits": 14, "seed": 71, "services_target": 1500, "rounds": args.rounds},
         "populations": populations,

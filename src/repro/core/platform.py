@@ -43,6 +43,7 @@ from repro.enrich import GeoIpRegistry, WhoisRegistry, standard_enrichers
 from repro.pipeline import (
     EventBus,
     ReadSide,
+    ReconstructionCache,
     ShardMap,
     ShardedJournal,
     WriteSideProcessor,
@@ -94,6 +95,12 @@ class PlatformConfig:
     shard_drain: str = "merged"
     #: Directory for per-shard write-ahead logs (None = in-memory journal).
     wal_dir: Optional[str] = None
+    #: Versioned read-path caches (reconstruction, view, query-result).
+    #: False = the bit-identical uncached reference configuration.
+    read_cache: bool = True
+    reconstruction_cache_entries: int = 4096
+    view_cache_entries: int = 4096
+    query_cache_entries: int = 256
 
 
 class CensysPlatform:
@@ -128,10 +135,21 @@ class CensysPlatform:
         )
         self.geoip = GeoIpRegistry(internet.topology)
         self.whois = WhoisRegistry(internet.topology)
-        self.read_side = ReadSide(
-            self.journal, standard_enrichers(internet.space, self.geoip, self.whois)
+        self.reconstruction_cache = (
+            ReconstructionCache(self.journal, cfg.reconstruction_cache_entries)
+            if cfg.read_cache
+            else None
         )
-        self.index = ShardedSearchIndex(self.shard_map)
+        self.read_side = ReadSide(
+            self.journal,
+            standard_enrichers(internet.space, self.geoip, self.whois),
+            cache=self.reconstruction_cache,
+            view_cache_entries=cfg.view_cache_entries if cfg.read_cache else 0,
+        )
+        self.index = ShardedSearchIndex(
+            self.shard_map,
+            query_cache_entries=cfg.query_cache_entries if cfg.read_cache else 0,
+        )
 
         # -- shared scanning components ------------------------------------
         tiers = [
@@ -187,7 +205,10 @@ class CensysPlatform:
             scanner_id=sid, l7_capacity_per_hour=cfg.l7_capacity_per_hour,
             shard_drain=cfg.shard_drain,
         )
-        self.serving = ServingLayer(internet, self.journal, self.read_side, self.index)
+        self.serving = ServingLayer(
+            internet, self.journal, self.read_side, self.index,
+            reconstruction_cache=self.reconstruction_cache,
+        )
         self.stages = [
             self.discovery, self.interrogation, self.ingest, self.derivation, self.serving
         ]
@@ -342,5 +363,12 @@ class CensysPlatform:
                 "events_per_shard": self.journal.events_per_shard(),
                 "entities_per_shard": self.journal.entities_per_shard(),
                 "documents_per_shard": self.index.docs_per_shard(),
+                "journal_versions_per_shard": self.journal.shard_versions(),
+                "index_generations_per_shard": list(self.index.generations()),
+            },
+            "read_cache": {
+                "enabled": self.config.read_cache,
+                **self.read_side.cache_report(),
+                "query": self.index.cache_report(),
             },
         }

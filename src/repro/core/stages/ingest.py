@@ -64,7 +64,15 @@ class IngestStage:
     # -- retention ------------------------------------------------------------
 
     def evict_due(self, now: float, scheduler: RefreshScheduler, predictive: PredictiveEngine) -> int:
-        """Remove services staged past the eviction window (daily work)."""
+        """Remove services staged past the eviction window (daily work).
+
+        Cache coherence: every successful eviction journals a
+        ``SERVICE_REMOVED`` event, which bumps the entity's (and owning
+        shard's) version counter — the read-path caches invalidate on the
+        next lookup with no extra hooks here.  A no-op removal (service
+        already gone) appends nothing and correctly leaves versions — and
+        therefore cached reconstructions — untouched.
+        """
         from repro.pipeline.events import service_key
 
         evicted = 0

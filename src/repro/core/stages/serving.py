@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Optional, Union
 from repro.certs import cert_entity_id
 from repro.core.stages.base import StageCounters
 from repro.net import ip_to_str
-from repro.pipeline import EventJournal, ReadSide, host_entity_id
+from repro.pipeline import EventJournal, ReadSide, ReconstructionCache, host_entity_id
 from repro.pipeline.sharding import ShardedJournal
 from repro.search import ShardedSearchIndex, SnapshotStore
 from repro.simnet import SimulatedInternet
@@ -34,12 +34,15 @@ class ServingLayer:
         read_side: ReadSide,
         index: ShardedSearchIndex,
         analytics: Optional[SnapshotStore] = None,
+        reconstruction_cache: Optional[ReconstructionCache] = None,
     ) -> None:
         self.internet = internet
         self.journal = journal
         self.read_side = read_side
         self.index = index
         self.analytics = analytics or SnapshotStore()
+        #: Versioned memo over journal.reconstruct; None = uncached reads.
+        self.reconstruction_cache = reconstruction_cache
         self.counters = StageCounters(
             lookups_served=0,
             searches_served=0,
@@ -67,7 +70,12 @@ class ServingLayer:
         """Typed certificate lookup by fingerprint."""
         from repro.entities import CertificateView
 
-        return CertificateView.from_state(self.journal.reconstruct(cert_entity_id(sha256)))
+        return CertificateView.from_state(self._reconstruct(cert_entity_id(sha256)))
+
+    def _reconstruct(self, entity_id: str) -> Dict[str, Any]:
+        if self.reconstruction_cache is not None:
+            return self.reconstruction_cache.reconstruct(entity_id)
+        return self.journal.reconstruct(entity_id)
 
     # -- interactive search ----------------------------------------------------
 
@@ -80,7 +88,7 @@ class ServingLayer:
     def snapshot_now(self, now: float) -> int:
         """Store the current map into the analytics snapshot store."""
         day = int(now // 24.0)
-        docs = [dict(self.index.get(doc_id)) for doc_id in self.index.doc_ids()]
+        docs = [dict(doc) for _doc_id, doc in self.index.items()]
         self.analytics.store(day, docs)
         self.counters.bump("snapshots_taken")
         return len(docs)
@@ -93,8 +101,8 @@ class ServingLayer:
         """
         count = 0
         with Path(path).open("w") as handle:
-            for doc_id in self.index.doc_ids():
-                handle.write(json.dumps({"entity_id": doc_id, **self.index.get(doc_id)},
+            for doc_id, doc in self.index.items():
+                handle.write(json.dumps({"entity_id": doc_id, **doc},
                                         default=str, sort_keys=True))
                 handle.write("\n")
                 count += 1

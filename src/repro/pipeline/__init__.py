@@ -6,6 +6,7 @@ fault injection (``faults``), retry/dead-letter policies (``reliability``),
 and an at-least-once delivery simulation (``delivery``).
 """
 
+from repro.pipeline.cache import CacheStats, ReconstructionCache, VersionedLRU
 from repro.pipeline.delivery import AtLeastOnceSource, FaultyChannel, Resequencer
 from repro.pipeline.events import Event, EventKind, service_key
 from repro.pipeline.faults import (
@@ -35,6 +36,9 @@ __all__ = [
     "service_key",
     "EventJournal",
     "JournalStats",
+    "CacheStats",
+    "ReconstructionCache",
+    "VersionedLRU",
     "ShardMap",
     "ShardedJournal",
     "EventBus",

@@ -1,0 +1,157 @@
+"""Versioned read-path caches: serving cost tracks change rate, not history.
+
+The journal's read path used to redo O(history) work per request:
+``reconstruct`` replayed snapshot + deltas on every lookup even when the
+entity had not changed since the previous request.  This module adds the
+memoization layer between the journal and the serving surfaces:
+
+* :class:`VersionedLRU` — a bounded LRU whose entries carry the *version*
+  of the data they were computed from.  A lookup presents the current
+  version; a stored entry with a stale version counts as an invalidation
+  and is discarded, so correctness never depends on eager invalidation
+  hooks — writers only have to bump a counter.
+* :class:`ReconstructionCache` — memoizes
+  ``journal.reconstruct(entity_id, at)`` keyed on the entity's monotonic
+  version (``EventJournal.entity_version``, bumped by every append,
+  including the eviction path's ``SERVICE_REMOVED`` appends).
+
+Cached payloads are stored *pickled* and deserialized per hit: every
+caller receives a fresh object graph, exactly as if ``reconstruct`` had
+run — callers may mutate results freely and can never poison the cache.
+``pickle`` (not JSON) keeps tuples, floats, and nesting bit-identical,
+which is what the perf-regression equality gates assert.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "VersionedLRU", "ReconstructionCache", "MISS"]
+
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+MISS: Any = object()
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss accounting surfaced through ``traffic_report()``."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class VersionedLRU:
+    """Bounded LRU whose entries are valid only at the version they stored.
+
+    ``version`` may be any equality-comparable value — an entity's event
+    count, or a tuple of per-shard index generations.  Entries whose
+    stored version differs from the presented one are dropped lazily (and
+    counted as invalidations); capacity overflow evicts least-recently
+    used entries.  ``max_entries=0`` disables the cache entirely (every
+    ``get`` is a miss, ``put`` is a no-op) — the cache-off reference
+    configuration.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, Tuple[Any, Any]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, version: Any) -> Any:
+        """The value stored for ``key`` at ``version``, or :data:`MISS`."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return MISS
+        stored_version, value = entry
+        if stored_version != version:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return MISS
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, version: Any, value: Any) -> None:
+        if self.max_entries == 0:
+            return
+        self._entries[key] = (version, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def report(self) -> Dict[str, Any]:
+        return {**self.stats.as_dict(), "entries": len(self._entries)}
+
+
+class ReconstructionCache:
+    """Memoized ``reconstruct`` over a (possibly sharded) event journal.
+
+    Keys are ``(entity_id, at)``; validity is the entity's version counter
+    at store time.  Any append to the entity — service found/changed,
+    eviction, certificate update — bumps the version, so the next read
+    recomputes and everything else keeps hitting.  Misses return the
+    journal's own freshly-built state (and store a pickled snapshot of it
+    taken *before* the caller can touch it); hits return ``pickle.loads``
+    of that snapshot — a fresh, mutation-safe copy either way.
+    """
+
+    def __init__(self, journal: Any, max_entries: int = 4096) -> None:
+        self.journal = journal
+        self._lru = VersionedLRU(max_entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def reconstruct(self, entity_id: str, at: Optional[float] = None) -> Dict[str, Any]:
+        version = self.journal.entity_version(entity_id)
+        blob = self._lru.get((entity_id, at), version)
+        if blob is not MISS:
+            return pickle.loads(blob)
+        state = self.journal.reconstruct(entity_id, at=at)
+        self._lru.put((entity_id, at), version, pickle.dumps(state, pickle.HIGHEST_PROTOCOL))
+        return state
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def report(self) -> Dict[str, Any]:
+        return self._lru.report()

@@ -82,6 +82,11 @@ class EventJournal:
         self.snapshot_every = snapshot_every
         self._logs: Dict[str, _EntityLog] = {}
         self.stats = JournalStats()
+        #: Monotonic per-journal (= per-shard) write counter.  Bumped by
+        #: every append — including eviction SERVICE_REMOVED events and
+        #: recovery replay — so read-path caches can validate entries
+        #: against "has this shard changed at all?".
+        self.version = 0
         self.wal = wal
         #: Consulted at commit time for simulated crash points (chaos tests).
         self.fault_injector = fault_injector
@@ -122,6 +127,7 @@ class EventJournal:
         """In-memory bookkeeping shared by live appends and WAL replay."""
         log.events.append(event)
         log.next_seq += 1
+        self.version += 1
         if log.current is None:
             log.current = new_entity_state(event.entity_id)
         apply_event(log.current, event)
@@ -359,6 +365,17 @@ class EventJournal:
         return entity_id in self._logs
 
     def event_count(self, entity_id: str) -> int:
+        log = self._logs.get(entity_id)
+        return log.next_seq if log else 0
+
+    def entity_version(self, entity_id: str) -> int:
+        """Monotonic per-entity version: bumps on every append (including
+        evictions), never otherwise — the read-path cache validity key.
+
+        Identical to :meth:`event_count` today, but named for its contract:
+        two calls returning the same version guarantee the entity's
+        reconstructed state is unchanged.
+        """
         log = self._logs.get(entity_id)
         return log.next_seq if log else 0
 

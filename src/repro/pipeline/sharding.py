@@ -213,6 +213,10 @@ class ShardedJournal:
     def event_count(self, entity_id: str) -> int:
         return self.journal_for(entity_id).event_count(entity_id)
 
+    def entity_version(self, entity_id: str) -> int:
+        """Per-entity version counter (routes to the owning shard)."""
+        return self.journal_for(entity_id).entity_version(entity_id)
+
     def __len__(self) -> int:
         return len(self._entity_shard)
 
@@ -224,6 +228,15 @@ class ShardedJournal:
         if len(self.journals) == 1:
             return self.journals[0].stats
         return _merge_stats([j.stats for j in self.journals])
+
+    @property
+    def version(self) -> int:
+        """Whole-map monotonic version (sum of per-shard counters)."""
+        return sum(journal.version for journal in self.journals)
+
+    def shard_versions(self) -> List[int]:
+        """Per-shard monotonic write counters (append/evict bumps one)."""
+        return [journal.version for journal in self.journals]
 
     def events_per_shard(self) -> List[int]:
         return [journal.stats.events for journal in self.journals]

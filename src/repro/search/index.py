@@ -61,6 +61,10 @@ class SearchIndex:
         #: built lazily, dropped whenever a doc carrying the field changes.
         self._numeric_columns: Dict[str, Tuple[np.ndarray, List[str]]] = {}
         self.queries_run = 0
+        #: Monotonic mutation counter: bumped by every put and every
+        #: successful delete.  Query-result caches key on it — two reads at
+        #: the same generation are guaranteed to see identical results.
+        self.generation = 0
 
     # -- document management ------------------------------------------------
 
@@ -77,6 +81,7 @@ class SearchIndex:
         for token in full_text:
             postings.setdefault(("", token), set()).add(doc_id)
         self._invalidate_columns(doc)
+        self.generation += 1
 
     def delete(self, doc_id: str) -> bool:
         doc = self._docs.pop(doc_id, None)
@@ -89,6 +94,7 @@ class SearchIndex:
         for token in full_text:
             self._discard_posting(("", token), doc_id)
         self._invalidate_columns(doc)
+        self.generation += 1
         return True
 
     def _discard_posting(self, key: tuple, doc_id: str) -> None:
@@ -114,6 +120,10 @@ class SearchIndex:
     def doc_ids(self) -> Iterable[str]:
         return self._docs.keys()
 
+    def items(self) -> Iterable[Tuple[str, Dict[str, List[Any]]]]:
+        """(doc_id, doc) pairs in put order — the bulk-export path."""
+        return self._docs.items()
+
     # -- querying ---------------------------------------------------------------
 
     def search(self, query: str, limit: Optional[int] = None) -> List[str]:
@@ -131,7 +141,20 @@ class SearchIndex:
         return hits[:limit] if limit is not None else hits
 
     def count(self, query: str) -> int:
-        return len(self.search(query))
+        """Matching-document count without materializing a sorted hit list.
+
+        Exact candidate sets are counted directly; inexact ones are
+        verified per document but never sorted or sliced.  Always equal to
+        ``len(self.search(query))``.
+        """
+        self.queries_run += 1
+        node = parse_query(query)
+        candidates, exact = self._candidates(node)
+        if candidates is None:
+            return sum(1 for doc in self._docs.values() if matches(node, doc))
+        if exact:
+            return len(candidates)
+        return sum(1 for doc_id in candidates if matches(node, self._docs[doc_id]))
 
     def aggregate(self, query: str, field: str) -> Dict[Any, int]:
         """Value counts of ``field`` across matching documents."""

@@ -7,13 +7,25 @@ stable order:
 
 * ``search`` — per-shard hit lists are already sorted by doc id, so a
   k-way sorted merge yields exactly the global sorted order the unsharded
-  index produces (a document lives in exactly one shard: no dedup pass);
+  index produces (a document lives in exactly one shard: no dedup pass).
+  ``limit`` is *pushed down*: each shard returns at most ``limit`` hits
+  (its smallest ids — a superset of any global prefix) and the merge stops
+  after ``limit`` elements instead of materializing every hit;
+* ``count`` — per-shard candidate counts sum; no hit list is built;
 * ``aggregate`` — per-shard value counts sum, then re-sort by
   (-count, value) — the unsharded tie-break;
-* ``doc_ids`` — global *put order* via an insertion-ordered routing dict,
-  mirroring the unsharded index's dict semantics (re-putting a live doc
-  keeps its slot only if the single index would; SearchIndex.put
+* ``doc_ids`` / ``items`` — global *put order* via an insertion-ordered
+  routing dict, mirroring the unsharded index's dict semantics (re-putting
+  a live doc keeps its slot only if the single index would; SearchIndex.put
   delete-then-inserts, moving the doc to the end, so the router does too).
+
+Repeated interactive queries are served from a bounded
+:class:`~repro.pipeline.cache.VersionedLRU` keyed on
+``(op, query, limit)`` and validated against the tuple of per-shard
+*generations* — ``put``/``delete`` bump only the owning shard's counter,
+so a write to one shard invalidates exactly the cached results that could
+see it, lazily, with no invalidation hooks.  ``query_cache_entries=0``
+disables the cache (the bit-identical reference configuration).
 
 With ``shards=1`` every operation delegates straight to the one
 underlying index, making results and iteration order bit-identical to the
@@ -23,8 +35,10 @@ unsharded seed behaviour — the property the shard-invariance suite pins.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, Iterable, List, Optional
+from itertools import islice
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.pipeline.cache import MISS, VersionedLRU
 from repro.pipeline.sharding import ShardMap
 from repro.search.index import SearchIndex
 
@@ -38,12 +52,14 @@ class ShardedSearchIndex:
         self,
         shard_map: Optional[ShardMap] = None,
         accelerated: bool = True,
+        query_cache_entries: int = 256,
     ) -> None:
         self.shard_map = shard_map or ShardMap(1)
         self.indexes = [SearchIndex(accelerated=accelerated) for _ in range(self.shard_map.shards)]
         #: doc id -> shard, maintained in unsharded-equivalent put order.
         self._doc_shard: Dict[str, int] = {}
         self.queries_run = 0
+        self._query_cache = VersionedLRU(query_cache_entries)
 
     @property
     def shards(self) -> int:
@@ -77,6 +93,20 @@ class ShardedSearchIndex:
     def doc_ids(self) -> Iterable[str]:
         return self._doc_shard.keys()
 
+    def items(self) -> Iterator[Tuple[str, Dict[str, List[Any]]]]:
+        """(doc_id, doc) pairs in global put order, one dict hop per doc.
+
+        The bulk-export path: ``export_snapshot`` and ``snapshot_now``
+        stream this instead of calling ``get`` (router + shard lookup)
+        per id.
+        """
+        if len(self.indexes) == 1:
+            yield from self.indexes[0].items()
+            return
+        indexes = self.indexes
+        for doc_id, shard in self._doc_shard.items():
+            yield doc_id, indexes[shard].get(doc_id)
+
     def __len__(self) -> int:
         return len(self._doc_shard)
 
@@ -86,26 +116,65 @@ class ShardedSearchIndex:
     def docs_per_shard(self) -> List[int]:
         return [len(index) for index in self.indexes]
 
+    def generations(self) -> Tuple[int, ...]:
+        """Per-shard mutation counters — the query-cache validity key."""
+        return tuple(index.generation for index in self.indexes)
+
     # -- querying ----------------------------------------------------------
 
     def search(self, query: str, limit: Optional[int] = None) -> List[str]:
-        """Scatter-gather with a k-way sorted merge of per-shard hits."""
+        """Scatter-gather with limit pushdown and a k-way sorted merge."""
         self.queries_run += 1
+        cached = self._cache_get(("search", query, limit))
+        if cached is not MISS:
+            return list(cached)
         if len(self.indexes) == 1:
-            return self.indexes[0].search(query, limit=limit)
-        per_shard = [index.search(query) for index in self.indexes]
-        hits = list(heapq.merge(*per_shard))
-        return hits[:limit] if limit is not None else hits
+            hits = self.indexes[0].search(query, limit=limit)
+        else:
+            # Each shard's list is sorted ascending, so its first `limit`
+            # ids form a superset of that shard's contribution to the
+            # global first `limit`; the merge stops at `limit` elements.
+            per_shard = [index.search(query, limit=limit) for index in self.indexes]
+            merged = heapq.merge(*per_shard)
+            hits = list(islice(merged, limit) if limit is not None else merged)
+        self._cache_put(("search", query, limit), hits)
+        return list(hits)
 
     def count(self, query: str) -> int:
-        return len(self.search(query))
+        """Matching-document count: per-shard counts sum, no hit lists."""
+        self.queries_run += 1
+        cached = self._cache_get(("count", query, None))
+        if cached is not MISS:
+            return cached
+        total = sum(index.count(query) for index in self.indexes)
+        self._cache_put(("count", query, None), total)
+        return total
 
     def aggregate(self, query: str, field: str) -> Dict[Any, int]:
         """Merged value counts with the unsharded (-count, value) order."""
+        cached = self._cache_get(("aggregate", query, field))
+        if cached is not MISS:
+            return dict(cached)
         if len(self.indexes) == 1:
-            return self.indexes[0].aggregate(query, field)
-        counts: Dict[Any, int] = {}
-        for index in self.indexes:
-            for value, count in index.aggregate(query, field).items():
-                counts[value] = counts.get(value, 0) + count
-        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
+            counts = self.indexes[0].aggregate(query, field)
+        else:
+            counts = {}
+            for index in self.indexes:
+                for value, count in index.aggregate(query, field).items():
+                    counts[value] = counts.get(value, 0) + count
+            counts = dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
+        self._cache_put(("aggregate", query, field), counts)
+        return dict(counts)
+
+    # -- the query-result cache --------------------------------------------
+
+    def _cache_get(self, key: Tuple[Any, ...]) -> Any:
+        if not self._query_cache.enabled:
+            return MISS
+        return self._query_cache.get(key, self.generations())
+
+    def _cache_put(self, key: Tuple[Any, ...], value: Any) -> None:
+        self._query_cache.put(key, self.generations(), value)
+
+    def cache_report(self) -> Dict[str, Any]:
+        return self._query_cache.report()

@@ -1,0 +1,287 @@
+"""Versioned read-path caches: unit behaviour and invalidation properties.
+
+Three layers under test:
+
+* :class:`~repro.pipeline.cache.VersionedLRU` /
+  :class:`~repro.pipeline.cache.ReconstructionCache` — hit/miss/
+  invalidation/eviction accounting, LRU bounds, mutation safety;
+* the version counters they key on — ``EventJournal.entity_version`` /
+  ``.version``, ``ShardedJournal.shard_versions``,
+  ``SearchIndex.generation``;
+* the property the whole PR rests on: a cached platform, driven through
+  an interleaving of writes, evictions, and lookups across shard counts
+  {1, 2, 4}, answers every read bit-identically to a cache-disabled
+  reference platform, event for event.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CensysPlatform, PlatformConfig
+from repro.pipeline import (
+    EventJournal,
+    EventKind,
+    ReconstructionCache,
+    ShardMap,
+    ShardedJournal,
+    VersionedLRU,
+)
+from repro.pipeline.cache import MISS
+from repro.pipeline.read_side import ReadSide
+from repro.search import SearchIndex, ShardedSearchIndex
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+
+def found(journal, entity, t, port=80, record=None):
+    journal.append(entity, t, EventKind.SERVICE_FOUND,
+                   {"key": f"{port}/tcp", "record": record or {"banner": f"b{t}"}})
+
+
+class TestVersionedLRU:
+    def test_hit_miss_invalidation_eviction_counters(self):
+        lru = VersionedLRU(max_entries=2)
+        assert lru.get("a", 1) is MISS          # miss
+        lru.put("a", 1, "x")
+        assert lru.get("a", 1) == "x"           # hit
+        assert lru.get("a", 2) is MISS          # version moved: invalidation
+        lru.put("a", 2, "y")
+        lru.put("b", 1, "z")
+        lru.put("c", 1, "w")                    # overflows: evicts LRU ("a")
+        assert lru.get("a", 2) is MISS
+        assert lru.stats.hits == 1
+        assert lru.stats.misses == 3
+        assert lru.stats.invalidations == 1
+        assert lru.stats.evictions == 1
+        assert lru.report()["entries"] == 2
+
+    def test_lru_order_refreshes_on_hit(self):
+        lru = VersionedLRU(max_entries=2)
+        lru.put("a", 0, 1)
+        lru.put("b", 0, 2)
+        assert lru.get("a", 0) == 1             # refresh "a"
+        lru.put("c", 0, 3)                      # evicts "b", not "a"
+        assert lru.get("a", 0) == 1
+        assert lru.get("b", 0) is MISS
+
+    def test_zero_entries_disables(self):
+        lru = VersionedLRU(max_entries=0)
+        assert not lru.enabled
+        lru.put("a", 0, 1)
+        assert len(lru) == 0
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(ValueError):
+            VersionedLRU(max_entries=-1)
+
+
+class TestVersionCounters:
+    def test_entity_version_bumps_on_append_and_eviction(self):
+        journal = EventJournal()
+        assert journal.entity_version("host:1.2.3.4") == 0
+        found(journal, "host:1.2.3.4", 1.0)
+        assert journal.entity_version("host:1.2.3.4") == 1
+        journal.append("host:1.2.3.4", 2.0, EventKind.SERVICE_REMOVED, {"key": "80/tcp"})
+        assert journal.entity_version("host:1.2.3.4") == 2
+        assert journal.version == 2
+        assert journal.entity_version("host:other") == 0
+
+    def test_sharded_journal_routes_versions(self):
+        journal = ShardedJournal(ShardMap(3))
+        entities = [f"host:10.0.{i}.1" for i in range(9)]
+        for i, entity in enumerate(entities):
+            found(journal, entity, float(i))
+        assert journal.version == 9
+        assert sum(journal.shard_versions()) == 9
+        assert all(journal.entity_version(e) == 1 for e in entities)
+        # Only the owning shard's counter moves on a new append.
+        before = journal.shard_versions()
+        found(journal, entities[0], 10.0)
+        after = journal.shard_versions()
+        owner = journal.shard_of(entities[0])
+        assert after[owner] == before[owner] + 1
+        assert sum(after) == sum(before) + 1
+
+    def test_search_index_generation_bumps_on_put_and_real_delete(self):
+        index = SearchIndex()
+        g0 = index.generation
+        index.put("a", {"x": [1]})
+        assert index.generation > g0
+        g1 = index.generation
+        assert not index.delete("missing")      # no-op: nothing changed
+        assert index.generation == g1
+        assert index.delete("a")
+        assert index.generation > g1
+
+
+class TestReconstructionCache:
+    def test_hits_until_entity_changes(self):
+        journal = EventJournal()
+        cache = ReconstructionCache(journal)
+        found(journal, "host:1.2.3.4", 1.0)
+        first = cache.reconstruct("host:1.2.3.4")
+        assert cache.reconstruct("host:1.2.3.4") == first
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        found(journal, "host:1.2.3.4", 2.0, port=22)
+        fresh = cache.reconstruct("host:1.2.3.4")
+        assert "22/tcp" in fresh["services"]
+        assert cache.stats.invalidations == 1
+        assert fresh == journal.reconstruct("host:1.2.3.4")
+
+    def test_hits_return_mutation_safe_copies(self):
+        journal = EventJournal()
+        cache = ReconstructionCache(journal)
+        found(journal, "host:1.2.3.4", 1.0)
+        view = cache.reconstruct("host:1.2.3.4")
+        view["services"]["80/tcp"]["record"]["banner"] = "poisoned"
+        view["meta"]["injected"] = True
+        again = cache.reconstruct("host:1.2.3.4")
+        assert again["services"]["80/tcp"]["record"]["banner"] == "b1.0"
+        assert "injected" not in again["meta"]
+        assert again == journal.reconstruct("host:1.2.3.4")
+
+    def test_timestamped_reconstructions_cached_per_at(self):
+        journal = EventJournal(snapshot_every=4)
+        for t in range(1, 11):
+            found(journal, "host:1.2.3.4", float(t), record={"seq": t})
+        cache = ReconstructionCache(journal)
+        for at in (None, 3.5, 7.0, 20.0):
+            assert cache.reconstruct("host:1.2.3.4", at=at) == \
+                journal.reconstruct("host:1.2.3.4", at=at)
+            assert cache.reconstruct("host:1.2.3.4", at=at) == \
+                journal.reconstruct("host:1.2.3.4", at=at)
+        assert cache.stats.hits == 4 and cache.stats.misses == 4
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_matches_journal_under_interleaved_churn(self, shards):
+        """Property: interleaved appends/evictions/lookups never diverge."""
+        journal = ShardedJournal(ShardMap(shards))
+        cache = ReconstructionCache(journal, max_entries=32)
+        rng = random.Random(5 + shards)
+        entities = [f"host:10.0.{i}.1" for i in range(12)]
+        clock = 0.0
+        for _ in range(400):
+            roll = rng.random()
+            entity = rng.choice(entities)
+            if roll < 0.35:
+                clock += rng.random()
+                found(journal, entity, clock, port=rng.choice([22, 80, 443]))
+            elif roll < 0.5 and journal.has_entity(entity):
+                services = list(journal.peek_current(entity)["services"])
+                if services:
+                    clock += rng.random()
+                    journal.append(entity, clock, EventKind.SERVICE_REMOVED,
+                                   {"key": rng.choice(services)})
+            else:
+                at = rng.choice([None, rng.uniform(0.0, clock + 1.0)])
+                assert cache.reconstruct(entity, at=at) == \
+                    journal.reconstruct(entity, at=at), (entity, at)
+        assert cache.stats.hits > 0
+        assert cache.stats.invalidations > 0
+
+
+class TestReadSideViewCache:
+    def build(self):
+        journal = EventJournal()
+        cache = ReconstructionCache(journal)
+        read = ReadSide(journal, cache=cache, view_cache_entries=64)
+        found(journal, "host:1.2.3.4", 1.0)
+        return journal, read
+
+    def test_view_cache_hits_and_invalidates(self):
+        journal, read = self.build()
+        first = read.lookup("host:1.2.3.4")
+        assert read.lookup("host:1.2.3.4") == first
+        report = read.cache_report()
+        assert report["views"]["hits"] == 1
+        found(journal, "host:1.2.3.4", 2.0, port=22)
+        assert "22/tcp" in read.lookup("host:1.2.3.4")["services"]
+        assert read.cache_report()["views"]["invalidations"] == 1
+
+    def test_add_enricher_invalidates_cached_views(self):
+        _journal, read = self.build()
+        assert "stamp" not in read.lookup("host:1.2.3.4")["derived"]
+
+        def stamper(view):
+            view["derived"]["stamp"] = True
+
+        read.add_enricher(stamper)
+        assert read.lookup("host:1.2.3.4")["derived"]["stamp"] is True
+
+    def test_distinct_flags_cached_separately(self):
+        journal, read = self.build()
+        journal.append("host:1.2.3.4", 2.0, EventKind.SERVICE_PENDING_REMOVAL, {"key": "80/tcp"})
+        with_pending = read.lookup("host:1.2.3.4", include_pending=True)
+        without = read.lookup("host:1.2.3.4", include_pending=False)
+        assert "80/tcp" in with_pending["services"]
+        assert "80/tcp" not in without["services"]
+        assert read.lookup("host:1.2.3.4", include_pending=False) == without
+
+
+class TestShardedSearchIndexItems:
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_items_in_global_put_order(self, shards):
+        index = ShardedSearchIndex(ShardMap(shards))
+        for n in range(8):
+            index.put(f"doc{n}", {"field": [n]})
+        index.put("doc2", {"field": [99]})  # re-put moves to the end
+        items = list(index.items())
+        assert [doc_id for doc_id, _ in items] == list(index.doc_ids())
+        assert items[-1] == ("doc2", {"field": [99]})
+        assert all(index.get(doc_id) == doc for doc_id, doc in items)
+
+
+class TestPlatformInvalidationProperty:
+    """Satellite: cached platform == cache-disabled reference, event for
+    event, through an interleaving of writes, evictions, and lookups."""
+
+    QUERIES = (
+        "services.service_name: HTTP",
+        "services.port: [1 to 1024]",
+        "not services.service_name: SSH",
+    )
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_interleaved_writes_evictions_lookups(self, shards):
+        def build(read_cache):
+            net = build_simnet(
+                bits=11,
+                workload_config=WorkloadConfig(
+                    seed=23, services_target=120, t_start=-6 * DAY, t_end=6 * DAY
+                ),
+                seed=23,
+            )
+            return CensysPlatform(
+                net,
+                PlatformConfig(
+                    predictive_daily_budget=200, seed=23, shards=shards,
+                    eviction_after_hours=36.0, read_cache=read_cache,
+                ),
+                start_time=-3 * DAY,
+            )
+
+        cached, reference = build(True), build(False)
+        rng = random.Random(37 + shards)
+        hosts = [i.ip_index for i in cached.internet.services_alive_at(0.0)[:20]]
+        for step in range(10):
+            # Write burst: scans, journal appends, reindexing, and (past the
+            # shortened window) evictions — identical on both platforms.
+            cached.tick(12.0)
+            reference.tick(12.0)
+            # Read burst immediately after the invalidating writes.
+            for _ in range(8):
+                ip_index = rng.choice(hosts)
+                at = rng.choice([None, cached.clock.now - rng.uniform(0.0, 2 * DAY)])
+                assert cached.lookup_host(ip_index, at=at) == \
+                    reference.lookup_host(ip_index, at=at), (step, ip_index, at)
+            query = rng.choice(self.QUERIES)
+            limit = rng.choice([None, 5])
+            assert cached.search(query, limit=limit) == reference.search(query, limit=limit)
+            assert cached.index.count(query) == reference.index.count(query)
+            assert cached.index.aggregate(query, "services.service_name") == \
+                reference.index.aggregate(query, "services.service_name")
+        assert cached.ingest.counters["evictions"] == reference.ingest.counters["evictions"]
+        assert cached.ingest.counters["evictions"] > 0, "interleaving must exercise evictions"
+        report = cached.traffic_report()["read_cache"]
+        assert report["views"]["hits"] > 0
+        assert report["views"]["invalidations"] + report["reconstruction"]["invalidations"] > 0

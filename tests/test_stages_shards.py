@@ -254,6 +254,7 @@ class TestTrafficReportSchema:
             "queue",
             "scheduler",
             "shards",
+            "read_cache",
         }
         assert set(report["stages"]) == {
             "discovery", "interrogation", "ingest", "derivation", "serving"
@@ -282,8 +283,34 @@ class TestTrafficReportSchema:
         assert set(report["scheduler"]) == {"tracked_services", "pending_eviction", "evictions"}
         assert set(report["shards"]) == {
             "count", "events_per_shard", "entities_per_shard", "documents_per_shard",
+            "journal_versions_per_shard", "index_generations_per_shard",
         }
         assert report["shards"]["count"] == 2
         assert len(report["shards"]["events_per_shard"]) == 2
         assert report["stages"]["interrogation"]["interrogations_run"] == plat.observations_processed
         assert report["total_probes"] == sum(report["probes_by_tier"].values())
+        # Satellite: the read-path cache counters (reconstruction hits/misses,
+        # view + query-cache stats, per-shard versions/generations).
+        cache_keys = {"hits", "misses", "invalidations", "evictions", "hit_rate", "entries"}
+        assert set(report["read_cache"]) == {"enabled", "reconstruction", "views", "query"}
+        assert report["read_cache"]["enabled"] is True
+        for block in ("reconstruction", "views", "query"):
+            assert set(report["read_cache"][block]) == cache_keys, block
+        # The platform's own reindex/serving traffic must already be hitting.
+        assert report["read_cache"]["reconstruction"]["misses"] > 0
+        assert len(report["shards"]["journal_versions_per_shard"]) == 2
+        assert len(report["shards"]["index_generations_per_shard"]) == 2
+        assert sum(report["shards"]["journal_versions_per_shard"]) == \
+            sum(report["shards"]["events_per_shard"])
+
+    def test_read_cache_disabled_reports_zeroes(self):
+        plat = CensysPlatform(
+            small_world(),
+            PlatformConfig(predictive_daily_budget=300, seed=6, read_cache=False),
+            start_time=-2 * DAY,
+        )
+        plat.run_until(0.0, tick_hours=6.0)
+        block = plat.traffic_report()["read_cache"]
+        assert block["enabled"] is False
+        for sub in ("reconstruction", "views", "query"):
+            assert block[sub]["hits"] == 0 and block[sub]["entries"] == 0, sub
