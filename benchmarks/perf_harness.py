@@ -1,6 +1,6 @@
-"""Perf-regression harness: micro hot paths plus the macro serving workload.
+"""Perf-regression harness: micro hot paths, macro serving, and load.
 
-Two suites, selected with ``--suite``:
+Three suites, selected with ``--suite``:
 
 * ``micro`` (default) — each vectorized hot path and its retained scalar
   reference for N rounds → ``benchmarks/results/BENCH_micro.json`` with
@@ -13,15 +13,25 @@ Two suites, selected with ``--suite``:
   ``benchmarks/results/BENCH_serving.json`` with per-segment p50/p95
   latency proxies, ops/s, cache hit rates, and cached-over-uncached
   speedups.
+* ``load`` — the closed-loop load generator for the parallel shard
+  execution tier: N concurrent client threads replay seeded Zipfian
+  query schedules against three identically-built 4-shard platforms,
+  one per executor backend (serial / thread / process), with the
+  executors' simulated per-shard RPC latency turned on so the scatter
+  cost has the distributed system's wall-clock shape →
+  ``benchmarks/results/BENCH_load.json`` with p50/p95/p99 latency and
+  aggregate throughput per offered load, plus speedups vs the serial
+  backend.  Cross-backend answer equality is asserted before timing.
 
 The equality of every cached/uncached and vectorized/reference pair is
 asserted separately by ``benchmarks/test_perf_regression.py``; this
-harness only measures.
+harness only measures (the load suite's inline digest check aside).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py [--rounds N]
     PYTHONPATH=src python benchmarks/perf_harness.py --suite serving [--ops-scale S]
+    PYTHONPATH=src python benchmarks/perf_harness.py --suite load [--workers W]
 
 Pass ``--out`` (CI smoke) to write somewhere other than the committed
 ``benchmarks/results/`` artifacts.  The micro configuration matches
@@ -33,10 +43,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import statistics
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -298,6 +310,182 @@ def bench_serving(ops_scale: float = 1.0, seed: int = 11) -> dict:
     }
 
 
+# -- the closed-loop load benchmark -----------------------------------------
+
+LOAD_BACKENDS = ("serial", "thread", "process")
+LOAD_CLIENT_LEVELS = (1, 2, 4, 8)
+#: Op mix per client (cumulative probabilities over a uniform draw).
+LOAD_MIX = (("lookup", 0.20), ("search", 0.65), ("count", 0.80), ("aggregate", 1.0))
+
+
+def _load_stats(samples: list, wall_s: float) -> dict:
+    ordered = sorted(samples)
+    return {
+        "ops": len(ordered),
+        "p50_ms": round(statistics.median(ordered) * 1e3, 3),
+        "p95_ms": round(ordered[int(0.95 * (len(ordered) - 1))] * 1e3, 3),
+        "p99_ms": round(ordered[int(0.99 * (len(ordered) - 1))] * 1e3, 3),
+        "wall_s": round(wall_s, 3),
+        "throughput_ops_s": round(len(ordered) / wall_s, 1) if wall_s > 0 else float("inf"),
+    }
+
+
+def bench_load(
+    ops_scale: float = 1.0,
+    seed: int = 11,
+    workers: int = 4,
+    shard_latency_ms: float = 2.0,
+) -> dict:
+    """Closed-loop multi-client load vs executor backend (serial baseline).
+
+    One 4-shard platform per backend, built and warmed identically; the
+    query cache is disabled so every query actually scatters.  The
+    executors model the per-shard RPC hop (``shard_latency_ms``): the
+    serial backend pays ``shards x hop`` per scatter while the parallel
+    backends overlap the hops — the wall-clock shape of the paper's
+    gateway → shard fan-out, measurable even on a single-core host
+    because the modeled hop releases the GIL.  Every backend must answer
+    a full query digest identically before any timing runs.
+    """
+    from repro.core import CensysPlatform, PlatformConfig
+    from repro.pipeline import make_executor
+
+    shards = 4
+
+    def build(backend: str) -> CensysPlatform:
+        net = build_simnet(
+            bits=12,
+            workload_config=WorkloadConfig(
+                seed=seed, services_target=250, t_start=-8 * DAY, t_end=8 * DAY
+            ),
+            seed=seed,
+        )
+        executor = make_executor(backend, workers=workers, latency_ms=shard_latency_ms)
+        plat = CensysPlatform(
+            net,
+            PlatformConfig(
+                predictive_daily_budget=300, seed=seed, shards=shards,
+                query_cache_entries=0, executor=executor,
+            ),
+            start_time=-6 * DAY,
+        )
+        plat.run_until(0.0, tick_hours=6.0)
+        return plat
+
+    platforms = {backend: build(backend) for backend in LOAD_BACKENDS}
+    hosts = [i.ip_index for i in platforms["serial"].internet.services_alive_at(0.0)][:120]
+    host_weights = _zipf_weights(len(hosts))
+    query_weights = _zipf_weights(len(SERVING_QUERIES))
+
+    # Answer equality across backends, gated before any timing (and, as a
+    # side effect, warming the process backend's shard replicas).
+    def digest(plat: CensysPlatform) -> dict:
+        return {
+            "search": {q: plat.search(q, limit=10) for q in SERVING_QUERIES},
+            "count": {q: plat.index.count(q) for q in SERVING_QUERIES},
+            "aggregate": {
+                q: plat.index.aggregate(q, "services.service_name")
+                for q in SERVING_QUERIES
+            },
+            "lookup": [plat.lookup_host(h) for h in hosts[:20]],
+        }
+
+    reference = digest(platforms["serial"])
+    for backend in LOAD_BACKENDS[1:]:
+        if digest(platforms[backend]) != reference:  # pragma: no cover - the gate
+            raise SystemExit(f"{backend} backend diverged from the serial reference")
+
+    ops_per_client = max(15, int(120 * ops_scale))
+
+    def client_schedule(plat: CensysPlatform, client_id: int) -> list:
+        """Deterministic per-client op list — identical for every backend."""
+        rng = random.Random((seed + 1) * 1000 + client_id)
+        ops = []
+        for _ in range(ops_per_client):
+            draw = rng.random()
+            kind = next(name for name, ceiling in LOAD_MIX if draw <= ceiling)
+            if kind == "lookup":
+                i = rng.choices(range(len(hosts)), weights=host_weights, k=1)[0]
+                ops.append(lambda p=plat, h=hosts[i]: p.lookup_host(h))
+            elif kind == "search":
+                i = rng.choices(range(len(SERVING_QUERIES)), weights=query_weights, k=1)[0]
+                ops.append(lambda p=plat, q=SERVING_QUERIES[i]: p.search(q, limit=10))
+            elif kind == "count":
+                i = rng.choices(range(len(SERVING_QUERIES)), weights=query_weights, k=1)[0]
+                ops.append(lambda p=plat, q=SERVING_QUERIES[i]: p.index.count(q))
+            else:
+                i = rng.choices(range(len(SERVING_QUERIES)), weights=query_weights, k=1)[0]
+                field = rng.choice(SERVING_AGG_FIELDS)
+                ops.append(
+                    lambda p=plat, q=SERVING_QUERIES[i], f=field: p.index.aggregate(q, f)
+                )
+        return ops
+
+    def run_level(plat: CensysPlatform, clients: int) -> dict:
+        schedules = [client_schedule(plat, c) for c in range(clients)]
+        latencies: list = [[] for _ in range(clients)]
+        errors: list = []
+
+        def client(cid: int) -> None:
+            try:
+                for op in schedules[cid]:
+                    t0 = time.perf_counter()
+                    op()
+                    latencies[cid].append(time.perf_counter() - t0)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(c,)) for c in range(clients)]
+        wall0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - wall0
+        if errors:
+            raise errors[0]
+        merged = [s for per_client in latencies for s in per_client]
+        return _load_stats(merged, wall)
+
+    backends_out = {}
+    for backend, plat in platforms.items():
+        levels = {str(n): run_level(plat, n) for n in LOAD_CLIENT_LEVELS}
+        backends_out[backend] = {"levels": levels, "executor": plat.executor.report()}
+
+    speedups = {}
+    for backend in LOAD_BACKENDS[1:]:
+        per_level = {
+            str(n): round(
+                backends_out[backend]["levels"][str(n)]["throughput_ops_s"]
+                / backends_out["serial"]["levels"][str(n)]["throughput_ops_s"],
+                2,
+            )
+            for n in LOAD_CLIENT_LEVELS
+        }
+        speedups[f"{backend}_vs_serial"] = {
+            **per_level, "max": max(per_level.values()),
+        }
+
+    for plat in platforms.values():
+        plat.close()
+
+    return {
+        "config": {
+            "bits": 12, "seed": seed, "services_target": 250, "shards": shards,
+            "workers": workers, "warmup_days": 6, "hosts": len(hosts),
+            "queries": len(SERVING_QUERIES), "zipf_s": 1.1,
+            "ops_scale": ops_scale, "ops_per_client": ops_per_client,
+            "client_levels": list(LOAD_CLIENT_LEVELS),
+            "op_mix": {name: ceiling for name, ceiling in LOAD_MIX},
+            "shard_latency_ms": shard_latency_ms,
+            "cpus": os.cpu_count(),
+            "equality_checked": True,
+        },
+        "backends": backends_out,
+        "speedups_vs_serial": speedups,
+    }
+
+
 def _git_commit() -> str:
     try:
         return subprocess.run(
@@ -310,11 +498,23 @@ def _git_commit() -> str:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", choices=["micro", "serving"], default="micro")
+    parser.add_argument("--suite", choices=["micro", "serving", "load"], default="micro")
     parser.add_argument("--rounds", type=int, default=30, help="micro: timing samples per path")
     parser.add_argument(
         "--ops-scale", type=float, default=1.0,
-        help="serving: scale factor on per-segment op counts (CI smoke uses < 1)",
+        help="serving/load: scale factor on op counts (CI smoke uses < 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=11,
+        help="serving/load: world + schedule seed (recorded in the emitted JSON)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="load: worker count for the thread/process executor backends",
+    )
+    parser.add_argument(
+        "--shard-latency-ms", type=float, default=2.0,
+        help="load: simulated per-shard RPC hop (the executors' latency model)",
     )
     parser.add_argument(
         "--out", type=Path, default=None,
@@ -323,8 +523,27 @@ def main() -> None:
     )
     args = parser.parse_args()
 
+    if args.suite == "load":
+        load = bench_load(
+            ops_scale=args.ops_scale, seed=args.seed, workers=args.workers,
+            shard_latency_ms=args.shard_latency_ms,
+        )
+        payload = {
+            "commit": _git_commit(),
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            **load,
+        }
+        out_path = args.out
+        if out_path is None:
+            RESULTS.mkdir(exist_ok=True)
+            out_path = RESULTS / "BENCH_load.json"
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(json.dumps(payload["speedups_vs_serial"], indent=2))
+        print(f"wrote {out_path}")
+        return
+
     if args.suite == "serving":
-        serving = bench_serving(ops_scale=args.ops_scale)
+        serving = bench_serving(ops_scale=args.ops_scale, seed=args.seed)
         payload = {
             "commit": _git_commit(),
             "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),

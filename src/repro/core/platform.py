@@ -47,6 +47,7 @@ from repro.pipeline import (
     ShardMap,
     ShardedJournal,
     WriteSideProcessor,
+    make_executor,
 )
 from repro.protocols import Interrogator, ProtocolRegistry, default_registry
 from repro.scan import (
@@ -101,6 +102,11 @@ class PlatformConfig:
     reconstruction_cache_entries: int = 4096
     view_cache_entries: int = 4096
     query_cache_entries: int = 256
+    #: Per-shard fan-out backend: "serial" (the bit-identical reference),
+    #: "thread", "process", or a ShardExecutor instance.
+    executor: Any = "serial"
+    #: Worker count for pooled executors (None = backend default).
+    executor_workers: Optional[int] = None
 
 
 class CensysPlatform:
@@ -125,6 +131,7 @@ class CensysPlatform:
 
         # -- sharded storage substrate ------------------------------------
         self.shard_map = ShardMap(cfg.shards)
+        self.executor = make_executor(cfg.executor, workers=cfg.executor_workers)
         if cfg.wal_dir:
             self.journal = ShardedJournal.durable(cfg.wal_dir, self.shard_map)
         else:
@@ -149,6 +156,7 @@ class CensysPlatform:
         self.index = ShardedSearchIndex(
             self.shard_map,
             query_cache_entries=cfg.query_cache_entries if cfg.read_cache else 0,
+            executor=self.executor,
         )
 
         # -- shared scanning components ------------------------------------
@@ -208,6 +216,7 @@ class CensysPlatform:
         self.serving = ServingLayer(
             internet, self.journal, self.read_side, self.index,
             reconstruction_cache=self.reconstruction_cache,
+            executor=self.executor,
         )
         self.stages = [
             self.discovery, self.interrogation, self.ingest, self.derivation, self.serving
@@ -307,6 +316,12 @@ class CensysPlatform:
         """The Fast Lookup API: host state by address (and timestamp)."""
         return self.serving.lookup_host(ip_index, at=at)
 
+    def lookup_many(
+        self, ip_indexes: List[int], at: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Batch host lookup, overlapped across shards by the executor."""
+        return self.serving.lookup_many(ip_indexes, at=at)
+
     def host_view(self, ip_index: int, at: Optional[float] = None):
         """Typed variant of :meth:`lookup_host` (a HostView dataclass)."""
         return self.serving.host_view(ip_index, at=at)
@@ -318,6 +333,23 @@ class CensysPlatform:
     def search(self, query: str, limit: Optional[int] = None) -> List[str]:
         """The interactive search interface."""
         return self.serving.search(query, limit=limit)
+
+    def search_many(
+        self, queries: List[str], limit: Optional[int] = None
+    ) -> List[List[str]]:
+        """Batch search, overlapped across queries by the executor."""
+        return self.serving.search_many(queries, limit=limit)
+
+    def close(self) -> None:
+        """Release the executor's worker pool and close the journal WALs.
+
+        Idempotent; safe to call while reads are in flight (the journal's
+        close-once guard serialises against them).  Required for platforms
+        built with ``executor="thread"``/``"process"`` so worker threads
+        and processes do not outlive the platform.
+        """
+        self.journal.close()
+        self.executor.close()
 
     def snapshot_now(self) -> int:
         """Store the current map into the analytics snapshot store."""
@@ -371,4 +403,5 @@ class CensysPlatform:
                 **self.read_side.cache_report(),
                 "query": self.index.cache_report(),
             },
+            "executor": self.executor.report(),
         }

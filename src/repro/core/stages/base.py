@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict
 
 __all__ = ["StageCounters"]
@@ -12,7 +13,15 @@ class StageCounters(Dict[str, int]):
 
     A plain dict with an increment helper; keys are created on first
     bump so a stage's schema is visible where the counting happens.
+    ``bump`` is lock-guarded: the serving layer's batch endpoints count
+    from executor worker threads, and an unguarded read-modify-write
+    would drop increments under that interleaving.
     """
 
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._lock = threading.Lock()
+
     def bump(self, key: str, by: int = 1) -> None:
-        self[key] = self.get(key, 0) + by
+        with self._lock:
+            self[key] = self.get(key, 0) + by

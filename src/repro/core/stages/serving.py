@@ -17,6 +17,7 @@ from repro.certs import cert_entity_id
 from repro.core.stages.base import StageCounters
 from repro.net import ip_to_str
 from repro.pipeline import EventJournal, ReadSide, ReconstructionCache, host_entity_id
+from repro.pipeline.executors import SerialExecutor, ShardExecutor
 from repro.pipeline.sharding import ShardedJournal
 from repro.search import ShardedSearchIndex, SnapshotStore
 from repro.simnet import SimulatedInternet
@@ -35,6 +36,7 @@ class ServingLayer:
         index: ShardedSearchIndex,
         analytics: Optional[SnapshotStore] = None,
         reconstruction_cache: Optional[ReconstructionCache] = None,
+        executor: Optional[ShardExecutor] = None,
     ) -> None:
         self.internet = internet
         self.journal = journal
@@ -43,6 +45,8 @@ class ServingLayer:
         self.analytics = analytics or SnapshotStore()
         #: Versioned memo over journal.reconstruct; None = uncached reads.
         self.reconstruction_cache = reconstruction_cache
+        #: Fan-out backend for the batch endpoints (serial = reference).
+        self.executor = executor or SerialExecutor()
         self.counters = StageCounters(
             lookups_served=0,
             searches_served=0,
@@ -77,11 +81,66 @@ class ServingLayer:
             return self.reconstruction_cache.reconstruct(entity_id)
         return self.journal.reconstruct(entity_id)
 
+    def lookup_many(
+        self, ip_indexes: List[int], at: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Batch host lookup: overlap independent requests across shards.
+
+        Requests are grouped by owning journal shard and each group is
+        reconstructed through the executor, so shard groups proceed
+        concurrently under the thread backend while results come back in
+        input order.  Serial executor (the default) degenerates to the
+        plain loop, bit-identical to calling :meth:`lookup_host` N times.
+        """
+        entity_ids = [self.entity_for_ip(i) for i in ip_indexes]
+        self.counters.bump("lookups_served", len(entity_ids))
+        if self.executor.inline or len(entity_ids) <= 1:
+            return [self.read_side.lookup(eid, at=at) for eid in entity_ids]
+
+        shard_of = getattr(self.journal, "shard_of", None)
+        groups: Dict[int, List[int]] = {}
+        for pos, eid in enumerate(entity_ids):
+            shard = shard_of(eid) if shard_of is not None else 0
+            groups.setdefault(shard, []).append(pos)
+
+        def _lookup_group(positions: List[int]) -> List[tuple]:
+            return [
+                (pos, self.read_side.lookup(entity_ids[pos], at=at))
+                for pos in positions
+            ]
+
+        results: List[Any] = [None] * len(entity_ids)
+        for chunk in self.executor.map_shards(
+            _lookup_group, [(positions,) for positions in groups.values()]
+        ):
+            for pos, view in chunk:
+                results[pos] = view
+        return results
+
     # -- interactive search ----------------------------------------------------
 
     def search(self, query: str, limit: Optional[int] = None) -> List[str]:
         self.counters.bump("searches_served")
         return self.index.search(query, limit=limit)
+
+    def search_many(
+        self, queries: List[str], limit: Optional[int] = None
+    ) -> List[List[str]]:
+        """Batch search: overlap independent queries through the executor.
+
+        Each query's own scatter-gather runs inline inside the worker
+        (the executors' nested-depth guard prevents pool starvation), so
+        parallelism comes from overlapping whole queries rather than
+        nesting fan-outs.  Results come back in input order.
+        """
+        self.counters.bump("searches_served", len(queries))
+        if self.executor.inline or len(queries) <= 1:
+            return [self.index.search(q, limit=limit) for q in queries]
+
+        def _one(query: str) -> List[str]:
+            return self.index.search(query, limit=limit)
+
+        return self.executor.map_shards(_one, [(q,) for q in queries])
 
     # -- analytics / raw data --------------------------------------------------
 

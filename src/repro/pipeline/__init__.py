@@ -9,6 +9,14 @@ and an at-least-once delivery simulation (``delivery``).
 from repro.pipeline.cache import CacheStats, ReconstructionCache, VersionedLRU
 from repro.pipeline.delivery import AtLeastOnceSource, FaultyChannel, Resequencer
 from repro.pipeline.events import Event, EventKind, service_key
+from repro.pipeline.executors import (
+    ProcessShardExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ShardTaskError,
+    ThreadShardExecutor,
+    make_executor,
+)
 from repro.pipeline.faults import (
     CrashPoint,
     FaultInjector,
@@ -65,4 +73,11 @@ __all__ = [
     "AtLeastOnceSource",
     "FaultyChannel",
     "Resequencer",
+    # Parallel shard execution
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "ShardTaskError",
+    "make_executor",
 ]

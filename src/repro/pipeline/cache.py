@@ -25,6 +25,7 @@ which is what the perf-regression equality gates assert.
 from __future__ import annotations
 
 import pickle
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple
@@ -44,6 +45,10 @@ class CacheStats:
     misses: int = 0
     invalidations: int = 0
     evictions: int = 0
+    #: Times a cache operation found the lock held by another thread and
+    #: had to wait — the shared-read-path contention signal surfaced by
+    #: ``cache_report()`` (always 0 under single-threaded serving).
+    lock_contention: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -57,6 +62,7 @@ class CacheStats:
             "invalidations": self.invalidations,
             "evictions": self.evictions,
             "hit_rate": round(self.hit_rate, 4),
+            "lock_contention": self.lock_contention,
         }
 
 
@@ -70,6 +76,12 @@ class VersionedLRU:
     used entries.  ``max_entries=0`` disables the cache entirely (every
     ``get`` is a miss, ``put`` is a no-op) — the cache-off reference
     configuration.
+
+    Thread safety: a single lock serializes ``get``/``put``/``clear`` (the
+    parallel shard executors fan concurrent clients into the shared
+    read-path caches).  The lock is probed non-blocking first; finding it
+    held counts into ``stats.lock_contention``, the contention signal the
+    load harness and ``cache_report()`` surface.
     """
 
     def __init__(self, max_entries: int = 1024) -> None:
@@ -78,6 +90,13 @@ class VersionedLRU:
         self.max_entries = max_entries
         self._entries: "OrderedDict[Hashable, Tuple[Any, Any]]" = OrderedDict()
         self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    def _acquire(self) -> None:
+        """Take the cache lock, counting contention when it is held."""
+        if not self._lock.acquire(blocking=False):
+            self.stats.lock_contention += 1  # GIL-atomic enough for a counter
+            self._lock.acquire()
 
     @property
     def enabled(self) -> bool:
@@ -88,31 +107,43 @@ class VersionedLRU:
 
     def get(self, key: Hashable, version: Any) -> Any:
         """The value stored for ``key`` at ``version``, or :data:`MISS`."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return MISS
-        stored_version, value = entry
-        if stored_version != version:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return MISS
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        self._acquire()
+        try:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return MISS
+            stored_version, value = entry
+            if stored_version != version:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+        finally:
+            self._lock.release()
 
     def put(self, key: Hashable, version: Any, value: Any) -> None:
         if self.max_entries == 0:
             return
-        self._entries[key] = (version, value)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        self._acquire()
+        try:
+            self._entries[key] = (version, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        finally:
+            self._lock.release()
 
     def clear(self) -> None:
-        self._entries.clear()
+        self._acquire()
+        try:
+            self._entries.clear()
+        finally:
+            self._lock.release()
 
     def report(self) -> Dict[str, Any]:
         return {**self.stats.as_dict(), "entries": len(self._entries)}

@@ -20,6 +20,7 @@ against the sidecar copies written before the crash.  The default
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -96,10 +97,27 @@ class EventJournal:
         #: Events durably committed to the WAL (1-based crash-point index).
         self._durable_events = 0
         self._replaying = False
+        #: Close-once guard: ``close`` is idempotent and safe to call while
+        #: a parallel executor still holds a reference to this shard.
+        self._closed = False
+        self._close_lock = threading.Lock()
 
     @property
     def durable(self) -> bool:
         return self.wal is not None
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle support: parallel recovery ships recovered shards back
+        from worker processes (with ``reopen=False``, so no live WAL)."""
+        if self.wal is not None:
+            raise TypeError("cannot pickle an EventJournal with an open WAL")
+        state = dict(self.__dict__)
+        del state["_close_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._close_lock = threading.Lock()
 
     # -- write path -------------------------------------------------------
 
@@ -206,11 +224,20 @@ class EventJournal:
             self.fault_injector.raise_crash(crash)
 
     def close(self) -> None:
-        """Flush and close the WAL (in-memory journals: no-op)."""
-        if self.wal is not None:
-            if self._pending_events:
-                self._commit()
-            self.wal.close()
+        """Flush and close the WAL (in-memory journals: no-op).
+
+        Idempotent: the first call flushes and closes, every later call is
+        a no-op — so shard owners and executors holding the same reference
+        can both shut down without double-flushing a closed WAL.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self.wal is not None:
+                if self._pending_events:
+                    self._commit()
+                self.wal.close()
 
     @classmethod
     def recover(

@@ -20,6 +20,7 @@ behaviour.
 from __future__ import annotations
 
 import pickle
+import threading
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.pipeline.cache import MISS, ReconstructionCache, VersionedLRU
@@ -45,6 +46,9 @@ class ReadSide:
         self.journal = journal
         self.enrichers: List[Enricher] = list(enrichers or [])
         self.lookups = 0
+        #: Guards the lookup counter under the parallel batch paths (the
+        #: caches carry their own locks).
+        self._count_lock = threading.Lock()
         self.cache = cache
         self._views = VersionedLRU(view_cache_entries)
         #: Bumped when the enricher chain changes: view-cache entries built
@@ -69,7 +73,8 @@ class ReadSide:
         ``at=None`` serves the cached current state — the "fast lookup API"
         path; passing a timestamp exercises snapshot + replay.
         """
-        self.lookups += 1
+        with self._count_lock:
+            self.lookups += 1
         if not self._views.enabled:
             return self._build_view(entity_id, at, include_pending, enrich)
         version = self.journal.entity_version(entity_id)
@@ -124,6 +129,6 @@ class ReadSide:
             self.cache.report()
             if self.cache is not None
             else {"hits": 0, "misses": 0, "invalidations": 0, "evictions": 0,
-                  "hit_rate": 0.0, "entries": 0}
+                  "hit_rate": 0.0, "lock_contention": 0, "entries": 0}
         )
         return {"reconstruction": reconstruction, "views": self._views.report()}

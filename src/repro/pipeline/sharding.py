@@ -28,6 +28,7 @@ WALs carry no cross-shard ordering, and no caller depends on one.
 from __future__ import annotations
 
 import os
+import threading
 import zlib
 from contextlib import ExitStack, contextmanager
 from dataclasses import fields as dataclass_fields
@@ -38,6 +39,11 @@ from repro.pipeline.journal import EventJournal, JournalStats
 from repro.pipeline.state import new_entity_state
 
 __all__ = ["ShardMap", "ShardedJournal"]
+
+
+def _recover_shard(directory: str, snapshot_every: int, kwargs: Dict[str, Any]) -> EventJournal:
+    """One shard's WAL replay — a picklable unit for parallel recovery."""
+    return EventJournal.recover(directory, snapshot_every=snapshot_every, **kwargs)
 
 
 class ShardMap:
@@ -92,6 +98,9 @@ class ShardedJournal:
                 f"expected {self.shard_map.shards} journals, got {len(journals)}"
             )
         self.journals = journals
+        #: Close-once guard (see :meth:`close`).
+        self._closed = False
+        self._close_lock = threading.Lock()
         #: entity id -> shard, insertion-ordered by first append: the global
         #: iteration order that keeps entity_ids() shard-count invariant.
         self._entity_shard: Dict[str, int] = {}
@@ -134,6 +143,7 @@ class ShardedJournal:
         directory: str,
         shard_map: Optional[ShardMap] = None,
         snapshot_every: int = 32,
+        executor: Optional[Any] = None,
         **kwargs: Any,
     ) -> "ShardedJournal":
         """Recover every shard from its WAL subdirectory after a crash.
@@ -142,14 +152,41 @@ class ShardedJournal:
         :meth:`EventJournal.recover`, so the per-shard durable prefix is
         byte-identical to the pre-crash shard; the global entity order is
         rebuilt shard-major (see the module docstring).
+
+        ``executor`` (a :class:`~repro.pipeline.executors.ShardExecutor`)
+        replays the per-shard WALs concurrently: the thread backend
+        overlaps shard replays in-process; the process backend replays
+        each shard in a worker with ``reopen=False`` and no fault
+        injector (neither survives pickling), then reopens the WAL and
+        reattaches the injector in the parent — so the recovered journal
+        is identical to serial recovery regardless of backend.
         """
         shard_map = shard_map or ShardMap(1)
-        journals = [
-            EventJournal.recover(
-                shard_map.shard_dir(directory, shard), snapshot_every=snapshot_every, **kwargs
+        dirs = [shard_map.shard_dir(directory, shard) for shard in range(shard_map.shards)]
+        if executor is None:
+            journals = [
+                EventJournal.recover(d, snapshot_every=snapshot_every, **kwargs) for d in dirs
+            ]
+        elif getattr(executor, "kind", "serial") == "process":
+            from repro.pipeline.wal import WriteAheadLog
+
+            child_kwargs = dict(kwargs, reopen=False, fault_injector=None)
+            journals = executor.map_shards(
+                _recover_shard, [(d, snapshot_every, child_kwargs) for d in dirs]
             )
-            for shard in range(shard_map.shards)
-        ]
+            if kwargs.get("reopen", True):
+                for journal, d in zip(journals, dirs):
+                    journal.wal = WriteAheadLog(
+                        d,
+                        segment_max_records=kwargs.get("segment_max_records", 128),
+                        fsync_every=kwargs.get("fsync_every", 1),
+                    )
+            for journal in journals:
+                journal.fault_injector = kwargs.get("fault_injector")
+        else:
+            journals = executor.map_shards(
+                _recover_shard, [(d, snapshot_every, dict(kwargs)) for d in dirs]
+            )
         return cls(shard_map, journals)
 
     # -- routing -----------------------------------------------------------
@@ -187,8 +224,24 @@ class ShardedJournal:
             yield self
 
     def close(self) -> None:
-        for journal in self.journals:
-            journal.close()
+        """Close every shard exactly once.
+
+        Idempotent and safe to call while a parallel executor still holds
+        references to the shard journals: the first close wins (per-shard
+        closes are themselves close-once), repeat calls return immediately,
+        and a concurrent caller blocks until the winning close finishes
+        rather than racing the WAL flush.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for journal in self.journals:
+                journal.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- read path ---------------------------------------------------------
 

@@ -20,6 +20,8 @@ reindex handler keeps search in sync with the write side.
 from __future__ import annotations
 
 import math
+import pickle
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -65,37 +67,63 @@ class SearchIndex:
         #: successful delete.  Query-result caches key on it — two reads at
         #: the same generation are guaranteed to see identical results.
         self.generation = 0
+        #: One shard = one actor: mutations and queries serialize on this
+        #: re-entrant lock (aggregate re-enters through search), so the
+        #: thread executor can hit different shards concurrently while each
+        #: shard's postings/columns stay internally consistent.
+        self._lock = threading.RLock()
+
+    # -- replication support -------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle support: the process executor ships shard replicas."""
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    def snapshot_bytes(self) -> Tuple[int, bytes]:
+        """(generation, pickled self) captured under the shard lock, so the
+        replica a process worker installs is exactly the state at that
+        generation — never a half-applied mutation or half-built column."""
+        with self._lock:
+            return self.generation, pickle.dumps(self, pickle.HIGHEST_PROTOCOL)
 
     # -- document management ------------------------------------------------
 
     def put(self, doc_id: str, doc: Dict[str, List[Any]]) -> None:
         """Insert or replace a document."""
-        if doc_id in self._docs:
-            self.delete(doc_id)
-        self._docs[doc_id] = doc
-        per_field, full_text = _doc_token_sets(doc)
-        postings = self._postings
-        for field, tokens in per_field.items():
-            for token in tokens:
-                postings.setdefault((field, token), set()).add(doc_id)
-        for token in full_text:
-            postings.setdefault(("", token), set()).add(doc_id)
-        self._invalidate_columns(doc)
-        self.generation += 1
+        with self._lock:
+            if doc_id in self._docs:
+                self.delete(doc_id)
+            self._docs[doc_id] = doc
+            per_field, full_text = _doc_token_sets(doc)
+            postings = self._postings
+            for field, tokens in per_field.items():
+                for token in tokens:
+                    postings.setdefault((field, token), set()).add(doc_id)
+            for token in full_text:
+                postings.setdefault(("", token), set()).add(doc_id)
+            self._invalidate_columns(doc)
+            self.generation += 1
 
     def delete(self, doc_id: str) -> bool:
-        doc = self._docs.pop(doc_id, None)
-        if doc is None:
-            return False
-        per_field, full_text = _doc_token_sets(doc)
-        for field, tokens in per_field.items():
-            for token in tokens:
-                self._discard_posting((field, token), doc_id)
-        for token in full_text:
-            self._discard_posting(("", token), doc_id)
-        self._invalidate_columns(doc)
-        self.generation += 1
-        return True
+        with self._lock:
+            doc = self._docs.pop(doc_id, None)
+            if doc is None:
+                return False
+            per_field, full_text = _doc_token_sets(doc)
+            for field, tokens in per_field.items():
+                for token in tokens:
+                    self._discard_posting((field, token), doc_id)
+            for token in full_text:
+                self._discard_posting(("", token), doc_id)
+            self._invalidate_columns(doc)
+            self.generation += 1
+            return True
 
     def _discard_posting(self, key: tuple, doc_id: str) -> None:
         postings = self._postings.get(key)
@@ -128,17 +156,18 @@ class SearchIndex:
 
     def search(self, query: str, limit: Optional[int] = None) -> List[str]:
         """Run a query; returns matching doc ids (deterministic order)."""
-        self.queries_run += 1
-        node = parse_query(query)
-        candidates, exact = self._candidates(node)
-        if candidates is None:
-            candidates = set(self._docs.keys())
-            exact = False
-        if exact:
-            hits = sorted(candidates)
-        else:
-            hits = [doc_id for doc_id in sorted(candidates) if matches(node, self._docs[doc_id])]
-        return hits[:limit] if limit is not None else hits
+        with self._lock:
+            self.queries_run += 1
+            node = parse_query(query)
+            candidates, exact = self._candidates(node)
+            if candidates is None:
+                candidates = set(self._docs.keys())
+                exact = False
+            if exact:
+                hits = sorted(candidates)
+            else:
+                hits = [doc_id for doc_id in sorted(candidates) if matches(node, self._docs[doc_id])]
+            return hits[:limit] if limit is not None else hits
 
     def count(self, query: str) -> int:
         """Matching-document count without materializing a sorted hit list.
@@ -147,22 +176,24 @@ class SearchIndex:
         verified per document but never sorted or sliced.  Always equal to
         ``len(self.search(query))``.
         """
-        self.queries_run += 1
-        node = parse_query(query)
-        candidates, exact = self._candidates(node)
-        if candidates is None:
-            return sum(1 for doc in self._docs.values() if matches(node, doc))
-        if exact:
-            return len(candidates)
-        return sum(1 for doc_id in candidates if matches(node, self._docs[doc_id]))
+        with self._lock:
+            self.queries_run += 1
+            node = parse_query(query)
+            candidates, exact = self._candidates(node)
+            if candidates is None:
+                return sum(1 for doc in self._docs.values() if matches(node, doc))
+            if exact:
+                return len(candidates)
+            return sum(1 for doc_id in candidates if matches(node, self._docs[doc_id]))
 
     def aggregate(self, query: str, field: str) -> Dict[Any, int]:
         """Value counts of ``field`` across matching documents."""
-        counts: Dict[Any, int] = {}
-        for doc_id in self.search(query):
-            for value in self._docs[doc_id].get(field, ()):
-                counts[value] = counts.get(value, 0) + 1
-        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
+        with self._lock:
+            counts: Dict[Any, int] = {}
+            for doc_id in self.search(query):
+                for value in self._docs[doc_id].get(field, ()):
+                    counts[value] = counts.get(value, 0) + 1
+            return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
 
     # -- candidate narrowing -------------------------------------------------------
 

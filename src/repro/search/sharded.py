@@ -19,30 +19,64 @@ stable order:
   a live doc keeps its slot only if the single index would; SearchIndex.put
   delete-then-inserts, moving the doc to the end, so the router does too).
 
+Parallel scatter (PR 6): the per-shard fan-out runs through a pluggable
+:class:`~repro.pipeline.executors.ShardExecutor`.  The default
+:class:`~repro.pipeline.executors.SerialExecutor` preserves the original
+serial loop bit-identically; the thread backend overlaps shards against
+the live in-process indexes (each shard serializes on its own lock); the
+process backend ships generation-validated shard replicas to persistent
+workers and sends only ``(op, query, limit)`` per query once the replica
+is warm.  Results are bit-identical across backends because every shard
+task is a pure function of (shard state at a generation, query).
+
 Repeated interactive queries are served from a bounded
 :class:`~repro.pipeline.cache.VersionedLRU` keyed on
 ``(op, query, limit)`` and validated against the tuple of per-shard
 *generations* — ``put``/``delete`` bump only the owning shard's counter,
 so a write to one shard invalidates exactly the cached results that could
-see it, lazily, with no invalidation hooks.  ``query_cache_entries=0``
-disables the cache (the bit-identical reference configuration).
+see it, lazily, with no invalidation hooks.  Under concurrency the
+generation tuple is snapshotted *before* the scatter and re-checked after:
+a result that raced a write is returned to its caller (it observed some
+interleaving a serial execution could also produce) but never cached, so
+the cache only ever stores values computed from one consistent generation
+tuple.  ``query_cache_entries=0`` disables the cache (the bit-identical
+reference configuration).
 
-With ``shards=1`` every operation delegates straight to the one
-underlying index, making results and iteration order bit-identical to the
-unsharded seed behaviour — the property the shard-invariance suite pins.
+With ``shards=1`` and the serial executor every operation delegates
+straight to the one underlying index, making results and iteration order
+bit-identical to the unsharded seed behaviour — the property the
+shard-invariance suite pins.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 from itertools import islice
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.pipeline.cache import MISS, VersionedLRU
+from repro.pipeline.executors import SerialExecutor, ShardExecutor, next_replica_key
 from repro.pipeline.sharding import ShardMap
 from repro.search.index import SearchIndex
 
 __all__ = ["ShardedSearchIndex"]
+
+
+# Module-level shard tasks: picklable work units the process backend can
+# ship to its replica-holding workers (a bound method would drag the whole
+# index along on every call).
+
+def _shard_search(index: SearchIndex, query: str, limit: Optional[int]) -> List[str]:
+    return index.search(query, limit=limit)
+
+
+def _shard_count(index: SearchIndex, query: str) -> int:
+    return index.count(query)
+
+
+def _shard_aggregate(index: SearchIndex, query: str, field: str) -> Dict[Any, int]:
+    return index.aggregate(query, field)
 
 
 class ShardedSearchIndex:
@@ -53,6 +87,7 @@ class ShardedSearchIndex:
         shard_map: Optional[ShardMap] = None,
         accelerated: bool = True,
         query_cache_entries: int = 256,
+        executor: Optional[ShardExecutor] = None,
     ) -> None:
         self.shard_map = shard_map or ShardMap(1)
         self.indexes = [SearchIndex(accelerated=accelerated) for _ in range(self.shard_map.shards)]
@@ -60,6 +95,13 @@ class ShardedSearchIndex:
         self._doc_shard: Dict[str, int] = {}
         self.queries_run = 0
         self._query_cache = VersionedLRU(query_cache_entries)
+        #: Pluggable scatter backend; serial = the reference loop.
+        self.executor = executor or SerialExecutor()
+        #: Guards the routing dict, the query counter, and generation
+        #: snapshots so ``generations()`` is atomic w.r.t. writes.
+        self._lock = threading.Lock()
+        #: Namespace for this router's shard replicas on process workers.
+        self._replica_key = next_replica_key("search-index")
 
     @property
     def shards(self) -> int:
@@ -72,17 +114,19 @@ class ShardedSearchIndex:
 
     def put(self, doc_id: str, doc: Dict[str, List[Any]]) -> None:
         shard = self.shard_map.shard_of(doc_id)
-        self.indexes[shard].put(doc_id, doc)
-        # Replacement moves the doc to the end of iteration order, exactly
-        # like the single index's delete-then-insert.
-        self._doc_shard.pop(doc_id, None)
-        self._doc_shard[doc_id] = shard
+        with self._lock:
+            self.indexes[shard].put(doc_id, doc)
+            # Replacement moves the doc to the end of iteration order,
+            # exactly like the single index's delete-then-insert.
+            self._doc_shard.pop(doc_id, None)
+            self._doc_shard[doc_id] = shard
 
     def delete(self, doc_id: str) -> bool:
-        shard = self._doc_shard.pop(doc_id, None)
-        if shard is None:
-            return False
-        return self.indexes[shard].delete(doc_id)
+        with self._lock:
+            shard = self._doc_shard.pop(doc_id, None)
+            if shard is None:
+                return False
+            return self.indexes[shard].delete(doc_id)
 
     def get(self, doc_id: str) -> Optional[Dict[str, List[Any]]]:
         shard = self._doc_shard.get(doc_id)
@@ -117,64 +161,114 @@ class ShardedSearchIndex:
         return [len(index) for index in self.indexes]
 
     def generations(self) -> Tuple[int, ...]:
-        """Per-shard mutation counters — the query-cache validity key."""
-        return tuple(index.generation for index in self.indexes)
+        """Per-shard mutation counters — the query-cache validity key.
+
+        Taken under the router lock, so the tuple is an atomic snapshot:
+        it can never interleave with a ``put``/``delete`` and mix a shard's
+        pre-write counter with another's post-write one.
+        """
+        with self._lock:
+            return tuple(index.generation for index in self.indexes)
+
+    # -- the parallel scatter ------------------------------------------------
+
+    def _snapshot_shard(self, shard: int) -> Tuple[int, bytes]:
+        """(generation, pickled shard) captured atomically for replication."""
+        with self._lock:
+            return self.indexes[shard].snapshot_bytes()
+
+    def _scatter(self, fn: Any, args: tuple, gens: Tuple[int, ...]) -> List[Any]:
+        """Run ``fn(index, *args)`` on every shard through the executor."""
+        return self.executor.map_stateful(
+            fn,
+            self.indexes,
+            [args] * len(self.indexes),
+            key=self._replica_key,
+            versions=list(gens),
+            snapshot=self._snapshot_shard,
+        )
+
+    def _bump_queries(self) -> None:
+        with self._lock:
+            self.queries_run += 1
 
     # -- querying ----------------------------------------------------------
 
     def search(self, query: str, limit: Optional[int] = None) -> List[str]:
         """Scatter-gather with limit pushdown and a k-way sorted merge."""
-        self.queries_run += 1
-        cached = self._cache_get(("search", query, limit))
+        self._bump_queries()
+        gens = self.generations()
+        cached = self._cache_get(("search", query, limit), gens)
         if cached is not MISS:
             return list(cached)
-        if len(self.indexes) == 1:
+        if len(self.indexes) == 1 and self.executor.inline:
             hits = self.indexes[0].search(query, limit=limit)
         else:
             # Each shard's list is sorted ascending, so its first `limit`
             # ids form a superset of that shard's contribution to the
             # global first `limit`; the merge stops at `limit` elements.
-            per_shard = [index.search(query, limit=limit) for index in self.indexes]
+            per_shard = self._scatter(_shard_search, (query, limit), gens)
             merged = heapq.merge(*per_shard)
             hits = list(islice(merged, limit) if limit is not None else merged)
-        self._cache_put(("search", query, limit), hits)
+        self._cache_put_checked(("search", query, limit), gens, hits)
         return list(hits)
 
     def count(self, query: str) -> int:
         """Matching-document count: per-shard counts sum, no hit lists."""
-        self.queries_run += 1
-        cached = self._cache_get(("count", query, None))
+        self._bump_queries()
+        gens = self.generations()
+        cached = self._cache_get(("count", query, None), gens)
         if cached is not MISS:
             return cached
-        total = sum(index.count(query) for index in self.indexes)
-        self._cache_put(("count", query, None), total)
+        if len(self.indexes) == 1 and self.executor.inline:
+            total = self.indexes[0].count(query)
+        else:
+            total = sum(self._scatter(_shard_count, (query,), gens))
+        self._cache_put_checked(("count", query, None), gens, total)
         return total
 
     def aggregate(self, query: str, field: str) -> Dict[Any, int]:
         """Merged value counts with the unsharded (-count, value) order."""
-        cached = self._cache_get(("aggregate", query, field))
+        gens = self.generations()
+        cached = self._cache_get(("aggregate", query, field), gens)
         if cached is not MISS:
             return dict(cached)
-        if len(self.indexes) == 1:
+        if len(self.indexes) == 1 and self.executor.inline:
             counts = self.indexes[0].aggregate(query, field)
         else:
-            counts = {}
-            for index in self.indexes:
-                for value, count in index.aggregate(query, field).items():
+            per_shard = self._scatter(_shard_aggregate, (query, field), gens)
+            counts: Dict[Any, int] = {}
+            for shard_counts in per_shard:
+                for value, count in shard_counts.items():
                     counts[value] = counts.get(value, 0) + count
             counts = dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
-        self._cache_put(("aggregate", query, field), counts)
+        self._cache_put_checked(("aggregate", query, field), gens, counts)
         return dict(counts)
 
     # -- the query-result cache --------------------------------------------
 
-    def _cache_get(self, key: Tuple[Any, ...]) -> Any:
+    def _cache_get(self, key: Tuple[Any, ...], gens: Tuple[int, ...]) -> Any:
         if not self._query_cache.enabled:
             return MISS
-        return self._query_cache.get(key, self.generations())
+        return self._query_cache.get(key, gens)
 
-    def _cache_put(self, key: Tuple[Any, ...], value: Any) -> None:
-        self._query_cache.put(key, self.generations(), value)
+    def _cache_put_checked(
+        self, key: Tuple[Any, ...], gens: Tuple[int, ...], value: Any
+    ) -> None:
+        """Cache ``value`` only if no shard changed during the scatter.
+
+        ``gens`` is the atomic snapshot taken before the scatter; if the
+        current snapshot differs, a write raced the computation and the
+        (possibly torn) result must not be stored.  A write landing *after*
+        this check is harmless — the entry is correctly labeled with the
+        generation tuple its value was computed from, and the newer
+        generation invalidates it lazily on the next read.
+        """
+        if not self._query_cache.enabled:
+            return
+        if self.generations() != gens:
+            return
+        self._query_cache.put(key, gens, value)
 
     def cache_report(self) -> Dict[str, Any]:
         return self._query_cache.report()

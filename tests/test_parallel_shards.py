@@ -1,0 +1,469 @@
+"""The parallel shard execution tier (PR 6).
+
+Pins the tentpole contract: every executor backend — serial, thread,
+process — produces **bit-identical** results for scatter-gather queries,
+WAL recovery, and the batch serving paths, for shard counts 1, 2, and 4.
+Plus the concurrency satellites: thread-safe versioned caches with
+contention accounting, idempotent close, nested-fan-out inlining, and
+the process backend's replica shipping / unpicklable-work fallback.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.platform import CensysPlatform, PlatformConfig
+from repro.pipeline import (
+    EventKind,
+    ProcessShardExecutor,
+    SerialExecutor,
+    ShardMap,
+    ShardTaskError,
+    ShardedJournal,
+    ThreadShardExecutor,
+    VersionedLRU,
+    make_executor,
+)
+from repro.pipeline.cache import MISS
+from repro.search import ShardedSearchIndex
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+
+SHARD_COUNTS = (1, 2, 4)
+BACKENDS = ("thread", "process")
+
+QUERIES = (
+    "services.service_name: HTTP",
+    "services.port: [100 to 500]",
+    "services.service_name: HTTP and location.country: US",
+    "not services.service_name: SSH",
+    "nginx",
+)
+
+
+def build_index(shards: int, executor=None, query_cache_entries: int = 0):
+    """A synthetic corpus routed over ``shards`` index shards."""
+    index = ShardedSearchIndex(
+        ShardMap(shards), query_cache_entries=query_cache_entries, executor=executor
+    )
+    for n in range(64):
+        index.put(
+            f"host:10.0.{n // 16}.{n % 16}",
+            {
+                "services.service_name": [["HTTP", "SSH", "FTP"][n % 3]],
+                "services.software.product": [["nginx", "openssh", "vsftpd"][n % 3]],
+                "services.port": [(n % 7) * 100 + 22],
+                "location.country": [["US", "DE", "JP", "BR"][n % 4]],
+            },
+        )
+    return index
+
+
+def query_digest(index):
+    """Every query surface's full output, for cross-backend equality."""
+    return {
+        "search": {q: index.search(q) for q in QUERIES},
+        "limited": {q: index.search(q, limit=5) for q in QUERIES},
+        "count": {q: index.count(q) for q in QUERIES},
+        "aggregate": {
+            q: index.aggregate(q, "location.country") for q in QUERIES
+        },
+    }
+
+
+# -- module-level work units (picklable for the process backend) ------------
+
+def _double(x):
+    return x * 2
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+class TestExecutorBasics:
+    def test_make_executor_specs(self):
+        assert make_executor(None).kind == "serial"
+        assert make_executor("serial").kind == "serial"
+        thread = make_executor("thread", workers=2)
+        assert thread.kind == "thread" and thread.workers == 2
+        proc = make_executor("process")
+        assert proc.kind == "process" and proc.workers == 4
+        proc.close()
+        existing = SerialExecutor()
+        assert make_executor(existing) is existing
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+
+    @pytest.mark.parametrize("backend", ("serial",) + BACKENDS)
+    def test_map_shards_order_and_stats(self, backend):
+        ex = make_executor(backend, workers=3)
+        try:
+            assert ex.map_shards(_double, [(i,) for i in range(7)]) == [
+                i * 2 for i in range(7)
+            ]
+            report = ex.report()
+            assert report["kind"] == backend
+            assert report["tasks"] == 7 and report["batches"] == 1
+        finally:
+            ex.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_task_errors_propagate(self, backend):
+        ex = make_executor(backend, workers=2)
+        try:
+            with pytest.raises((ShardTaskError, ValueError)):
+                ex.map_shards(_boom, [(1,), (2,), (3,)])
+            # The pipes stay synchronized: the next scatter still works.
+            assert ex.map_shards(_double, [(4,), (5,)]) == [8, 10]
+        finally:
+            ex.close()
+
+    def test_process_unpicklable_falls_back_to_threads(self):
+        ex = ProcessShardExecutor(workers=2)
+        try:
+            state = {"base": 10}
+            out = ex.map_shards(lambda x: state["base"] + x, [(1,), (2,)])
+            assert out == [11, 12]
+            assert ex.report()["inline_fallbacks"] == 1
+        finally:
+            ex.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_nested_scatter_runs_inline(self, backend):
+        outer = make_executor(backend, workers=2)
+        inner = ThreadShardExecutor(workers=2)
+        try:
+            def task(n):
+                # Inside a shard task: the inner scatter must not re-enter
+                # a (possibly full) pool — the depth guard runs it inline.
+                return sum(inner.map_shards(_double, [(i,) for i in range(n)]))
+
+            assert outer.map_shards(task, [(3,), (4,)]) == [6, 12]
+            assert inner.report()["inline_fallbacks"] == 2
+        finally:
+            outer.close()
+            inner.close()
+
+    def test_serial_latency_model_flagged_not_inline(self):
+        assert SerialExecutor().inline
+        assert not SerialExecutor(latency_ms=0.5).inline
+        assert SerialExecutor(latency_ms=0.5).report()["latency_ms"] == 0.5
+        with pytest.raises(ValueError):
+            SerialExecutor(latency_ms=-1.0)
+
+
+class TestScatterGatherEquality:
+    """Tentpole invariant: backends are bit-identical to SerialExecutor."""
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_query_surfaces_bit_identical(self, shards, backend):
+        reference = query_digest(build_index(shards, SerialExecutor()))
+        ex = make_executor(backend, workers=3)
+        try:
+            assert query_digest(build_index(shards, ex)) == reference
+        finally:
+            ex.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_writes_after_queries_stay_visible(self, backend):
+        """Replica staleness: a write after a warm scatter must be seen."""
+        ex = make_executor(backend, workers=2)
+        try:
+            index = build_index(4, ex)
+            before = index.count("services.service_name: HTTP")
+            index.put(
+                "host:10.9.9.9",
+                {"services.service_name": ["HTTP"], "services.port": [80],
+                 "location.country": ["US"],
+                 "services.software.product": ["nginx"]},
+            )
+            assert index.count("services.service_name: HTTP") == before + 1
+            assert "host:10.9.9.9" in index.search("services.service_name: HTTP")
+            index.delete("host:10.9.9.9")
+            assert index.count("services.service_name: HTTP") == before
+        finally:
+            ex.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_query_cache_composes_with_parallel_scatter(self, backend):
+        ex = make_executor(backend, workers=2)
+        try:
+            index = build_index(4, ex, query_cache_entries=32)
+            first = query_digest(index)
+            assert query_digest(index) == first       # all hits
+            assert index.cache_report()["hits"] > 0
+            assert first == query_digest(build_index(4, SerialExecutor()))
+        finally:
+            ex.close()
+
+
+class TestParallelRecovery:
+    def _write_corpus(self, directory, shards):
+        journal = ShardedJournal.durable(str(directory), ShardMap(shards))
+        for i in range(40):
+            entity = f"host:10.2.{i % 8}.{i}"
+            journal.append(
+                entity, float(i), EventKind.SERVICE_FOUND,
+                {"key": f"{80 + i % 3}/tcp", "record": {"banner": f"b{i}"}},
+            )
+            if i % 5 == 0:
+                journal.append(
+                    entity, float(i) + 0.5, EventKind.SERVICE_REMOVED,
+                    {"key": f"{80 + i % 3}/tcp"},
+                )
+        journal.close()
+
+    def _digest(self, journal):
+        ids = sorted(journal.entity_ids())
+        return {
+            "ids": ids,
+            "states": [journal.reconstruct(e) for e in ids],
+            "events": journal.stats.events,
+            "per_shard": journal.events_per_shard(),
+        }
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_recovery_identical_across_backends(self, tmp_path, shards, backend):
+        self._write_corpus(tmp_path, shards)
+        reference = self._digest(
+            ShardedJournal.recover(str(tmp_path), ShardMap(shards), executor=None)
+        )
+        ex = make_executor(backend, workers=3)
+        try:
+            recovered = ShardedJournal.recover(
+                str(tmp_path), ShardMap(shards), executor=ex
+            )
+            assert self._digest(recovered) == reference
+            # The parent reopened the WAL: appends resume post-recovery.
+            recovered.append(
+                "host:10.2.0.0", 99.0, EventKind.SERVICE_FOUND,
+                {"key": "443/tcp", "record": {}},
+            )
+            recovered.close()
+        finally:
+            ex.close()
+
+    def test_process_recovery_reattaches_fault_injector(self, tmp_path):
+        self._write_corpus(tmp_path, 2)
+        ex = ProcessShardExecutor(workers=2)
+        sentinel = object()
+        try:
+            recovered = ShardedJournal.recover(
+                str(tmp_path), ShardMap(2), executor=ex, fault_injector=sentinel
+            )
+            assert all(j.fault_injector is sentinel for j in recovered.journals)
+            recovered.close()
+        finally:
+            ex.close()
+
+
+class TestBatchServing:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_simnet(
+            bits=10,
+            workload_config=WorkloadConfig(
+                seed=31, services_target=60, t_start=-4 * DAY, t_end=4 * DAY
+            ),
+            seed=31,
+        )
+
+    def _platform(self, world, executor):
+        plat = CensysPlatform(
+            world,
+            PlatformConfig(
+                shards=4, seed=31, predictive_daily_budget=200, executor=executor
+            ),
+            start_time=-2 * DAY,
+        )
+        plat.run_until(0.0, tick_hours=6.0)
+        return plat
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_paths_match_serial_loops(self, world, backend):
+        base = self._platform(world, "serial")
+        plat = self._platform(world, backend)
+        try:
+            ips = list(range(0, world.space.size, max(1, world.space.size // 50)))
+            expected = [base.lookup_host(i) for i in ips]
+            assert plat.lookup_many(ips) == expected
+            assert base.lookup_many(ips) == expected   # serial batch == loop
+
+            queries = list(QUERIES) * 3
+            expected_hits = [base.search(q, limit=10) for q in queries]
+            assert plat.search_many(queries, limit=10) == expected_hits
+            assert base.search_many(queries, limit=10) == expected_hits
+
+            served = plat.traffic_report()["stages"]["serving"]
+            assert served["lookups_served"] >= len(ips)
+            assert served["searches_served"] >= len(queries)
+        finally:
+            base.close()
+            plat.close()
+
+    def test_platform_executor_report_and_close(self, world):
+        plat = self._platform(world, "thread")
+        plat.search("services.service_name: HTTP", limit=10)
+        report = plat.traffic_report()["executor"]
+        assert report["kind"] == "thread"
+        assert report["batches"] > 0
+        plat.close()
+        plat.close()                     # idempotent
+        assert plat.journal.closed
+
+
+class TestThreadSafety:
+    def test_versioned_lru_hammer(self):
+        lru = VersionedLRU(max_entries=64)
+        stop = threading.Event()
+        errors = []
+
+        def worker(tid):
+            try:
+                version = 0
+                for n in range(3000):
+                    key = ("q", n % 80)
+                    if n % 7 == 0:
+                        version += 1
+                    value = lru.get(key, version)
+                    if value is MISS:
+                        lru.put(key, version, (tid, n))
+                    if n % 911 == 0:
+                        lru.clear()
+            except Exception as exc:  # pragma: no cover - the failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        report = lru.report()
+        assert "lock_contention" in report
+        assert report["hits"] + report["misses"] > 0
+        assert report["entries"] <= 64
+
+    def test_sharded_index_concurrent_reads_and_writes(self):
+        """The hammer: interleaved put/search/aggregate from many threads
+        never crashes, never poisons the cache, and quiesces to the same
+        answers a fresh serial index gives."""
+        ex = ThreadShardExecutor(workers=4)
+        index = build_index(4, ex, query_cache_entries=64)
+        errors = []
+        done = threading.Event()
+
+        def writer():
+            try:
+                for n in range(200):
+                    index.put(
+                        f"host:10.8.0.{n % 32}",
+                        {"services.service_name": ["HTTP"],
+                         "services.software.product": ["nginx"],
+                         "services.port": [8080],
+                         "location.country": ["US"]},
+                    )
+                    if n % 3 == 0:
+                        index.delete(f"host:10.8.0.{n % 32}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    for q in QUERIES:
+                        hits = index.search(q, limit=10)
+                        assert len(hits) <= 10
+                        assert index.count(q) >= 0
+                        index.aggregate(q, "location.country")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ex.close()
+        assert not errors
+        # Quiesced: every cached and recomputed answer matches a serial
+        # rebuild of the identical final corpus.
+        reference = ShardedSearchIndex(ShardMap(4), query_cache_entries=0)
+        for doc_id, doc in index.items():
+            reference.put(doc_id, doc)
+        assert query_digest(index) == query_digest(reference)
+
+    def test_concurrent_scatters_through_process_backend(self):
+        ex = ProcessShardExecutor(workers=2)
+        index = build_index(4, ex, query_cache_entries=0)
+        reference = query_digest(build_index(4, SerialExecutor()))
+        errors = []
+
+        def client():
+            try:
+                for _ in range(5):
+                    assert query_digest(index) == reference
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ex.close()
+        assert not errors
+
+
+class TestIdempotentClose:
+    def test_sharded_journal_close_twice(self, tmp_path):
+        journal = ShardedJournal.durable(str(tmp_path), ShardMap(2))
+        journal.append("host:10.3.0.1", 1.0, EventKind.SERVICE_FOUND,
+                       {"key": "80/tcp", "record": {}})
+        assert not journal.closed
+        journal.close()
+        assert journal.closed
+        journal.close()                  # second close: a no-op, no error
+        # In-memory reads still work after close.
+        assert journal.reconstruct("host:10.3.0.1")["services"]
+
+    def test_close_races_with_in_flight_reads(self, tmp_path):
+        """Closing while an executor still holds shard refs is safe."""
+        journal = ShardedJournal.durable(str(tmp_path), ShardMap(2))
+        for i in range(20):
+            journal.append(f"host:10.4.0.{i}", float(i), EventKind.SERVICE_FOUND,
+                           {"key": "80/tcp", "record": {}})
+        errors = []
+
+        def reader():
+            try:
+                for i in range(20):
+                    journal.reconstruct(f"host:10.4.0.{i}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def closer():
+            try:
+                journal.close()
+                journal.close()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(2)] + [
+            threading.Thread(target=closer) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors and journal.closed

@@ -255,6 +255,7 @@ class TestTrafficReportSchema:
             "scheduler",
             "shards",
             "read_cache",
+            "executor",
         }
         assert set(report["stages"]) == {
             "discovery", "interrogation", "ingest", "derivation", "serving"
@@ -291,11 +292,19 @@ class TestTrafficReportSchema:
         assert report["total_probes"] == sum(report["probes_by_tier"].values())
         # Satellite: the read-path cache counters (reconstruction hits/misses,
         # view + query-cache stats, per-shard versions/generations).
-        cache_keys = {"hits", "misses", "invalidations", "evictions", "hit_rate", "entries"}
+        cache_keys = {
+            "hits", "misses", "invalidations", "evictions", "hit_rate", "entries",
+            "lock_contention",
+        }
         assert set(report["read_cache"]) == {"enabled", "reconstruction", "views", "query"}
         assert report["read_cache"]["enabled"] is True
         for block in ("reconstruction", "views", "query"):
             assert set(report["read_cache"][block]) == cache_keys, block
+        # Satellite: the executor block (parallel shard execution tier).
+        assert set(report["executor"]) == {
+            "kind", "workers", "latency_ms", "batches", "tasks", "inline_fallbacks",
+        }
+        assert report["executor"]["kind"] == "serial"
         # The platform's own reindex/serving traffic must already be hitting.
         assert report["read_cache"]["reconstruction"]["misses"] > 0
         assert len(report["shards"]["journal_versions_per_shard"]) == 2
