@@ -13,6 +13,12 @@ Three suites, selected with ``--suite``:
   ``benchmarks/results/BENCH_serving.json`` with per-segment p50/p95
   latency proxies, ops/s, cache hit rates, and cached-over-uncached
   speedups.
+* ``replication`` — the per-shard replication tier: ingest wall-clock for
+  the same batched workload at replication factor 0 / 1 / 2 (factor-0 is
+  the pre-replication pipeline, so the ratios are the tier's overhead),
+  plus timed ``kill_primary()`` → ``fail_over()`` promotions over lossy
+  links with the replayed tail size and a zero-acked-write-loss check on
+  every promotion → ``benchmarks/results/BENCH_replication.json``.
 * ``load`` — the closed-loop load generator for the parallel shard
   execution tier: N concurrent client threads replay seeded Zipfian
   query schedules against three identically-built 4-shard platforms,
@@ -486,6 +492,170 @@ def bench_load(
     }
 
 
+def bench_replication(ops_scale: float = 1.0, seed: int = 11, rounds: int = 12) -> dict:
+    """Replication ingest overhead and failover promotion latency.
+
+    The workload is a fixed schedule of atomic WAL batches appended
+    through one :class:`ReplicatedShard`.  Ingest timing runs the full
+    schedule (including the per-batch replication pump and final
+    catch-up) at factor 0 / 1 / 2 over perfect links — factor 0 has no
+    replicator attached, so the ratios isolate the tier's cost.  The
+    failover segment ingests over *lossy* links so replicas genuinely
+    lag, then times ``kill_primary()`` + ``fail_over()`` and checks the
+    promoted journal holds every acked write (the chaos suite's
+    invariant, re-asserted here so the bench can't report a fast but
+    lossy promotion).
+    """
+    import tempfile
+
+    from repro.pipeline import FaultPlan
+    from repro.pipeline.replication import ReplicatedShard
+
+    n_batches = max(40, int(300 * ops_scale))
+    events_per_batch = 4
+    rng = random.Random(seed)
+    batches = []
+    t = 0.0
+    for _ in range(n_batches):
+        batch = []
+        for _ in range(events_per_batch):
+            t += 0.25
+            ip = f"10.{rng.randrange(4)}.{rng.randrange(16)}.{rng.randrange(256)}"
+            batch.append(
+                (
+                    f"host:{ip}",
+                    t,
+                    "service_found",
+                    {
+                        "key": f"{rng.choice([22, 80, 443, 3306])}/tcp",
+                        "record": {"banner": f"svc-{rng.randrange(1000)}"},
+                        "source": "scan",
+                    },
+                )
+            )
+        batches.append(batch)
+    total_events = n_batches * events_per_batch
+
+    def ingest_once(factor: int) -> float:
+        with tempfile.TemporaryDirectory(prefix="bench-repl-") as root:
+            shard = ReplicatedShard(
+                os.path.join(root, "shard"),
+                replication_factor=factor,
+                plan=None,
+                snapshot_every=32,
+                segment_max_records=256,
+            )
+            t0 = time.perf_counter()
+            for batch in batches:
+                with shard.primary.transaction():
+                    for entity_id, at, kind, payload in batch:
+                        shard.primary.append(entity_id, at, kind, payload)
+                if factor:
+                    shard.pump(1)
+            wall = time.perf_counter() - t0
+            if shard.replicator.watermark() != n_batches:  # pragma: no cover
+                raise SystemExit(
+                    f"factor {factor}: watermark {shard.replicator.watermark()} "
+                    f"!= {n_batches} batches over perfect links"
+                )
+            assert shard.primary.stats.events == total_events
+            shard.close()
+            return wall
+
+    ingest_reps = 5
+    ingest_out = {}
+    for factor in (0, 1, 2):
+        walls = sorted(ingest_once(factor) for _ in range(ingest_reps))
+        median = statistics.median(walls)
+        ingest_out[f"factor_{factor}"] = {
+            "median_ms": round(median * 1e3, 3),
+            "p90_ms": round(walls[int(0.9 * (len(walls) - 1))] * 1e3, 3),
+            "events_per_s": round(total_events / median, 1),
+            "reps": ingest_reps,
+        }
+    base = ingest_out["factor_0"]["median_ms"]
+    overhead = {
+        f"factor_{f}": round(ingest_out[f"factor_{f}"]["median_ms"] / base, 3)
+        for f in (1, 2)
+    }
+
+    promote_samples = []
+    tails = []
+    for r in range(rounds):
+        plan = FaultPlan(
+            seed=seed + 1000 * (r + 1),
+            drop_rate=0.2,
+            duplicate_rate=0.1,
+            reorder_rate=0.2,
+            delay_rate=0.1,
+            max_delay_rounds=2,
+        )
+        with tempfile.TemporaryDirectory(prefix="bench-repl-fo-") as root:
+            shard = ReplicatedShard(
+                os.path.join(root, "shard"),
+                replication_factor=2,
+                ack_replicas=2,
+                plan=plan,
+                snapshot_every=32,
+                segment_max_records=256,
+            )
+            for batch in batches:
+                with shard.primary.transaction():
+                    for entity_id, at, kind, payload in batch:
+                        shard.primary.append(entity_id, at, kind, payload)
+                shard.pump(1)
+            report = shard.replicator.report()
+            watermark = report["watermark"]
+            # The most-advanced replica's tail beyond the watermark is what
+            # fail_over() replays into the new primary's WAL.
+            tails.append(n_batches - min(report["lag_batches"]) - watermark)
+            acked_events = watermark * events_per_batch
+            t0 = time.perf_counter()
+            shard.kill_primary()
+            promoted = shard.fail_over()
+            promote_samples.append(time.perf_counter() - t0)
+            if promoted.stats.events < acked_events:  # pragma: no cover
+                raise SystemExit(
+                    f"round {r}: promotion lost acked writes "
+                    f"({promoted.stats.events} < {acked_events}) — plan {plan!r}"
+                )
+            # The new epoch's replicas catch up from the promoted log.
+            for _ in range(500):
+                if shard.replicator.watermark() == len(shard.replicator.log):
+                    break
+                shard.pump(1)
+            else:  # pragma: no cover
+                raise SystemExit(f"round {r}: post-failover catch-up stalled")
+            shard.close()
+    promote_samples.sort()
+
+    return {
+        "config": {
+            "seed": seed,
+            "ops_scale": ops_scale,
+            "batches": n_batches,
+            "events_per_batch": events_per_batch,
+            "ingest_reps": ingest_reps,
+            "failover_rounds": rounds,
+            "failover_plan": {
+                "drop_rate": 0.2, "duplicate_rate": 0.1, "reorder_rate": 0.2,
+                "delay_rate": 0.1, "max_delay_rounds": 2,
+            },
+            "zero_acked_loss_checked": True,
+        },
+        "ingest": ingest_out,
+        "overhead_vs_factor_0": overhead,
+        "failover": {
+            "promote_median_ms": round(statistics.median(promote_samples) * 1e3, 3),
+            "promote_p90_ms": round(
+                promote_samples[int(0.9 * (len(promote_samples) - 1))] * 1e3, 3
+            ),
+            "tail_batches_replayed_mean": round(sum(tails) / len(tails), 2),
+            "tail_batches_replayed_max": max(tails),
+        },
+    }
+
+
 def _git_commit() -> str:
     try:
         return subprocess.run(
@@ -498,15 +668,17 @@ def _git_commit() -> str:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", choices=["micro", "serving", "load"], default="micro")
+    parser.add_argument(
+        "--suite", choices=["micro", "serving", "load", "replication"], default="micro"
+    )
     parser.add_argument("--rounds", type=int, default=30, help="micro: timing samples per path")
     parser.add_argument(
         "--ops-scale", type=float, default=1.0,
-        help="serving/load: scale factor on op counts (CI smoke uses < 1)",
+        help="serving/load/replication: scale factor on op counts (CI smoke uses < 1)",
     )
     parser.add_argument(
         "--seed", type=int, default=11,
-        help="serving/load: world + schedule seed (recorded in the emitted JSON)",
+        help="serving/load/replication: world + schedule seed (recorded in the emitted JSON)",
     )
     parser.add_argument(
         "--workers", type=int, default=4,
@@ -522,6 +694,28 @@ def main() -> None:
         "for the suite); smoke runs point this elsewhere to leave committed results alone",
     )
     args = parser.parse_args()
+
+    if args.suite == "replication":
+        replication = bench_replication(ops_scale=args.ops_scale, seed=args.seed)
+        payload = {
+            "commit": _git_commit(),
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            **replication,
+        }
+        out_path = args.out
+        if out_path is None:
+            RESULTS.mkdir(exist_ok=True)
+            out_path = RESULTS / "BENCH_replication.json"
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(json.dumps(
+            {
+                "overhead_vs_factor_0": payload["overhead_vs_factor_0"],
+                "promote_median_ms": payload["failover"]["promote_median_ms"],
+            },
+            indent=2,
+        ))
+        print(f"wrote {out_path}")
+        return
 
     if args.suite == "load":
         load = bench_load(

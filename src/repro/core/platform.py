@@ -107,6 +107,22 @@ class PlatformConfig:
     executor: Any = "serial"
     #: Worker count for pooled executors (None = backend default).
     executor_workers: Optional[int] = None
+    #: Replica journals per shard (0 = no replication: the pre-replication
+    #: platform, bit-identical).  Requires ``wal_dir`` — replication ships
+    #: committed WAL batches, so shards must be durable.
+    replication_factor: int = 0
+    #: Replicas that must hold a batch before it counts as acknowledged
+    #: (None = all of them; see pipeline/replication.py watermark notes).
+    replication_ack_replicas: Optional[int] = None
+    #: Serve single-host lookups from replicas when within the staleness
+    #: bound below (batch endpoints always read the primary).
+    replica_reads: bool = False
+    #: Staleness bound for replica reads, in whole-shard journal events
+    #: (0 = only fully caught-up replicas may serve).
+    replica_max_lag_events: int = 0
+    #: Optional FaultPlan for the simulated replication transport (chaos
+    #: tests; None = perfect links).
+    replication_plan: Any = None
 
 
 class CensysPlatform:
@@ -136,6 +152,25 @@ class CensysPlatform:
             self.journal = ShardedJournal.durable(cfg.wal_dir, self.shard_map)
         else:
             self.journal = ShardedJournal(self.shard_map)
+        self.replication = None
+        if cfg.replication_factor > 0:
+            if not cfg.wal_dir:
+                raise ValueError(
+                    "replication_factor > 0 requires wal_dir: replication ships "
+                    "committed WAL batches, so shard journals must be durable"
+                )
+            from repro.pipeline.replication import ReplicationManager
+
+            self.replication = ReplicationManager(
+                self.journal,
+                cfg.replication_factor,
+                cfg.wal_dir,
+                plan=cfg.replication_plan,
+                ack_replicas=cfg.replication_ack_replicas,
+                serve_reads=cfg.replica_reads,
+                max_lag_events=cfg.replica_max_lag_events,
+                executor=self.executor,
+            )
         self.bus = EventBus()
         self.write_side = WriteSideProcessor(
             self.journal, self.bus, filter_pseudo_services=cfg.filter_pseudo_services
@@ -217,6 +252,7 @@ class CensysPlatform:
             internet, self.journal, self.read_side, self.index,
             reconstruction_cache=self.reconstruction_cache,
             executor=self.executor,
+            replication=self.replication,
         )
         self.stages = [
             self.discovery, self.interrogation, self.ingest, self.derivation, self.serving
@@ -245,6 +281,8 @@ class CensysPlatform:
         now = self.clock.now
         self.interrogation.advance(now, dt)
         self.ingest.pump()
+        if self.replication is not None:
+            self.replication.pump()
         self.derivation.advance()
         if now - self._last_daily >= 24.0:
             self._daily_housekeeping(now)
@@ -254,6 +292,8 @@ class CensysPlatform:
         self.ingest.evict_due(now, self.scheduler, self.predictive)
         self.derivation.daily(now)
         self.ingest.pump()
+        if self.replication is not None:
+            self.replication.pump()
         self.derivation.advance()
         if self.config.snapshot_daily:
             self.snapshot_now()
@@ -303,6 +343,23 @@ class CensysPlatform:
         """Real-time user scan requests jump the queue."""
         self.queue.push_new(ip_index, port, transport, source="user", not_before=self.clock.now)
 
+    def fail_over(self, shard: int):
+        """Kill one shard's primary journal and promote its most-advanced
+        replica (chaos drills / injected node loss).
+
+        Read caches are cleared afterwards: the promoted journal's version
+        counters can sit *below* values already cached for the dead
+        primary, which lazy version-equality checks cannot distinguish
+        from 'unchanged'.  Derived stores (search index, secondary pivots)
+        are not rolled back; see DESIGN.md §5e.  Returns the promoted
+        :class:`~repro.pipeline.journal.EventJournal`.
+        """
+        if self.replication is None:
+            raise RuntimeError("fail_over requires replication_factor > 0")
+        promoted = self.replication.fail_over(shard)
+        self.read_side.clear_caches()
+        return promoted
+
     def on_new_endpoints(self, instances: List[ServiceInstance]) -> None:
         """Notify running tiers about endpoints injected mid-run (honeypots)."""
         self.discovery.sweep.notify_new_instances(instances)
@@ -348,6 +405,8 @@ class CensysPlatform:
         built with ``executor="thread"``/``"process"`` so worker threads
         and processes do not outlive the platform.
         """
+        if self.replication is not None:
+            self.replication.close()
         self.journal.close()
         self.executor.close()
 
@@ -404,4 +463,9 @@ class CensysPlatform:
                 "query": self.index.cache_report(),
             },
             "executor": self.executor.report(),
+            "replication": (
+                {"enabled": True, **self.replication.report()}
+                if self.replication is not None
+                else {"enabled": False}
+            ),
         }

@@ -37,6 +37,7 @@ class ServingLayer:
         analytics: Optional[SnapshotStore] = None,
         reconstruction_cache: Optional[ReconstructionCache] = None,
         executor: Optional[ShardExecutor] = None,
+        replication: Optional[Any] = None,
     ) -> None:
         self.internet = internet
         self.journal = journal
@@ -47,8 +48,12 @@ class ServingLayer:
         self.reconstruction_cache = reconstruction_cache
         #: Fan-out backend for the batch endpoints (serial = reference).
         self.executor = executor or SerialExecutor()
+        #: Bounded-staleness replica reads (a ReplicationManager); None or
+        #: a manager with serve_reads=False keeps every read on the primary.
+        self.replication = replication
         self.counters = StageCounters(
             lookups_served=0,
+            replica_lookups_served=0,
             searches_served=0,
             snapshots_taken=0,
             documents_exported=0,
@@ -60,9 +65,21 @@ class ServingLayer:
     # -- the fast lookup API --------------------------------------------------
 
     def lookup_host(self, ip_index: int, at: Optional[float] = None) -> Dict[str, Any]:
-        """Host state by address (and timestamp), enriched at read time."""
+        """Host state by address (and timestamp), enriched at read time.
+
+        With replication enabled for reads, an eligible replica (within
+        the staleness bound AND holding the entity at the primary's exact
+        version — so the answer is bit-identical and read-your-writes
+        holds) serves the lookup; otherwise the primary does.
+        """
         self.counters.bump("lookups_served")
-        return self.read_side.lookup(self.entity_for_ip(ip_index), at=at)
+        entity_id = self.entity_for_ip(ip_index)
+        if self.replication is not None:
+            replica = self.replication.replica_for_read(entity_id)
+            if replica is not None:
+                self.counters.bump("replica_lookups_served")
+                return self.read_side.lookup(entity_id, at=at, journal=replica)
+        return self.read_side.lookup(entity_id, at=at)
 
     def host_view(self, ip_index: int, at: Optional[float] = None):
         """Typed variant of :meth:`lookup_host` (a HostView dataclass)."""

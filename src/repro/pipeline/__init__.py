@@ -26,7 +26,15 @@ from repro.pipeline.faults import (
 )
 from repro.pipeline.journal import EventJournal, JournalStats
 from repro.pipeline.queues import EventBus
-from repro.pipeline.sharding import ShardMap, ShardedJournal
+from repro.pipeline.replication import (
+    ReplicaState,
+    ReplicatedShard,
+    ReplicationBatch,
+    ReplicationError,
+    ReplicationManager,
+    ShardReplicator,
+)
+from repro.pipeline.sharding import ShardMap, ShardRecoveryError, ShardedJournal
 from repro.pipeline.read_side import Enricher, ReadSide
 from repro.pipeline.reliability import DeadLetter, DeadLetterQueue, RetryPolicy
 from repro.pipeline.state import apply_event, live_services, new_entity_state
@@ -49,6 +57,7 @@ __all__ = [
     "VersionedLRU",
     "ShardMap",
     "ShardedJournal",
+    "ShardRecoveryError",
     "EventBus",
     "ReadSide",
     "Enricher",
@@ -80,4 +89,11 @@ __all__ = [
     "ProcessShardExecutor",
     "ShardTaskError",
     "make_executor",
+    # Replication & failover
+    "ReplicationBatch",
+    "ReplicationError",
+    "ReplicaState",
+    "ShardReplicator",
+    "ReplicatedShard",
+    "ReplicationManager",
 ]

@@ -84,7 +84,15 @@ __all__ = [
 
 
 class ShardTaskError(RuntimeError):
-    """A shard task raised; carries the worker-side traceback text."""
+    """A shard task raised; carries the worker-side traceback text and,
+    when known, which task index in the scatter failed (``task_index``)
+    so callers can attribute the failure to a shard."""
+
+    def __init__(self, message: str, task_index: Optional[int] = None) -> None:
+        if task_index is not None:
+            message = f"shard task {task_index} failed: {message}"
+        super().__init__(message)
+        self.task_index = task_index
 
 
 #: Thread-local nesting depth: >0 means "already inside a shard task", so
@@ -356,7 +364,7 @@ class ProcessShardExecutor(ShardExecutor):
             by_worker.setdefault(widx, []).append(tidx)
         order = sorted(by_worker)
         results: List[Any] = [None] * len(messages)
-        errors: List[str] = []
+        errors: List[Tuple[int, str]] = []
         acquired: List[int] = []
         try:
             for widx in order:
@@ -371,14 +379,15 @@ class ProcessShardExecutor(ShardExecutor):
                 for tidx in by_worker[widx]:
                     status, value = self._conns[widx].recv()
                     if status != "ok":
-                        errors.append(value)
+                        errors.append((tidx, value))
                     else:
                         results[tidx] = value
         finally:
             for widx in acquired:
                 self._conn_locks[widx].release()
         if errors:
-            raise ShardTaskError(errors[0])
+            tidx, value = errors[0]
+            raise ShardTaskError(value, task_index=tidx)
         return results
 
     def map_shards(self, fn: Callable[..., Any], args_list: Sequence[tuple]) -> List[Any]:

@@ -91,6 +91,12 @@ class EventJournal:
         self.wal = wal
         #: Consulted at commit time for simulated crash points (chaos tests).
         self.fault_injector = fault_injector
+        #: Called with each durably committed batch's raw WAL event dicts
+        #: (the replication shipping hook; see pipeline/replication.py).
+        #: Fires only after the batch is fsynced — never for torn or
+        #: "before"-mode crashed batches — so whatever the listener ships
+        #: is exactly the durable prefix.
+        self.commit_listener: Optional[Any] = None
         self._txn_depth = 0
         self._pending_events: List[Event] = []
         self._pending_snapshots: List[Tuple[str, int, float, Dict[str, Any]]] = []
@@ -113,6 +119,7 @@ class EventJournal:
             raise TypeError("cannot pickle an EventJournal with an open WAL")
         state = dict(self.__dict__)
         del state["_close_lock"]
+        state["commit_listener"] = None  # process-local, like the lock
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
@@ -217,6 +224,10 @@ class EventJournal:
         self.stats.wal_batches += 1
         self.stats.wal_events += len(events)
         self._pending_events.clear()
+        if self.commit_listener is not None:
+            # The batch is fsynced: ship-eligible even if the "after"-mode
+            # crash below fires (replication reads the durable WAL).
+            self.commit_listener(events)
         for entity_id, seq_after, time, state in self._pending_snapshots:
             self.wal.append_snapshot(entity_id, seq_after, time, state)
         self._pending_snapshots.clear()

@@ -67,14 +67,20 @@ class ReadSide:
         at: Optional[float] = None,
         include_pending: bool = True,
         enrich: bool = True,
+        journal: Optional[EventJournal] = None,
     ) -> Dict[str, Any]:
         """Reconstruct (and enrich) one entity at a timestamp.
 
         ``at=None`` serves the cached current state — the "fast lookup API"
-        path; passing a timestamp exercises snapshot + replay.
+        path; passing a timestamp exercises snapshot + replay.  ``journal``
+        overrides the backing journal for this one read (replica serving);
+        override reads bypass both caches — their validity keys belong to
+        the primary.
         """
         with self._count_lock:
             self.lookups += 1
+        if journal is not None:
+            return self._build_view(entity_id, at, include_pending, enrich, journal=journal)
         if not self._views.enabled:
             return self._build_view(entity_id, at, include_pending, enrich)
         version = self.journal.entity_version(entity_id)
@@ -87,9 +93,16 @@ class ReadSide:
         return view
 
     def _build_view(
-        self, entity_id: str, at: Optional[float], include_pending: bool, enrich: bool
+        self,
+        entity_id: str,
+        at: Optional[float],
+        include_pending: bool,
+        enrich: bool,
+        journal: Optional[EventJournal] = None,
     ) -> Dict[str, Any]:
-        if self.cache is not None:
+        if journal is not None:
+            state = journal.reconstruct(entity_id, at=at)
+        elif self.cache is not None:
             state = self.cache.reconstruct(entity_id, at=at)
         else:
             state = self.journal.reconstruct(entity_id, at=at)
@@ -110,6 +123,13 @@ class ReadSide:
             for enricher in self.enrichers:
                 enricher(view)
         return view
+
+    def clear_caches(self) -> None:
+        """Drop both read caches (failover can move versions *backwards*,
+        which the lazy equality checks cannot distinguish from 'unchanged')."""
+        if self.cache is not None:
+            self.cache.clear()
+        self._views.clear()
 
     def exists(self, entity_id: str) -> bool:
         return self.journal.has_entity(entity_id)

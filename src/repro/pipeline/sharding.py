@@ -38,12 +38,36 @@ from repro.pipeline.events import Event
 from repro.pipeline.journal import EventJournal, JournalStats
 from repro.pipeline.state import new_entity_state
 
-__all__ = ["ShardMap", "ShardedJournal"]
+__all__ = ["ShardMap", "ShardRecoveryError", "ShardedJournal"]
 
 
-def _recover_shard(directory: str, snapshot_every: int, kwargs: Dict[str, Any]) -> EventJournal:
+class ShardRecoveryError(RuntimeError):
+    """One shard's WAL replay failed; carries *which* shard and directory.
+
+    The executor backends collapse worker errors into a single re-raise,
+    which used to lose the failing shard's identity — operators need to
+    know which shard's WAL is torn before deciding what to rebuild.
+    """
+
+    def __init__(self, shard: int, directory: str, cause: BaseException) -> None:
+        super().__init__(
+            f"shard {shard:02d} recovery failed in {directory}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.shard = shard
+        self.directory = directory
+
+
+def _recover_shard(
+    shard: int, directory: str, snapshot_every: int, kwargs: Dict[str, Any]
+) -> EventJournal:
     """One shard's WAL replay — a picklable unit for parallel recovery."""
-    return EventJournal.recover(directory, snapshot_every=snapshot_every, **kwargs)
+    try:
+        return EventJournal.recover(directory, snapshot_every=snapshot_every, **kwargs)
+    except ShardRecoveryError:
+        raise
+    except Exception as exc:
+        raise ShardRecoveryError(shard, directory, exc) from exc
 
 
 class ShardMap:
@@ -165,14 +189,16 @@ class ShardedJournal:
         dirs = [shard_map.shard_dir(directory, shard) for shard in range(shard_map.shards)]
         if executor is None:
             journals = [
-                EventJournal.recover(d, snapshot_every=snapshot_every, **kwargs) for d in dirs
+                _recover_shard(shard, d, snapshot_every, dict(kwargs))
+                for shard, d in enumerate(dirs)
             ]
         elif getattr(executor, "kind", "serial") == "process":
             from repro.pipeline.wal import WriteAheadLog
 
             child_kwargs = dict(kwargs, reopen=False, fault_injector=None)
             journals = executor.map_shards(
-                _recover_shard, [(d, snapshot_every, child_kwargs) for d in dirs]
+                _recover_shard,
+                [(shard, d, snapshot_every, child_kwargs) for shard, d in enumerate(dirs)],
             )
             if kwargs.get("reopen", True):
                 for journal, d in zip(journals, dirs):
@@ -185,7 +211,8 @@ class ShardedJournal:
                 journal.fault_injector = kwargs.get("fault_injector")
         else:
             journals = executor.map_shards(
-                _recover_shard, [(d, snapshot_every, dict(kwargs)) for d in dirs]
+                _recover_shard,
+                [(shard, d, snapshot_every, dict(kwargs)) for shard, d in enumerate(dirs)],
             )
         return cls(shard_map, journals)
 
@@ -222,6 +249,26 @@ class ShardedJournal:
             for journal in self.journals:
                 stack.enter_context(journal.transaction())
             yield self
+
+    def replace_shard(self, shard: int, journal: EventJournal) -> None:
+        """Swap one shard's journal (failover promoted a replica into it).
+
+        The global iteration order is pruned, not rebuilt: entities the
+        promoted journal never saw (writes the dead primary lost) drop out
+        in place, everything else keeps its first-append position — so a
+        lossless failover leaves ``entity_ids()`` unchanged.
+        """
+        if not 0 <= shard < len(self.journals):
+            raise IndexError(f"shard {shard} out of range (0..{len(self.journals) - 1})")
+        self.journals[shard] = journal
+        self._entity_shard = {
+            entity_id: owner
+            for entity_id, owner in self._entity_shard.items()
+            if owner != shard or journal.has_entity(entity_id)
+        }
+        for entity_id in journal.entity_ids():
+            if entity_id not in self._entity_shard:
+                self._entity_shard[entity_id] = shard
 
     def close(self) -> None:
         """Close every shard exactly once.

@@ -17,20 +17,26 @@ snapshots, same materialized state, same storage accounting.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import random
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.pipeline import (
     AtLeastOnceSource,
     DeadLetterQueue,
     EventBus,
     EventJournal,
+    FaultInjector,
     FaultPlan,
     FaultyChannel,
+    ReplicatedShard,
     Resequencer,
     RetryPolicy,
     ScanObservation,
+    ShardMap,
+    ShardedJournal,
     SimulatedCrash,
     WriteAheadLog,
     WriteSideProcessor,
@@ -252,4 +258,283 @@ def run_chaos(
         torn_discarded=torn,
         injector=injector,
         processor=processor,
+    )
+
+
+# -- the failover chaos harness ---------------------------------------------
+#
+# run_chaos above models a *recoverable* crash: the WAL survives and the
+# process restarts on it.  run_failover_chaos models *node loss*: a shard
+# primary dies with its WAL, and the shard fails over to its most-advanced
+# replica.  Ingest acks are gated on the replication watermark (not on
+# local apply), so the invariant under test is: no acknowledged write is
+# ever lost, for any seeded kill/partition schedule.
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One scheduled disaster for one shard.
+
+    ``kind="kill"``: primary node loss + immediate failover once the shard
+    primary has journaled ``at_events`` events.  ``kind="partition"``: the
+    primary becomes unreachable (no ingest, no replication shipping) for
+    ``partition_rounds`` delivery rounds; with ``depose=True`` the
+    partition ends in a failover (the deposed primary never returns)
+    instead of healing.
+    """
+
+    shard: int
+    at_events: int
+    kind: str = "kill"
+    partition_rounds: int = 4
+    depose: bool = False
+
+
+class _ShardItem(NamedTuple):
+    """Per-shard delivery envelope: contiguous local seq over global items.
+
+    Per-shard sources need gap-free sequence numbers for the resequencer,
+    while the wrapped item keeps its global ``obs_seq`` (what the write
+    side stamps into payloads, and what the oracle sees).
+    """
+
+    seq: int
+    item: Any
+
+
+@dataclass
+class _ShardLane:
+    """Everything one shard's ingest path owns in the failover harness."""
+
+    shard: int
+    group: ReplicatedShard
+    processor: WriteSideProcessor
+    source: AtLeastOnceSource
+    channel: FaultyChannel
+    resequencer: Resequencer
+    #: global obs seq -> local delivery seq for this shard's items.
+    g2l: Dict[int, int]
+    #: Highest local seq acked via the replication watermark (the audit
+    #: value for the zero-acked-write-loss invariant).
+    acked_watermark: int = -1
+    partition_left: int = 0
+    depose_on_heal: bool = False
+    fired: List[FailoverEvent] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.source.done and self.partition_left == 0
+
+
+@dataclass
+class FailoverResult:
+    lanes: List["_ShardLane"]
+    oracle: ShardedJournal
+    fail_overs: int
+    rounds: int
+    plan: FaultPlan
+
+    def shard_journals(self) -> List[EventJournal]:
+        return [lane.group.primary for lane in self.lanes]
+
+    def close(self) -> None:
+        for lane in self.lanes:
+            lane.group.close()
+
+
+def _lane_injector(plan: FaultPlan, shard: int) -> FaultInjector:
+    """Per-shard ingest-link injector: decorrelated from the replication
+    links (which derive their own seeds), never carrying crash points —
+    node loss is scheduled by FailoverEvents, not by SimulatedCrash."""
+    return FaultInjector(
+        dataclasses.replace(plan, seed=plan.seed + 7001 * (shard + 1), crash_points=())
+    )
+
+
+def run_failover_chaos(
+    items: List[Any],
+    plan: FaultPlan,
+    root: str,
+    *,
+    shards: int = 1,
+    replicas: int = 2,
+    ack_replicas: int = 1,
+    schedule: Tuple[FailoverEvent, ...] = (),
+    snapshot_every: int = SNAPSHOT_EVERY,
+    retry: Optional[RetryPolicy] = None,
+    max_rounds: int = 6000,
+) -> FailoverResult:
+    """Drive the workload through per-shard replicated pipelines while the
+    schedule kills/partitions primaries; returns converged state.
+
+    Acks flow back to each shard's source only up to the replication
+    watermark (items that journal nothing are acked on apply — they are
+    deterministic no-ops and re-applying them is free).  On every failover
+    the harness asserts the zero-acked-write-loss invariant *before*
+    resuming: everything acked through the watermark must already be in
+    the promoted journal.
+    """
+    retry = retry or RetryPolicy(max_attempts=6, base_delay=0.05)
+    shard_map = ShardMap(shards)
+    lanes: List[_ShardLane] = []
+    per_shard_items: List[List[Any]] = [[] for _ in range(shards)]
+    for item in items:
+        per_shard_items[shard_map.shard_of(item.entity_id)].append(item)
+    for shard in range(shards):
+        envelopes = [_ShardItem(i, item) for i, item in enumerate(per_shard_items[shard])]
+        g2l = {item_seq(item): i for i, item in enumerate(per_shard_items[shard])}
+        injector = _lane_injector(plan, shard)
+        group = ReplicatedShard(
+            os.path.join(root, f"shard-{shard:02d}"),
+            replication_factor=replicas,
+            plan=plan,
+            snapshot_every=snapshot_every,
+            ack_replicas=ack_replicas,
+            fault_injector=None,
+            shard_id=shard,
+        )
+        lanes.append(
+            _ShardLane(
+                shard=shard,
+                group=group,
+                processor=WriteSideProcessor(
+                    group.primary, EventBus(), faults=injector, retry=retry,
+                    dlq=DeadLetterQueue(),
+                ),
+                source=AtLeastOnceSource(envelopes),
+                channel=FaultyChannel(injector),
+                resequencer=Resequencer(),
+                g2l=g2l,
+            )
+        )
+
+    pending_events: Dict[int, List[FailoverEvent]] = {}
+    for event in schedule:
+        if not 0 <= event.shard < shards:
+            raise ValueError(f"schedule names shard {event.shard}, have {shards}")
+        pending_events.setdefault(event.shard, []).append(event)
+    for queue in pending_events.values():
+        queue.sort(key=lambda e: e.at_events)
+
+    fail_overs = 0
+    rounds = 0
+
+    def do_fail_over(lane: _ShardLane) -> None:
+        nonlocal fail_overs
+        lane.group.kill_primary()
+        promoted = lane.group.fail_over()
+        durable_global = max_durable_seq(promoted)
+        durable_local = lane.g2l[durable_global] if durable_global >= 0 else -1
+        # THE invariant: the watermark never outruns the most-advanced
+        # replica, so no acked write can be missing from the promotion.
+        assert lane.acked_watermark <= durable_local, (
+            f"LOST ACKED WRITES on shard {lane.shard}: acked through local seq "
+            f"{lane.acked_watermark} but promoted journal only holds "
+            f"{durable_local} — plan {lane_plan_repr}"
+        )
+        lane.processor = WriteSideProcessor(
+            promoted, EventBus(), faults=lane.channel.injector, retry=retry,
+            dlq=lane.processor.dlq,
+        )
+        # Failover completes only once the promoted tail is re-replicated
+        # under the NEW configuration (Raft-style: a new leader re-commits
+        # its tail to quorum before serving) — otherwise a second failover
+        # before catch-up could drop writes that were acked under the old
+        # group's watermark.
+        local_wm = -1
+        for _ in range(500):
+            obs_wm = lane.group.obs_watermark()
+            local_wm = lane.g2l[obs_wm] if obs_wm >= 0 else -1
+            if local_wm >= lane.acked_watermark:
+                break
+            lane.group.pump(1)
+        else:
+            raise AssertionError(
+                f"shard {lane.shard}: promoted tail failed to re-replicate "
+                f"after failover — plan {lane_plan_repr}"
+            )
+        lane.source.reset_all_unacked()
+        lane.source.ack_through(local_wm)
+        lane.acked_watermark = max(lane.acked_watermark, local_wm)
+        # The promoted journal durably holds everything through
+        # durable_local, so delivery resumes just past it: retransmitted
+        # items at or below arrive as duplicates and are discarded.
+        lane.resequencer = Resequencer(next_seq=durable_local + 1)
+        lane.channel.reset()
+        fail_overs += 1
+
+    lane_plan_repr = repr(plan)
+    while any(not lane.done for lane in lanes):
+        rounds += 1
+        if rounds > max_rounds:
+            outstanding = [(lane.shard, lane.source.outstanding) for lane in lanes]
+            raise AssertionError(
+                f"failover chaos run did not converge in {max_rounds} rounds "
+                f"(outstanding per shard: {outstanding}) — plan {lane_plan_repr}"
+            )
+        for lane in lanes:
+            if lane.partition_left > 0:
+                # Primary unreachable: no ingest delivery, no replication
+                # shipping; replicas idle at their last-applied position.
+                lane.partition_left -= 1
+                if lane.partition_left == 0 and lane.depose_on_heal:
+                    lane.depose_on_heal = False
+                    do_fail_over(lane)
+                continue
+            arrivals = lane.channel.transmit(lane.source.pending())
+            for arrival in arrivals:
+                for env in lane.resequencer.push(arrival):
+                    before = lane.group.primary.stats.events
+                    apply_item(lane.processor, env.item)
+                    if lane.group.primary.stats.events == before:
+                        # Journaled nothing: a deterministic no-op, safe to
+                        # ack immediately (losing and redoing it is free).
+                        lane.source.ack(env.seq)
+            lane.group.pump(1)
+            obs_wm = lane.group.obs_watermark()
+            if obs_wm >= 0:
+                local_wm = lane.g2l.get(obs_wm)
+                if local_wm is not None and local_wm > lane.acked_watermark:
+                    lane.acked_watermark = local_wm
+                    lane.source.ack_through(local_wm)
+            # Scheduled disasters trigger on the primary's journal growth.
+            queue = pending_events.get(lane.shard, ())
+            while queue and lane.group.primary.stats.events >= queue[0].at_events:
+                event = queue.pop(0)
+                lane.fired.append(event)
+                if event.kind == "kill":
+                    do_fail_over(lane)
+                elif event.kind == "partition":
+                    lane.partition_left = max(1, event.partition_rounds)
+                    lane.depose_on_heal = event.depose
+                    break  # the primary just went dark
+                else:
+                    raise ValueError(f"unknown failover event kind {event.kind!r}")
+
+    # Quiesce: let replication drain so every replica converges too.
+    for lane in lanes:
+        for _ in range(500):
+            lane.group.pump(1)
+            if lane.group.replicator.watermark() == len(lane.group.replicator.log) and all(
+                r.acked_seq == len(lane.group.replicator.log)
+                for r in lane.group.replicator.replicas
+            ):
+                break
+        else:
+            raise AssertionError(
+                f"shard {lane.shard}: replicas failed to drain after the run "
+                f"— plan {lane_plan_repr}"
+            )
+
+    oracle_journal = ShardedJournal(shard_map, snapshot_every=snapshot_every)
+    oracle_processor = WriteSideProcessor(oracle_journal, EventBus())
+    for item in items:
+        apply_item(oracle_processor, item)
+
+    return FailoverResult(
+        lanes=lanes,
+        oracle=oracle_journal,
+        fail_overs=fail_overs,
+        rounds=rounds,
+        plan=plan,
     )

@@ -24,7 +24,7 @@ from tests.chaos_harness import (
 )
 from repro.pipeline import CrashPoint, EventJournal, FaultPlan, ReadSide
 
-SEEDS = [int(s) for s in os.environ.get("CHAOS_SEEDS", "101,202,303").split(",")]
+SEEDS = [int(s) for s in os.environ.get("CHAOS_SEEDS", "101,202,303,404,505").split(",")]
 
 WORKLOAD = build_workload(seed=7)
 ORACLE_JOURNAL, ORACLE_PROC = run_oracle(WORKLOAD)
@@ -84,12 +84,13 @@ def _grid():
 def test_chaos_converges_to_oracle(plan, tmp_path):
     """Faults + crashes + recovery must reproduce the oracle byte-for-byte."""
     result = run_chaos(WORKLOAD, plan, str(tmp_path / "wal"))
-    # The live journal at the end of the run...
-    assert journal_fingerprint(result.journal) == ORACLE_FP
-    assert storage_fingerprint(result.journal) == ORACLE_STORAGE
+    # The live journal at the end of the run...  (divergence messages carry
+    # the full plan repr so any failure is reproducible from the log alone)
+    assert journal_fingerprint(result.journal) == ORACLE_FP, f"live journal diverged — plan {plan!r}"
+    assert storage_fingerprint(result.journal) == ORACLE_STORAGE, f"live storage diverged — plan {plan!r}"
     # ...and a cold recovery from disk agree with the oracle.
-    assert journal_fingerprint(result.recovered) == ORACLE_FP
-    assert storage_fingerprint(result.recovered) == ORACLE_STORAGE
+    assert journal_fingerprint(result.recovered) == ORACLE_FP, f"cold recovery diverged — plan {plan!r}"
+    assert storage_fingerprint(result.recovered) == ORACLE_STORAGE, f"recovered storage diverged — plan {plan!r}"
     # Every planned crash that was reachable fired, and each one recovered.
     assert result.crashes == len(plan.crash_points)
     assert result.recoveries == result.crashes
@@ -131,9 +132,9 @@ def test_crash_at_every_fifth_event_recovers(mode, tmp_path):
         plan = FaultPlan(seed=1, crash_points=(CrashPoint(index, mode),))
         wal_dir = str(tmp_path / f"{mode}-{index}")
         result = run_chaos(WORKLOAD, plan, wal_dir)
-        assert result.crashes == 1, f"crash point {index}/{mode} never fired"
+        assert result.crashes == 1, f"crash point {index}/{mode} never fired — plan {plan!r}"
         assert journal_fingerprint(result.recovered) == ORACLE_FP, (
-            f"divergence after crash at event {index} mode {mode}"
+            f"divergence after crash at event {index} mode {mode} — plan {plan!r}"
         )
 
 

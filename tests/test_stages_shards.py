@@ -256,6 +256,7 @@ class TestTrafficReportSchema:
             "shards",
             "read_cache",
             "executor",
+            "replication",
         }
         assert set(report["stages"]) == {
             "discovery", "interrogation", "ingest", "derivation", "serving"
@@ -275,7 +276,8 @@ class TestTrafficReportSchema:
             "reindexed_entities", "deindexed_entities", "certificates_indexed",
         }
         assert set(report["stages"]["serving"]) == {
-            "lookups_served", "searches_served", "snapshots_taken", "documents_exported",
+            "lookups_served", "replica_lookups_served", "searches_served",
+            "snapshots_taken", "documents_exported",
         }
         assert set(report["queue"]) == {
             "enqueued", "deduplicated", "pruned", "backlog",
@@ -305,6 +307,9 @@ class TestTrafficReportSchema:
             "kind", "workers", "latency_ms", "batches", "tasks", "inline_fallbacks",
         }
         assert report["executor"]["kind"] == "serial"
+        # Satellite: the replication block (off by default — factor 0 must
+        # leave every pre-replication code path untouched).
+        assert report["replication"] == {"enabled": False}
         # The platform's own reindex/serving traffic must already be hitting.
         assert report["read_cache"]["reconstruction"]["misses"] > 0
         assert len(report["shards"]["journal_versions_per_shard"]) == 2

@@ -210,3 +210,71 @@ class TestDurableJournal:
         assert journal.stats.wal_batches == 0
         journal.close()  # no-op
         assert list(tmp_path.iterdir()) == []
+
+
+class TestShardRecoveryErrors:
+    """Per-shard recovery failures must say *which* shard died (satellite:
+    ShardedJournal.recover error attribution, serial and executor paths)."""
+
+    def _corrupted_sharded_wal(self, tmp_path):
+        """A 2-shard durable journal with shard 1's WAL corrupted mid-file."""
+        from repro.pipeline import ShardMap, ShardedJournal
+
+        shard_map = ShardMap(2)
+        sharded = ShardedJournal.durable(str(tmp_path), shard_map, snapshot_every=3)
+        write = WriteSideProcessor(sharded, EventBus())
+        hosts = [f"host:10.1.0.{i}" for i in range(8)]
+        assert {shard_map.shard_of(h) for h in hosts} == {0, 1}
+        for i, host in enumerate(hosts):
+            write.submit(obs(float(i), {"v": i}, entity=host, seq=i))
+        sharded.close()
+        seg = tmp_path / "shard-01" / "segment-00000.log"
+        blob = bytearray(seg.read_bytes())
+        blob[_HEADER_LEN + 1] ^= 0xFF  # corrupt the FIRST record's body
+        seg.write_bytes(bytes(blob))
+        return shard_map
+
+    def test_serial_recovery_attributes_the_shard(self, tmp_path):
+        from repro.pipeline import ShardRecoveryError, ShardedJournal
+
+        shard_map = self._corrupted_sharded_wal(tmp_path)
+        with pytest.raises(ShardRecoveryError) as excinfo:
+            ShardedJournal.recover(str(tmp_path), shard_map, snapshot_every=3, reopen=False)
+        assert excinfo.value.shard == 1
+        assert excinfo.value.directory.endswith("shard-01")
+        assert "shard 01" in str(excinfo.value)
+        assert "WalCorruptionError" in str(excinfo.value)
+
+    def test_thread_recovery_attributes_the_shard(self, tmp_path):
+        from repro.pipeline import ShardRecoveryError, ShardedJournal, ThreadShardExecutor
+
+        shard_map = self._corrupted_sharded_wal(tmp_path)
+        executor = ThreadShardExecutor(workers=2)
+        try:
+            with pytest.raises(ShardRecoveryError) as excinfo:
+                ShardedJournal.recover(
+                    str(tmp_path), shard_map, snapshot_every=3,
+                    executor=executor, reopen=False,
+                )
+            assert excinfo.value.shard == 1
+        finally:
+            executor.close()
+
+    def test_process_recovery_attributes_the_task(self, tmp_path):
+        from repro.pipeline import ProcessShardExecutor, ShardTaskError, ShardedJournal
+
+        shard_map = self._corrupted_sharded_wal(tmp_path)
+        executor = ProcessShardExecutor(workers=2)
+        try:
+            with pytest.raises(ShardTaskError) as excinfo:
+                ShardedJournal.recover(
+                    str(tmp_path), shard_map, snapshot_every=3,
+                    executor=executor, reopen=False,
+                )
+            # The worker boundary pickles the error into text, but the task
+            # index and the shard id in the message both survive.
+            assert excinfo.value.task_index == 1
+            assert "shard task 1 failed" in str(excinfo.value)
+            assert "shard 01" in str(excinfo.value)
+        finally:
+            executor.close()
