@@ -28,6 +28,16 @@ Three suites, selected with ``--suite``:
   ``benchmarks/results/BENCH_load.json`` with p50/p95/p99 latency and
   aggregate throughput per offered load, plus speedups vs the serial
   backend.  Cross-backend answer equality is asserted before timing.
+* ``compaction`` — the journal-compaction tier: an identical long
+  refresh-heavy history fed into a periodically-compacted and a
+  never-compacted WAL-backed journal, reporting the resident-event
+  series (compacted must plateau), median cold-recovery wall time from
+  each directory (anchored recovery must be >= 5x faster at full
+  scale), and storage-tier accounting →
+  ``benchmarks/results/BENCH_compaction.json``.  In-bench equality
+  gates abort on any divergence: ``reconstruct(entity, at)`` across
+  eras, the stitched event stream, recovered state, and a platform
+  pair's lookup / search / aggregate answers with compaction on vs off.
 
 The equality of every cached/uncached and vectorized/reference pair is
 asserted separately by ``benchmarks/test_perf_regression.py``; this
@@ -656,6 +666,253 @@ def bench_replication(ops_scale: float = 1.0, seed: int = 11, rounds: int = 12) 
     }
 
 
+def bench_compaction(ops_scale: float = 1.0, seed: int = 11) -> dict:
+    """Journal compaction: bounded memory and O(snapshot + tail) recovery.
+
+    Feeds an identical long refresh-heavy history (the LZR observation:
+    most re-scans change nothing) into two WAL-backed journals — one
+    compacted periodically, one never — then measures (a) the resident
+    event series under the feed (the compacted journal must plateau while
+    the uncompacted one grows linearly), and (b) cold-recovery wall time
+    from each directory (anchored recovery must be >= 5x faster on the
+    full history).  Before any number is reported, an equality gate
+    replays reads across eras — ``reconstruct(entity, at)`` at sampled
+    timestamps, current state, and the stitched event stream — and a
+    platform-level gate compares lookup / search / aggregate answers for
+    a compaction-on vs compaction-off platform pair; any divergence
+    aborts the bench.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.platform import CensysPlatform, PlatformConfig
+    from repro.pipeline import EventJournal, SegmentCompactor, WriteAheadLog, canonical_json
+
+    rng = random.Random(seed)
+    n_hosts = 32
+    rounds = max(60, int(420 * ops_scale))
+    segment_max_records = 64
+    snapshot_every = 16
+    compact_every = max(4, rounds // 24)  # fold ~24 times across the feed
+
+    hosts = [f"host:10.1.{i // 256}.{i % 256}" for i in range(n_hosts)]
+    ports = [22, 80, 443]
+
+    def workload():
+        """One deterministic generator per consumer (identical schedules)."""
+        local = random.Random(seed + 1)
+        t = 0.0
+        for round_ in range(rounds):
+            for host in hosts:
+                for port in ports:
+                    t += 0.125
+                    key = f"{port}/tcp"
+                    if round_ == 0:
+                        yield round_, host, t, "service_found", {
+                            "key": key, "protocol": "tcp",
+                            "record": {"banner": f"svc-{port}", "status": 200},
+                        }
+                    elif local.random() < 0.06:
+                        yield round_, host, t, "service_changed", {
+                            "key": key, "changed": {"banner": f"svc-{port}-r{round_}"},
+                        }
+                    else:
+                        # The dominant case: a no-change re-observation,
+                        # heartbeat-encoded on the WAL wire.
+                        yield round_, host, t, "service_refreshed", {"key": key}
+
+    root = tempfile.mkdtemp(prefix="bench-compaction-")
+    plain_dir = os.path.join(root, "plain")
+    compact_dir = os.path.join(root, "compact")
+    try:
+        plain = EventJournal(
+            snapshot_every=snapshot_every,
+            wal=WriteAheadLog(plain_dir, segment_max_records=segment_max_records,
+                              fsync_every=64),
+        )
+        compacted = EventJournal(
+            snapshot_every=snapshot_every,
+            wal=WriteAheadLog(compact_dir, segment_max_records=segment_max_records,
+                              fsync_every=64),
+        )
+        compactor = SegmentCompactor(compacted, compact_dir, min_sealed_segments=2)
+
+        resident_series = {"round": [], "plain": [], "compacted": []}
+        sample_times: list = []
+        last_round = -1
+        for round_, host, t, kind, payload in workload():
+            if round_ != last_round:
+                if last_round >= 0 and last_round % compact_every == 0:
+                    compactor.run_once()
+                if last_round >= 0 and last_round % max(1, rounds // 16) == 0:
+                    resident_series["round"].append(last_round)
+                    resident_series["plain"].append(plain.stats.resident_events)
+                    resident_series["compacted"].append(compacted.stats.resident_events)
+                    sample_times.append(t)
+                last_round = round_
+            plain.append(host, t, kind, dict(payload))
+            compacted.append(host, t, kind, dict(payload))
+        compactor.run_once()
+        resident_series["round"].append(last_round)
+        resident_series["plain"].append(plain.stats.resident_events)
+        resident_series["compacted"].append(compacted.stats.resident_events)
+
+        # -- equality gate: reads across eras must be bit-identical -------
+        t_end = plain._logs[hosts[0]].events[-1].time if plain._logs[hosts[0]].events else 0.0
+        gate_times = sorted(set(sample_times[:3] + sample_times[-3:] + [t_end, None]),
+                            key=lambda v: (v is None, v))
+        checked = 0
+        for host in hosts:
+            for at in gate_times:
+                a = canonical_json(plain.reconstruct(host, at))
+                b = canonical_json(compacted.reconstruct(host, at))
+                if a != b:  # pragma: no cover - the gate
+                    raise SystemExit(f"equality gate: reconstruct({host}, {at}) diverged")
+                checked += 1
+            ev_a = [(e.seq, e.time, e.kind, canonical_json(e.payload))
+                    for e in plain.events_for(host)]
+            ev_b = [(e.seq, e.time, e.kind, canonical_json(e.payload))
+                    for e in compacted.events_for(host)]
+            if ev_a != ev_b:  # pragma: no cover - the gate
+                raise SystemExit(f"equality gate: event stream for {host} diverged")
+
+        storage = {
+            "plain": plain.storage_report(),
+            "compacted": compacted.storage_report(),
+            "compaction": {
+                name: getattr(compactor.stats, name)
+                for name in ("runs", "segments_compacted", "events_folded",
+                             "event_bytes_folded", "cold_files", "cold_file_bytes",
+                             "synthetic_anchors")
+            },
+        }
+        total_events = plain.stats.events
+        plain.close()
+        compacted.close()
+
+        # -- recovery timing: O(history) vs O(snapshot + tail) ------------
+        def recover_once(directory: str) -> tuple:
+            t0 = time.perf_counter()
+            journal = EventJournal.recover(
+                directory, snapshot_every, segment_max_records=segment_max_records,
+                reopen=False,
+            )
+            wall = time.perf_counter() - t0
+            replayed = journal.stats.recovered_events
+            return wall, replayed, journal
+
+        recovery = {}
+        recovered_journals = {}
+        for label, directory in (("plain", plain_dir), ("compacted", compact_dir)):
+            walls = []
+            for _ in range(3):
+                wall, replayed, journal = recover_once(directory)
+                walls.append(wall)
+                recovered_journals[label] = journal
+            recovery[label] = {
+                "median_ms": round(statistics.median(walls) * 1000, 3),
+                "events_replayed": replayed,
+            }
+        speedup = round(
+            recovery["plain"]["median_ms"] / recovery["compacted"]["median_ms"], 2
+        )
+
+        # Recovered journals must agree with each other too.
+        for host in rng.sample(hosts, 8):
+            a = canonical_json(recovered_journals["plain"].reconstruct(host))
+            b = canonical_json(recovered_journals["compacted"].reconstruct(host))
+            if a != b:  # pragma: no cover - the gate
+                raise SystemExit(f"equality gate: recovered state for {host} diverged")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    # -- platform-level gate: lookup / search / aggregate ------------------
+    plat_root = tempfile.mkdtemp(prefix="bench-compaction-plat-")
+    try:
+        def build(compaction: bool) -> CensysPlatform:
+            net = build_simnet(
+                bits=12,
+                workload_config=WorkloadConfig(
+                    seed=seed, services_target=250, t_start=-6 * DAY, t_end=2 * DAY
+                ),
+                seed=seed,
+            )
+            cfg = PlatformConfig(
+                predictive_daily_budget=300, seed=seed, shards=2,
+                wal_dir=os.path.join(plat_root, "on" if compaction else "off"),
+                compaction=compaction, compaction_interval_hours=24.0,
+                compaction_min_sealed_segments=2,
+            )
+            plat = CensysPlatform(net, cfg, start_time=-6 * DAY)
+            plat.run_until(0.0, tick_hours=6.0)
+            return plat
+
+        plat_off = build(False)
+        plat_on = build(True)
+        platform_gate = {"lookups": 0, "searches": 0, "aggregates": 0}
+        gate_ips = sorted({i.ip_index for i in plat_off.internet.services_alive_at(0.0)})[:60]
+        for ip in gate_ips:
+            for at in (None, -3 * DAY):
+                a = canonical_json(plat_off.lookup_host(ip, at=at))
+                b = canonical_json(plat_on.lookup_host(ip, at=at))
+                if a != b:  # pragma: no cover - the gate
+                    raise SystemExit(f"platform gate: lookup({ip}, {at}) diverged")
+                platform_gate["lookups"] += 1
+        queries = ("services.service_name: HTTP", "services.port: [100 to 600]",
+                   "not services.service_name: HTTP")
+        for query in queries:
+            if plat_off.search(query) != plat_on.search(query):  # pragma: no cover
+                raise SystemExit(f"platform gate: search({query!r}) diverged")
+            platform_gate["searches"] += 1
+        for query, agg_field in (("services.port: *", "services.service_name"),
+                                 ("services.service_name: HTTP", "location.country")):
+            if plat_off.index.aggregate(query, agg_field) != \
+                    plat_on.index.aggregate(query, agg_field):  # pragma: no cover
+                raise SystemExit(f"platform gate: aggregate({query!r}) diverged")
+            platform_gate["aggregates"] += 1
+        platform_storage = plat_on.traffic_report()["storage"]
+        plat_off.close()
+        plat_on.close()
+    finally:
+        shutil.rmtree(plat_root, ignore_errors=True)
+
+    plateau = {
+        "plain_final": resident_series["plain"][-1],
+        "compacted_final": resident_series["compacted"][-1],
+        "compacted_peak": max(resident_series["compacted"]),
+        # Bounded memory: the compacted journal's resident ceiling vs the
+        # uncompacted journal's final (linearly-grown) population.
+        "reduction_at_end": round(
+            resident_series["plain"][-1] / max(1, resident_series["compacted"][-1]), 1
+        ),
+    }
+
+    gates_pass = {
+        "reads_identical": True,  # divergence aborts above
+        "recovery_speedup_target": 5.0,
+        "recovery_speedup_ok": speedup >= 5.0,
+        "memory_plateaus": plateau["compacted_peak"] < resident_series["plain"][-1] // 2,
+        "reconstructions_checked": checked,
+        "platform": platform_gate,
+    }
+    if ops_scale >= 1.0 and not gates_pass["recovery_speedup_ok"]:  # pragma: no cover
+        raise SystemExit(f"recovery speedup {speedup} < 5x at full scale")
+
+    return {
+        "config": {
+            "seed": seed, "ops_scale": ops_scale, "hosts": n_hosts, "rounds": rounds,
+            "events": total_events, "segment_max_records": segment_max_records,
+            "snapshot_every": snapshot_every, "compact_every_rounds": compact_every,
+        },
+        "recovery": {**recovery, "speedup": speedup},
+        "resident_events": resident_series,
+        "memory": plateau,
+        "storage": storage,
+        "platform_storage": platform_storage,
+        "gates": gates_pass,
+    }
+
+
 def _git_commit() -> str:
     try:
         return subprocess.run(
@@ -669,7 +926,8 @@ def _git_commit() -> str:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--suite", choices=["micro", "serving", "load", "replication"], default="micro"
+        "--suite", choices=["micro", "serving", "load", "replication", "compaction"],
+        default="micro",
     )
     parser.add_argument("--rounds", type=int, default=30, help="micro: timing samples per path")
     parser.add_argument(
@@ -694,6 +952,30 @@ def main() -> None:
         "for the suite); smoke runs point this elsewhere to leave committed results alone",
     )
     args = parser.parse_args()
+
+    if args.suite == "compaction":
+        compaction = bench_compaction(ops_scale=args.ops_scale, seed=args.seed)
+        payload = {
+            "commit": _git_commit(),
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            **compaction,
+        }
+        out_path = args.out
+        if out_path is None:
+            RESULTS.mkdir(exist_ok=True)
+            out_path = RESULTS / "BENCH_compaction.json"
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(json.dumps(
+            {
+                "recovery_speedup": payload["recovery"]["speedup"],
+                "resident_plain_final": payload["memory"]["plain_final"],
+                "resident_compacted_peak": payload["memory"]["compacted_peak"],
+                "gates": payload["gates"],
+            },
+            indent=2,
+        ))
+        print(f"wrote {out_path}")
+        return
 
     if args.suite == "replication":
         replication = bench_replication(ops_scale=args.ops_scale, seed=args.seed)

@@ -123,6 +123,19 @@ class PlatformConfig:
     #: Optional FaultPlan for the simulated replication transport (chaos
     #: tests; None = perfect links).
     replication_plan: Any = None
+    #: Background journal compaction: fold sealed WAL segments into the
+    #: per-shard cold tier (requires ``wal_dir``).  False = the
+    #: uncompacted reference; reads are bit-identical either way.
+    compaction: bool = False
+    #: Simulated hours between compaction passes.
+    compaction_interval_hours: float = 24.0
+    #: Sealed segments a shard must accumulate before a fold runs.
+    compaction_min_sealed_segments: int = 4
+    #: Upper bound on sealed segments folded per pass per shard.
+    compaction_max_segments_per_run: int = 64
+    #: Also fold replica journals (and freeze acked batch-log prefixes)
+    #: during each compaction pass when replication is enabled.
+    compaction_replicas: bool = True
 
 
 class CensysPlatform:
@@ -170,6 +183,27 @@ class CensysPlatform:
                 serve_reads=cfg.replica_reads,
                 max_lag_events=cfg.replica_max_lag_events,
                 executor=self.executor,
+            )
+        self.compactor = None
+        if cfg.compaction:
+            if not cfg.wal_dir:
+                raise ValueError(
+                    "compaction=True requires wal_dir: compaction folds sealed "
+                    "WAL segments, so shard journals must be durable"
+                )
+            from repro.pipeline.compaction import ShardedCompactor
+
+            self.compactor = ShardedCompactor(
+                self.journal.journals,
+                [
+                    self.shard_map.shard_dir(cfg.wal_dir, shard)
+                    for shard in range(self.shard_map.shards)
+                ],
+                min_sealed_segments=cfg.compaction_min_sealed_segments,
+                max_segments_per_run=cfg.compaction_max_segments_per_run,
+                batch_limit_for=(
+                    self.replication.batch_limit_for if self.replication is not None else None
+                ),
             )
         self.bus = EventBus()
         self.write_side = WriteSideProcessor(
@@ -263,6 +297,7 @@ class CensysPlatform:
         self.cert_processor = self.derivation.cert_processor
         self.analytics = self.serving.analytics
         self._last_daily = self.clock.now
+        self._last_compaction = self.clock.now
 
     # -- main loop ----------------------------------------------------------
 
@@ -287,6 +322,12 @@ class CensysPlatform:
         if now - self._last_daily >= 24.0:
             self._daily_housekeeping(now)
             self._last_daily = now
+        if (
+            self.compactor is not None
+            and now - self._last_compaction >= self.config.compaction_interval_hours
+        ):
+            self.compact_now()
+            self._last_compaction = now
 
     def _daily_housekeeping(self, now: float) -> None:
         self.ingest.evict_due(now, self.scheduler, self.predictive)
@@ -358,7 +399,24 @@ class CensysPlatform:
             raise RuntimeError("fail_over requires replication_factor > 0")
         promoted = self.replication.fail_over(shard)
         self.read_side.clear_caches()
+        if self.compactor is not None:
+            self.compactor.rebind(shard, promoted, promoted.wal.directory)
         return promoted
+
+    def compact_now(self) -> List[Dict[str, Any]]:
+        """Run one compaction pass over every shard (and the replicas).
+
+        Returns the per-shard fold reports.  Compaction never changes what
+        reads return — it folds superseded history into the cold tier and
+        leaves every entity's version counter untouched, so warm read
+        caches stay valid.
+        """
+        if self.compactor is None:
+            raise RuntimeError("compact_now requires compaction=True")
+        reports = self.compactor.run_once()
+        if self.replication is not None and self.config.compaction_replicas:
+            self.replication.compact_replicas()
+        return reports
 
     def on_new_endpoints(self, instances: List[ServiceInstance]) -> None:
         """Notify running tiers about endpoints injected mid-run (honeypots)."""
@@ -386,6 +444,13 @@ class CensysPlatform:
     def certificate_view(self, sha256: str):
         """Typed certificate lookup by fingerprint."""
         return self.serving.certificate_view(sha256)
+
+    def host_history(
+        self, ip_index: int, since_seq: int = 0, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """The host-history API: a host's journaled events in order
+        (stitched across the compaction fold boundary when enabled)."""
+        return self.serving.host_history(ip_index, since_seq=since_seq, limit=limit)
 
     def search(self, query: str, limit: Optional[int] = None) -> List[str]:
         """The interactive search interface."""
@@ -461,6 +526,13 @@ class CensysPlatform:
                 "enabled": self.config.read_cache,
                 **self.read_side.cache_report(),
                 "query": self.index.cache_report(),
+            },
+            "storage": {
+                "compaction_enabled": self.config.compaction,
+                **self.journal.storage_report(),
+                "compaction": (
+                    self.compactor.stats_report() if self.compactor is not None else None
+                ),
             },
             "executor": self.executor.report(),
             "replication": (

@@ -55,6 +55,7 @@ class ServingLayer:
             lookups_served=0,
             replica_lookups_served=0,
             searches_served=0,
+            histories_served=0,
             snapshots_taken=0,
             documents_exported=0,
         )
@@ -133,6 +134,35 @@ class ServingLayer:
             for pos, view in chunk:
                 results[pos] = view
         return results
+
+    def host_history(
+        self,
+        ip_index: int,
+        since_seq: int = 0,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """The host-history API: the entity's journaled events in order.
+
+        Serves from the stitched event stream — compaction may have folded
+        old history into the cold tier, and this surface transparently
+        reads across the fold boundary, so the answer is identical with
+        and without compaction.  Each row is a JSON-able dict.
+        """
+        self.counters.bump("histories_served")
+        entity_id = self.entity_for_ip(ip_index)
+        events = self.journal.events_for(entity_id, since_seq=since_seq)
+        if limit is not None:
+            events = events[:limit]
+        return [
+            {
+                "entity_id": event.entity_id,
+                "seq": event.seq,
+                "time": event.time,
+                "kind": event.kind,
+                "payload": event.payload,
+            }
+            for event in events
+        ]
 
     # -- interactive search ----------------------------------------------------
 

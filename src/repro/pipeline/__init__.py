@@ -24,9 +24,17 @@ from repro.pipeline.faults import (
     SimulatedCrash,
     TransientScanError,
 )
-from repro.pipeline.journal import EventJournal, JournalStats
+from repro.pipeline.compaction import (
+    ColdStore,
+    CompactionStats,
+    SegmentCompactor,
+    ShardedCompactor,
+    compact_journal_in_memory,
+)
+from repro.pipeline.journal import CompactionAnchor, EventJournal, JournalStats
 from repro.pipeline.queues import EventBus
 from repro.pipeline.replication import (
+    BatchLog,
     ReplicaState,
     ReplicatedShard,
     ReplicationBatch,
@@ -37,7 +45,13 @@ from repro.pipeline.replication import (
 from repro.pipeline.sharding import ShardMap, ShardRecoveryError, ShardedJournal
 from repro.pipeline.read_side import Enricher, ReadSide
 from repro.pipeline.reliability import DeadLetter, DeadLetterQueue, RetryPolicy
-from repro.pipeline.state import apply_event, live_services, new_entity_state
+from repro.pipeline.state import (
+    apply_event,
+    canonical_json,
+    live_services,
+    new_entity_state,
+    state_digest,
+)
 from repro.pipeline.wal import WalCorruptionError, WriteAheadLog
 from repro.pipeline.write_side import (
     ScanObservation,
@@ -96,4 +110,14 @@ __all__ = [
     "ShardReplicator",
     "ReplicatedShard",
     "ReplicationManager",
+    "BatchLog",
+    # Compaction & tiered storage
+    "ColdStore",
+    "CompactionAnchor",
+    "CompactionStats",
+    "SegmentCompactor",
+    "ShardedCompactor",
+    "compact_journal_in_memory",
+    "canonical_json",
+    "state_digest",
 ]

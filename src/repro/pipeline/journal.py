@@ -23,13 +23,13 @@ import json
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.pipeline.events import Event
 from repro.pipeline.state import apply_event, new_entity_state, snapshot_state
 from repro.pipeline.wal import WalCorruptionError, WriteAheadLog
 
-__all__ = ["JournalStats", "EventJournal"]
+__all__ = ["JournalStats", "EventJournal", "CompactionAnchor"]
 
 
 @dataclass(slots=True)
@@ -42,6 +42,13 @@ class JournalStats:
     snapshot_bytes: int = 0
     ssd_bytes: int = 0
     hdd_bytes: int = 0
+    #: Bytes aged out of the hot/warm tiers into columnar cold storage.
+    cold_bytes: int = 0
+    #: Events (and their modeled bytes) still held as Python objects in RAM.
+    #: Compaction folds the covered prefix out of RAM, so these plateau
+    #: under a long run while ``events``/``event_bytes`` keep growing.
+    resident_events: int = 0
+    resident_event_bytes: int = 0
     replayed_events: int = 0
     #: Durability accounting (all zero for in-memory journals).
     wal_batches: int = 0
@@ -67,6 +74,25 @@ class _EntityLog:
     hdd_watermark: int = -1
     #: Materialized current state (the hot serving row).
     current: Optional[Dict[str, Any]] = None
+    #: Sequence number of ``events[0]``.  Non-zero once compaction has
+    #: folded the covered prefix out of RAM; ``events[i]`` then has
+    #: sequence ``base_seq + i`` and older history lives in the cold tier.
+    base_seq: int = 0
+
+
+class CompactionAnchor(NamedTuple):
+    """The fold boundary for one entity.
+
+    ``base`` is the first sequence number that stays in RAM; the anchor
+    snapshot reflects every event with seq < base.  ``synthetic`` anchors
+    were materialized by the compactor (no cadence snapshot landed exactly
+    on the fold boundary) and are accounted as fresh snapshots.
+    """
+
+    base: int
+    time: float
+    state: Dict[str, Any]
+    synthetic: bool
 
 
 class EventJournal:
@@ -89,6 +115,13 @@ class EventJournal:
         #: against "has this shard changed at all?".
         self.version = 0
         self.wal = wal
+        #: Columnar cold tier holding history folded out of RAM (attached by
+        #: the compactor, or by ``recover`` when a manifest exists).
+        self.cold_store: Optional[Any] = None
+        #: Interned ``{"key": ...}`` heartbeat payloads: re-observations that
+        #: change nothing share one payload dict per service key instead of
+        #: allocating a fresh dict per event.
+        self._hb_payloads: Dict[str, Dict[str, Any]] = {}
         #: Consulted at commit time for simulated crash points (chaos tests).
         self.fault_injector = fault_injector
         #: Called with each durably committed batch's raw WAL event dicts
@@ -136,10 +169,18 @@ class EventJournal:
         transaction is open).
         """
         log = self._logs.setdefault(entity_id, _EntityLog())
+        if kind == "service_refreshed" and isinstance(payload, dict) and tuple(payload) == ("key",):
+            payload = self._hb_payloads.setdefault(payload["key"], payload)
         event = Event(entity_id=entity_id, seq=log.next_seq, time=time, kind=kind, payload=payload)
-        if log.events and time < log.events[-1].time:
+        if log.events:
+            head_time = log.events[-1].time
+        elif log.snapshots:
+            head_time = log.snapshots[-1][1]
+        else:
+            head_time = None
+        if head_time is not None and time < head_time:
             raise ValueError(
-                f"event time {time} precedes journal head {log.events[-1].time} for {entity_id}"
+                f"event time {time} precedes journal head {head_time} for {entity_id}"
             )
         self._apply_append(log, event)
         if self.wal is not None and not self._replaying:
@@ -160,6 +201,8 @@ class EventJournal:
         self.stats.events += 1
         self.stats.event_bytes += size
         self.stats.ssd_bytes += size
+        self.stats.resident_events += 1
+        self.stats.resident_event_bytes += size
         if log.next_seq % self.snapshot_every == 0:
             self._snapshot(event.entity_id, log, event.time)
 
@@ -274,9 +317,27 @@ class EventJournal:
 
         With ``reopen`` (default) the WAL is reopened for appending so the
         pipeline can resume where the durable prefix ends.
+
+        When a compaction manifest exists in the directory, recovery is
+        *snapshot-anchored*: each entity starts from its verified anchor
+        snapshot, segments covered by the manifest are skipped entirely,
+        and only the live tail is replayed — O(anchors + tail) instead of
+        O(history).  The folded history stays reachable through the
+        attached cold store.
         """
-        scan = WriteAheadLog.scan(directory, truncate_torn=True)
+        from repro.pipeline.compaction import ColdStore
+
+        store = ColdStore.open(directory)
+        start_after = store.through_segment if store is not None else -1
+        scan = WriteAheadLog.scan(directory, truncate_torn=True, start_after=start_after)
         journal = cls(snapshot_every=snapshot_every)
+        base_batches = 0
+        base_events = 0
+        if store is not None:
+            journal.cold_store = store
+            journal._seed_from_manifest(store)
+            base_batches = journal.stats.wal_batches
+            base_events = journal.stats.wal_events
         journal._replaying = True
         try:
             for batch in scan.batches:
@@ -301,17 +362,50 @@ class EventJournal:
         if verify_snapshots:
             journal._verify_sidecar_snapshots(directory, scan.snapshots)
         journal.stats.torn_records_discarded = scan.torn_discarded
-        journal._durable_events = journal.stats.recovered_events
-        journal.stats.wal_events = journal.stats.recovered_events
-        journal.stats.wal_batches = len(scan.batches)
+        journal._durable_events = base_events + journal.stats.recovered_events
+        journal.stats.wal_events = base_events + journal.stats.recovered_events
+        journal.stats.wal_batches = base_batches + len(scan.batches)
         journal.fault_injector = fault_injector
         if reopen:
             journal.wal = WriteAheadLog(
                 directory,
                 segment_max_records=segment_max_records,
                 fsync_every=fsync_every,
+                start_after=start_after,
             )
         return journal
+
+    def _seed_from_manifest(self, store: Any) -> None:
+        """Seed per-entity anchors and storage accounting from a manifest.
+
+        After seeding, replaying the live tail through ``_apply_append``
+        lands on exactly the stats and per-entity state the pre-crash
+        journal held — the manifest records the folded prefix's
+        contribution so seeded + tail == full history.
+        """
+        for entity_id, anchor in store.anchors().items():
+            base, time, state = anchor
+            self._logs[entity_id] = _EntityLog(
+                events=[],
+                snapshots=[(base, time, snapshot_state(state))],
+                next_seq=base,
+                hdd_watermark=base - 1,
+                current=snapshot_state(state),
+                base_seq=base,
+            )
+        stats = store.manifest["stats"]
+        self.stats.events = stats["events"]
+        self.stats.event_bytes = stats["event_bytes"]
+        self.stats.snapshots = stats["snapshots"]
+        self.stats.snapshot_bytes = stats["snapshot_bytes"]
+        self.stats.ssd_bytes = stats["ssd_bytes"]
+        self.stats.hdd_bytes = stats["hdd_bytes"]
+        self.stats.cold_bytes = stats["cold_bytes"]
+        self.stats.wal_batches = stats["wal_batches"]
+        self.stats.wal_events = stats["wal_events"]
+        # Every folded event was once an append; the version counter must
+        # end equal to the live journal's after the tail replays.
+        self.version = stats["events"]
 
     def _verify_sidecar_snapshots(self, directory: str, snapshots: List[Dict[str, Any]]) -> None:
         """Cross-check sidecar snapshots against the regenerated ones."""
@@ -321,6 +415,12 @@ class EventJournal:
                 regenerated[(entity_id, seq_after)] = state
         for snap in snapshots:
             key = (snap["entity"], snap["seq_after"])
+            log = self._logs.get(snap["entity"])
+            if log is not None and snap["seq_after"] < log.base_seq:
+                # Superseded by the compaction anchor: the snapshot's rows
+                # were folded into the cold tier and its state is covered by
+                # the (already verified) anchor — nothing left to cross-check.
+                continue
             expected = regenerated.get(key)
             if expected is None:
                 # Sidecar outlived its batch (crash between batch fsync and
@@ -350,13 +450,108 @@ class EventJournal:
             journal._apply_append(log, event)
         return journal
 
+    # -- compaction support ------------------------------------------------
+
+    def anchor_state(self, entity_id: str, base: int) -> Dict[str, Any]:
+        """State reflecting exactly the events with seq < ``base``.
+
+        Used by the compactor to materialize synthetic anchors: start from
+        the newest resident snapshot at or below ``base`` and replay the
+        resident events up to it.  Deterministic, so the live value equals
+        what recovery reads back from the manifest (modulo JSON flavor).
+        """
+        log = self._logs[entity_id]
+        usable = [s for s in log.snapshots if s[0] <= base]
+        if usable:
+            start, _, snapped = usable[-1]
+            state = snapshot_state(snapped)
+        else:
+            start = log.base_seq
+            state = new_entity_state(entity_id)
+        for event in log.events[start - log.base_seq : base - log.base_seq]:
+            apply_event(state, event)
+        return state
+
+    def truncate_compacted(self, anchors: Dict[str, CompactionAnchor]) -> None:
+        """Fold each entity's prefix below its anchor out of RAM.
+
+        Storage accounting moves the folded events (whatever tier they were
+        on) and every superseded snapshot to the cold tier; a synthetic
+        anchor is accounted as a fresh hot snapshot.  ``version`` and
+        per-entity versions are deliberately untouched — compaction changes
+        where history lives, never what reads return — so read-path caches
+        stay valid.
+        """
+        for entity_id, anchor in anchors.items():
+            log = self._logs[entity_id]
+            cut = anchor.base - log.base_seq
+            if cut < 0 or cut > len(log.events):
+                raise ValueError(
+                    f"anchor {anchor.base} outside resident range for {entity_id}"
+                )
+            folded = log.events[:cut]
+            folded_bytes = 0
+            for event in folded:
+                size = event.encoded_size()
+                folded_bytes += size
+                if event.seq <= log.hdd_watermark:
+                    self.stats.hdd_bytes -= size
+                else:
+                    self.stats.ssd_bytes -= size
+            self.stats.cold_bytes += folded_bytes
+            self.stats.resident_events -= len(folded)
+            self.stats.resident_event_bytes -= folded_bytes
+            kept = [s for s in log.snapshots if s[0] > anchor.base]
+            cadence_anchor = next(
+                (s for s in log.snapshots if s[0] == anchor.base), None
+            )
+            for seq_after, _time, state in log.snapshots:
+                if seq_after >= anchor.base:
+                    continue
+                size = len(json.dumps(state, default=str))
+                self.stats.ssd_bytes -= size
+                self.stats.cold_bytes += size
+            if cadence_anchor is not None:
+                head = [cadence_anchor]
+            else:
+                head = [(anchor.base, anchor.time, snapshot_state(anchor.state))]
+                size = len(json.dumps(anchor.state, default=str))
+                self.stats.snapshots += 1
+                self.stats.snapshot_bytes += size
+                self.stats.ssd_bytes += size
+            log.snapshots = head + kept
+            log.events = log.events[cut:]
+            log.base_seq = anchor.base
+            log.hdd_watermark = max(log.hdd_watermark, anchor.base - 1)
+            if log.current is None:
+                log.current = snapshot_state(head[0][2])
+
+    def storage_report(self) -> Dict[str, Any]:
+        """Per-journal storage block for ``traffic_report()["storage"]``."""
+        wal = self.wal
+        return {
+            "segments": wal.stats.segments if wal is not None else 0,
+            "wal_records": wal.stats.records if wal is not None else 0,
+            "wal_bytes_written": wal.stats.bytes_written if wal is not None else 0,
+            "heartbeats_encoded": wal.stats.heartbeats_encoded if wal is not None else 0,
+            "live_bytes": self.stats.ssd_bytes,
+            "superseded_bytes": self.stats.hdd_bytes,
+            "cold_bytes": self.stats.cold_bytes,
+            "total_bytes": self.stats.total_bytes,
+            "resident_events": self.stats.resident_events,
+            "resident_event_bytes": self.stats.resident_event_bytes,
+        }
+
     # -- read path ---------------------------------------------------------
 
     def reconstruct(self, entity_id: str, at: Optional[float] = None) -> Dict[str, Any]:
         """Entity state at time ``at`` (None: current state).
 
         Finds the newest snapshot not after ``at`` and replays subsequent
-        events with time <= ``at``.
+        events with time <= ``at``.  A query older than every resident
+        snapshot time-travels into the cold tier: the folded prefix is
+        replayed from zero (compaction anchors guarantee the cold run holds
+        every event older than the oldest resident snapshot).
         """
         log = self._logs.get(entity_id)
         if log is None:
@@ -364,16 +559,28 @@ class EventJournal:
         if at is None:
             # Fast path: the materialized serving row.
             return snapshot_state(log.current) if log.current is not None else new_entity_state(entity_id)
-        base_seq = 0
-        state = new_entity_state(entity_id)
-        usable = [
-            s for s in log.snapshots if at is None or s[1] <= at
-        ]
+        usable = [s for s in log.snapshots if s[1] <= at]
         if usable:
-            base_seq, _, snapped = usable[-1]
+            snap_seq, _, snapped = usable[-1]
             state = snapshot_state(snapped)
-        for event in log.events[base_seq:]:
-            if at is not None and event.time > at:
+            for event in log.events[snap_seq - log.base_seq :]:
+                if event.time > at:
+                    break
+                apply_event(state, event)
+                self.stats.replayed_events += 1
+            return state
+        state = new_entity_state(entity_id)
+        if log.base_seq > 0:
+            # ``at`` precedes the anchor snapshot: every event with
+            # time <= at is in the cold tier.
+            for event in self._cold_events(entity_id):
+                if event.time > at:
+                    break
+                apply_event(state, event)
+                self.stats.replayed_events += 1
+            return state
+        for event in log.events:
+            if event.time > at:
                 break
             apply_event(state, event)
             self.stats.replayed_events += 1
@@ -391,10 +598,21 @@ class EventJournal:
         return log.current
 
     def events_for(self, entity_id: str, since_seq: int = 0) -> List[Event]:
+        """Events with seq >= ``since_seq``, stitching cold history back in
+        when the request reaches below the compaction fold boundary."""
         log = self._logs.get(entity_id)
         if log is None:
             return []
-        return log.events[since_seq:]
+        if since_seq >= log.base_seq:
+            return log.events[since_seq - log.base_seq :]
+        cold = self._cold_events(entity_id)
+        return cold[since_seq:] + log.events
+
+    def _cold_events(self, entity_id: str) -> List[Event]:
+        """The folded event prefix (seqs [0, base_seq)) from the cold tier."""
+        if self.cold_store is None:
+            return []
+        return self.cold_store.events_for(entity_id)
 
     def entity_ids(self) -> Iterator[str]:
         return iter(self._logs.keys())

@@ -54,7 +54,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple, Union
 
 from repro.pipeline.delivery import FaultyChannel
 from repro.pipeline.events import Event
@@ -66,6 +66,7 @@ __all__ = [
     "ReplicationBatch",
     "ReplicationError",
     "ReplicaState",
+    "BatchLog",
     "ShardReplicator",
     "ReplicatedShard",
     "ReplicationManager",
@@ -119,6 +120,91 @@ def _link_injector(
     return FaultInjector(dataclasses.replace(plan, seed=seed, crash_points=()))
 
 
+class BatchLog:
+    """An append-only batch log whose old prefix freezes to encoded bytes.
+
+    Replication must retain every batch — promotion tail-replay and fresh
+    replica catch-up both read from batch 1 — but keeping millions of
+    live ``ReplicationBatch`` objects resident defeats journal compaction.
+    ``freeze`` re-encodes a committed prefix as compact JSON blobs (the
+    same canonical flavor as the wire, so decode round-trips exactly);
+    slicing decodes frozen entries on demand, and the steady-state pump
+    path only ever slices past the frozen boundary.
+    """
+
+    def __init__(self, batches: Optional[Union["BatchLog", Iterable[ReplicationBatch]]] = None):
+        if isinstance(batches, BatchLog):
+            self._frozen: List[bytes] = list(batches._frozen)
+            self._tail: List[ReplicationBatch] = list(batches._tail)
+        else:
+            self._frozen = []
+            self._tail = list(batches or [])
+        #: Frozen entries decoded back to live batches (catch-up/promotion).
+        self.decodes = 0
+
+    def __len__(self) -> int:
+        return len(self._frozen) + len(self._tail)
+
+    @property
+    def frozen_count(self) -> int:
+        return len(self._frozen)
+
+    def frozen_bytes(self) -> int:
+        return sum(len(blob) for blob in self._frozen)
+
+    def append(self, batch: ReplicationBatch) -> None:
+        self._tail.append(batch)
+
+    def _decode(self, blob: bytes) -> ReplicationBatch:
+        self.decodes += 1
+        seq, events, obs_high = json.loads(blob.decode("utf-8"))
+        return ReplicationBatch(seq=seq, events=tuple(events), obs_high=obs_high)
+
+    @staticmethod
+    def _encode(batch: ReplicationBatch) -> bytes:
+        return json.dumps(
+            [batch.seq, list(batch.events), batch.obs_high],
+            separators=(",", ":"),
+            sort_keys=True,
+            default=str,
+        ).encode("utf-8")
+
+    def __iter__(self) -> Iterator[ReplicationBatch]:
+        for blob in self._frozen:
+            yield self._decode(blob)
+        yield from self._tail
+
+    def __getitem__(self, item: Union[int, slice]) -> Any:
+        n_frozen = len(self._frozen)
+        if isinstance(item, slice):
+            start, stop, step = item.indices(len(self))
+            if step != 1:
+                raise ValueError("BatchLog slices must be contiguous")
+            return [
+                self._decode(self._frozen[i]) if i < n_frozen else self._tail[i - n_frozen]
+                for i in range(start, stop)
+            ]
+        if item < 0:
+            item += len(self)
+        if item < n_frozen:
+            return self._decode(self._frozen[item])
+        return self._tail[item - n_frozen]
+
+    def freeze(self, through_seq: int) -> int:
+        """Freeze batches with seq <= ``through_seq``; returns newly frozen.
+
+        Batch at index i always carries seq i+1 (seqs are contiguous from
+        1 within a lineage), so the boundary is a simple index cut.
+        """
+        target = min(through_seq, len(self))
+        count = target - len(self._frozen)
+        if count <= 0:
+            return 0
+        self._frozen.extend(self._encode(batch) for batch in self._tail[:count])
+        del self._tail[:count]
+        return count
+
+
 class ReplicaState:
     """One replica journal: strictly-ordered batch application."""
 
@@ -131,7 +217,7 @@ class ReplicaState:
         self._pending: Dict[int, ReplicationBatch] = {}
         #: Applied batches, retained for promotion tail-replay and for
         #: re-shipping to a fresh replacement replica.
-        self.batch_log: List[ReplicationBatch] = []
+        self.batch_log = BatchLog()
         self.applied_events = 0
         self.duplicates_dropped = 0
 
@@ -176,6 +262,21 @@ class ReplicaState:
         self._pending.clear()
         self.channel = epoch_channel
 
+    def compact(self, *, min_fold_events: int = 1) -> int:
+        """Bound this replica's memory: fold the journal's applied history
+        into its in-memory cold tier and freeze the applied batch prefix.
+
+        Only the applied prefix (<= acked_seq) freezes — those batches are
+        durable on the primary by definition of the ack, and promotion can
+        decode them back if this replica is ever chosen.  Returns events
+        folded out of the resident journal.
+        """
+        from repro.pipeline.compaction import compact_journal_in_memory
+
+        folded = compact_journal_in_memory(self.journal, min_fold_events=min_fold_events)
+        self.batch_log.freeze(self.acked_seq)
+        return folded
+
 
 class ShardReplicator:
     """Ships one shard primary's committed batches to its replicas."""
@@ -190,7 +291,7 @@ class ShardReplicator:
         epoch: int = 0,
         ack_replicas: Optional[int] = None,
         replicas: Optional[List[ReplicaState]] = None,
-        log: Optional[List[ReplicationBatch]] = None,
+        log: Optional[Union[BatchLog, List[ReplicationBatch]]] = None,
     ) -> None:
         if replication_factor < 0:
             raise ValueError("replication_factor must be >= 0")
@@ -199,7 +300,7 @@ class ShardReplicator:
         self.shard_id = shard_id
         self.epoch = epoch
         #: Every batch committed by (this lineage of) the primary, by seq.
-        self.log: List[ReplicationBatch] = list(log or [])
+        self.log = BatchLog(log)
         if replicas is None:
             replicas = [
                 ReplicaState(
@@ -290,11 +391,21 @@ class ShardReplicator:
     def lag_events(self) -> List[int]:
         return [self.primary.version - r.journal.version for r in self.replicas]
 
+    def freeze_log(self) -> int:
+        """Freeze the primary-side batch log through the commit watermark.
+
+        Batches past the watermark stay live — the pump path slices them
+        every round and must not pay a decode per round.  Returns batches
+        newly frozen.
+        """
+        return self.log.freeze(self.watermark())
+
     def report(self) -> Dict[str, Any]:
         return {
             "replicas": len(self.replicas),
             "epoch": self.epoch,
             "batches": len(self.log),
+            "frozen_batches": self.log.frozen_count,
             "watermark": self.watermark(),
             "lag_batches": self.lag_batches(),
             "lag_events": self.lag_events(),
@@ -305,6 +416,24 @@ class ShardReplicator:
         """Stop shipping (the primary is being killed or replaced)."""
         if self.primary.commit_listener is self._on_commit:
             self.primary.commit_listener = None
+
+
+def _rebuild_journal(batch_log: BatchLog, snapshot_every: int) -> EventJournal:
+    """Replay every retained batch into a fresh in-memory journal."""
+    journal = EventJournal(snapshot_every=snapshot_every)
+    for batch in batch_log:
+        for raw in batch.events:
+            event = Event(
+                entity_id=raw["e"], seq=raw["s"], time=raw["tm"], kind=raw["k"], payload=raw["p"]
+            )
+            log = journal._logs.setdefault(event.entity_id, _EntityLog())
+            if event.seq != log.next_seq:
+                raise ReplicationError(
+                    f"rebuild: sequence gap for {event.entity_id}: "
+                    f"expected {log.next_seq}, found {event.seq} in batch {batch.seq}"
+                )
+            journal._apply_append(log, event)
+    return journal
 
 
 def promote_replica(
@@ -322,8 +451,18 @@ def promote_replica(
     appends, so after promotion the journal is byte-identical to a primary
     that had journaled exactly the replicated prefix — including the
     regenerated snapshot cadence.
+
+    A replica that compacted in place (folded prefix + in-memory cold
+    tier) is first rebuilt by full batch replay: the batch log retains
+    every batch (frozen ones decode back), and the rebuilt journal is the
+    exact uncompacted journal, so the WAL it seeds is identical to the
+    never-compacted promotion.  Promotion is rare; steady-state replica
+    memory stays bounded.
     """
     journal = replica.journal
+    if any(log.base_seq for log in journal._logs.values()):
+        journal = _rebuild_journal(replica.batch_log, journal.snapshot_every)
+        replica.journal = journal
     wal = WriteAheadLog(
         wal_dir, segment_max_records=segment_max_records, fsync_every=fsync_every
     )
@@ -567,6 +706,34 @@ class ReplicationManager:
             return None
         self.replica_reads_served += 1
         return best.journal
+
+    # -- compaction composition --------------------------------------------
+
+    def batch_limit_for(self, shard: int):
+        """A callable giving the shard's commit watermark, for the segment
+        compactor's ``batch_limit``: compaction must never fold WAL batches
+        replicas have not acknowledged, or failover could promote a replica
+        missing history the primary already discarded from its segments.
+
+        Resolved through ``self.replicators`` at call time so the bound
+        survives fail-over replacing the replicator object.
+        """
+
+        def _limit() -> int:
+            return self.replicators[shard].watermark()
+
+        return _limit
+
+    def compact_replicas(self, *, min_fold_events: int = 1) -> int:
+        """Fold every replica journal at its snapshot cadence and freeze
+        acked batch-log prefixes (primary side too).  Returns total events
+        folded out of replica memory."""
+        folded = 0
+        for replicator in self.replicators:
+            for replica in replicator.replicas:
+                folded += replica.compact(min_fold_events=min_fold_events)
+            replicator.freeze_log()
+        return folded
 
     # -- failover ----------------------------------------------------------
 

@@ -206,6 +206,11 @@ class ShardedJournal:
                         d,
                         segment_max_records=kwargs.get("segment_max_records", 128),
                         fsync_every=kwargs.get("fsync_every", 1),
+                        start_after=(
+                            journal.cold_store.through_segment
+                            if journal.cold_store is not None
+                            else -1
+                        ),
                     )
             for journal in journals:
                 journal.fault_injector = kwargs.get("fault_injector")
@@ -343,3 +348,12 @@ class ShardedJournal:
 
     def entities_per_shard(self) -> List[int]:
         return [len(journal) for journal in self.journals]
+
+    def storage_report(self) -> Dict[str, Any]:
+        """Merged per-tier storage accounting plus per-shard segment counts."""
+        per_shard = [journal.storage_report() for journal in self.journals]
+        merged: Dict[str, Any] = {
+            key: sum(report[key] for report in per_shard) for key in per_shard[0]
+        }
+        merged["segments_per_shard"] = [report["segments"] for report in per_shard]
+        return merged

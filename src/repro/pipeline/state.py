@@ -10,11 +10,35 @@ makes CQRS reconstruction trustworthy.
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
 from typing import Any, Dict
 
 from repro.pipeline.events import Event, EventKind
 
-__all__ = ["new_entity_state", "apply_event", "live_services", "service_view"]
+__all__ = [
+    "new_entity_state",
+    "apply_event",
+    "live_services",
+    "service_view",
+    "canonical_json",
+    "state_digest",
+]
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical JSON for state/read-result equality across storage flavors.
+
+    The WAL, replication wire, and cold tier all round-trip values through
+    JSON (tuples become lists); two reads are "bit-identical" when their
+    canonical JSON matches, regardless of which storage path produced them.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def state_digest(value: Any) -> str:
+    """Stable digest of ``canonical_json`` — cheap cross-run equality token."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
 
 
 def new_entity_state(entity_id: str) -> Dict[str, Any]:

@@ -21,6 +21,19 @@ Segments rotate every ``segment_max_records`` records.  Snapshots are not
 interleaved with events; they go to per-segment *sidecar* files
 (``segment-00000.snap``) with the same framing, used at recovery time to
 cross-check the deterministically regenerated snapshots.
+
+Two storage optimizations live at this layer:
+
+* **streaming decode** — :func:`decode_segment` reads one frame at a
+  time, so recovery's peak buffer is bounded by the largest single record
+  (plus one read chunk), not by the segment size;
+* **heartbeat encoding** — a ``service_refreshed`` event whose payload
+  carries nothing beyond the service key (and delivery sequence) is the
+  overwhelmingly common "re-observed, nothing changed" case.  On the wire
+  it collapses to a compact positional ``{"hb": [...]}`` form and is
+  expanded back to the canonical event dict on read, so every consumer
+  above this layer (recovery, replication, compaction) sees identical
+  event dicts while the segment bytes shrink.
 """
 
 from __future__ import annotations
@@ -29,7 +42,7 @@ import json
 import os
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "WalCorruptionError",
@@ -37,11 +50,15 @@ __all__ = [
     "WriteAheadLog",
     "encode_record",
     "decode_segment",
+    "encode_batch_events",
+    "decode_batch_events",
 ]
 
 _HEADER_LEN = 16  # 8 hex chars length + 8 hex chars crc32
+_READ_CHUNK = 1 << 16
 SEGMENT_PATTERN = "segment-%05d.log"
 SIDECAR_PATTERN = "segment-%05d.snap"
+_HB_KIND = "service_refreshed"
 
 
 class WalCorruptionError(Exception):
@@ -57,6 +74,8 @@ class WalStats:
     bytes_written: int = 0
     fsyncs: int = 0
     torn_writes: int = 0
+    #: Re-observation events collapsed to the compact heartbeat wire form.
+    heartbeats_encoded: int = 0
 
 
 def encode_record(body: Dict[str, Any]) -> bytes:
@@ -66,69 +85,129 @@ def encode_record(body: Dict[str, Any]) -> bytes:
     return header + data + b"\n"
 
 
-def _decode_buffer(
-    raw: bytes, *, path: str, tolerate_torn_tail: bool
-) -> Tuple[List[Dict[str, Any]], int, int]:
-    """Parse framed records; returns (records, valid_byte_length, torn_discarded).
+def _rest_is_tail(fh, offset: int) -> bool:
+    """True when no record boundary exists at or after ``offset``.
 
-    A framing violation at the very end of the buffer is a torn write and is
+    Streaming equivalent of "no newline in the rest of the file except
+    possibly its very last byte": a bad record is only a torn tail when
+    nothing after it could parse as another record start.
+    """
+    fh.seek(offset)
+    pending_newline = False
+    while True:
+        chunk = fh.read(_READ_CHUNK)
+        if not chunk:
+            # A newline as the file's final byte does not start a new record.
+            return True
+        if pending_newline:
+            return False
+        if b"\n" in chunk[:-1]:
+            return False
+        pending_newline = chunk.endswith(b"\n")
+
+
+def decode_segment(
+    path: str,
+    *,
+    tolerate_torn_tail: bool,
+    on_record: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Tuple[List[Dict[str, Any]], int, int]:
+    """Read one segment file; returns (records, valid_bytes, torn_discarded).
+
+    Records are decoded one frame at a time, so peak memory is bounded by
+    the largest single record rather than the segment size.  When
+    ``on_record`` is given, each decoded record is passed to it and the
+    returned record list is empty (fully streaming mode).
+
+    A framing violation at the very end of the file is a torn write and is
     discarded (when ``tolerate_torn_tail``); anywhere else it is corruption.
     """
     records: List[Dict[str, Any]] = []
-    offset = 0
-    n = len(raw)
-    while offset < n:
-        torn_reason: Optional[str] = None
-        end = offset
-        if offset + _HEADER_LEN > n:
-            torn_reason = "truncated header"
-        else:
-            header = raw[offset : offset + _HEADER_LEN]
-            try:
-                length = int(header[:8], 16)
-                crc = int(header[8:], 16)
-            except ValueError:
-                torn_reason = "unparseable header"
-            else:
-                end = offset + _HEADER_LEN + length + 1
-                if end > n:
-                    torn_reason = "truncated body"
-                else:
-                    body = raw[offset + _HEADER_LEN : end - 1]
-                    if raw[end - 1 : end] != b"\n":
-                        torn_reason = "missing record terminator"
-                    elif (zlib.crc32(body) & 0xFFFFFFFF) != crc:
-                        torn_reason = "checksum mismatch"
-                    else:
-                        try:
-                            records.append(json.loads(body.decode("utf-8")))
-                        except (UnicodeDecodeError, json.JSONDecodeError):
-                            torn_reason = "undecodable body"
-        if torn_reason is None:
-            offset = end
-            continue
-        # The bad record must be the last thing in the buffer to count as torn.
-        if tolerate_torn_tail and _is_tail(raw, offset, end):
-            return records, offset, 1
-        raise WalCorruptionError(f"{path}: {torn_reason} at byte {offset}")
-    return records, offset, 0
-
-
-def _is_tail(raw: bytes, offset: int, end: int) -> bool:
-    """True when the record starting at ``offset`` is the buffer's last."""
-    if end >= len(raw):
-        return True
-    # A bad header length can point past a valid record boundary; treat the
-    # record as the tail only if nothing after it parses as a record start.
-    rest = raw[offset:]
-    return b"\n" not in rest[:-1]
-
-
-def decode_segment(path: str, *, tolerate_torn_tail: bool) -> Tuple[List[Dict[str, Any]], int, int]:
-    """Read one segment file; returns (records, valid_bytes, torn_discarded)."""
+    sink = records.append if on_record is None else on_record
     with open(path, "rb") as fh:
-        raw = fh.read()
-    return _decode_buffer(raw, path=path, tolerate_torn_tail=tolerate_torn_tail)
+        offset = 0
+        while True:
+            header = fh.read(_HEADER_LEN)
+            if not header:
+                return records, offset, 0
+            torn_reason: Optional[str] = None
+            tail_known: Optional[bool] = None
+            if len(header) < _HEADER_LEN:
+                torn_reason = "truncated header"
+                tail_known = b"\n" not in header[:-1]
+            else:
+                try:
+                    length = int(header[:8], 16)
+                    crc = int(header[8:], 16)
+                except ValueError:
+                    torn_reason = "unparseable header"
+                else:
+                    framed = fh.read(length + 1)
+                    if len(framed) < length + 1:
+                        torn_reason = "truncated body"
+                        tail_known = True
+                    else:
+                        body = framed[:-1]
+                        if framed[-1:] != b"\n":
+                            torn_reason = "missing record terminator"
+                        elif (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+                            torn_reason = "checksum mismatch"
+                        else:
+                            try:
+                                sink(json.loads(body.decode("utf-8")))
+                            except (UnicodeDecodeError, json.JSONDecodeError):
+                                torn_reason = "undecodable body"
+            if torn_reason is None:
+                offset = fh.tell()
+                continue
+            # The bad record must be the last thing in the file to count as torn.
+            if tolerate_torn_tail and (tail_known if tail_known is not None else _rest_is_tail(fh, offset)):
+                return records, offset, 1
+            raise WalCorruptionError(f"{path}: {torn_reason} at byte {offset}")
+
+
+def encode_batch_events(events: List[Dict[str, Any]]) -> Tuple[List[Dict[str, Any]], int]:
+    """Compact-encode heartbeat events for the wire; returns (encoded, count).
+
+    A ``service_refreshed`` event whose payload is just the service key plus
+    an optional delivery sequence collapses to a positional
+    ``{"hb": [entity, seq, time, key(, obs_seq)]}`` form.  Everything else
+    passes through untouched.
+    """
+    out: List[Dict[str, Any]] = []
+    heartbeats = 0
+    for ev in events:
+        payload = ev.get("p")
+        if (
+            ev.get("k") == _HB_KIND
+            and isinstance(payload, dict)
+            and "key" in payload
+            and set(payload) <= {"key", "obs_seq"}
+        ):
+            hb = [ev["e"], ev["s"], ev["tm"], payload["key"]]
+            if "obs_seq" in payload:
+                hb.append(payload["obs_seq"])
+            out.append({"hb": hb})
+            heartbeats += 1
+        else:
+            out.append(ev)
+    return out, heartbeats
+
+
+def decode_batch_events(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Expand compact heartbeat entries back to canonical event dicts."""
+    out: List[Dict[str, Any]] = []
+    for ev in events:
+        hb = ev.get("hb")
+        if hb is None:
+            out.append(ev)
+            continue
+        entity, seq, tm, key = hb[:4]
+        payload: Dict[str, Any] = {"key": key}
+        if len(hb) > 4:
+            payload["obs_seq"] = hb[4]
+        out.append({"e": entity, "s": seq, "tm": tm, "k": _HB_KIND, "p": payload})
+    return out
 
 
 @dataclass(slots=True)
@@ -156,6 +235,7 @@ class WriteAheadLog:
         *,
         segment_max_records: int = 128,
         fsync_every: int = 1,
+        start_after: int = -1,
     ) -> None:
         if segment_max_records < 1:
             raise ValueError("segment_max_records must be >= 1")
@@ -169,8 +249,8 @@ class WriteAheadLog:
         self._sidecar_fh = None
         self._records_since_fsync = 0
         os.makedirs(self.directory, exist_ok=True)
-        scan = self.scan(self.directory, truncate_torn=True)
-        self._segment_index = scan.segment_indices[-1] if scan.segment_indices else 0
+        scan = self.scan(self.directory, truncate_torn=True, start_after=start_after)
+        self._segment_index = scan.segment_indices[-1] if scan.segment_indices else start_after + 1
         self._segment_records = scan.tail_records
         self.stats.segments = max(1, len(scan.segment_indices))
         self._open_segment()
@@ -216,7 +296,9 @@ class WriteAheadLog:
         caller is expected to raise a simulated crash immediately after.
         """
         self._maybe_rotate()
-        record = encode_record({"t": "batch", "events": events})
+        encoded, heartbeats = encode_batch_events(events)
+        record = encode_record({"t": "batch", "events": encoded})
+        self.stats.heartbeats_encoded += heartbeats
         if torn:
             cut = max(_HEADER_LEN + 1, len(record) // 2)
             self._fh.write(record[:cut])
@@ -248,9 +330,25 @@ class WriteAheadLog:
 
     # -- recovery scan -----------------------------------------------------
 
+    def sealed_segments(self) -> List[int]:
+        """Indices of on-disk segments no longer open for append (sorted)."""
+        indices = sorted(
+            int(name[len("segment-") : -len(".log")])
+            for name in os.listdir(self.directory)
+            if name.startswith("segment-") and name.endswith(".log")
+        )
+        return [index for index in indices if index < self._segment_index]
+
+    # -- recovery scan -----------------------------------------------------
+
     @staticmethod
-    def scan(directory: str, *, truncate_torn: bool = False) -> _ScanResult:
+    def scan(directory: str, *, truncate_torn: bool = False, start_after: int = -1) -> _ScanResult:
         """Read every segment (and sidecar) in order, validating framing.
+
+        Segments with index <= ``start_after`` are skipped entirely — the
+        compaction manifest covers them, and leftover files below that index
+        (a crash between manifest swap and segment deletion) must not be
+        replayed twice.
 
         A torn record is tolerated only at the tail of the *final* segment
         (or final sidecar); with ``truncate_torn`` the file is truncated back
@@ -265,6 +363,7 @@ class WriteAheadLog:
             for name in os.listdir(directory)
             if name.startswith("segment-") and name.endswith(".log")
         )
+        indices = [index for index in indices if index > start_after]
         result.segment_indices = indices
         for pos, index in enumerate(indices):
             is_last = pos == len(indices) - 1
@@ -277,6 +376,7 @@ class WriteAheadLog:
             for record in records:
                 if record.get("t") != "batch":
                     raise WalCorruptionError(f"{path}: unexpected record type {record.get('t')!r}")
+                record["events"] = decode_batch_events(record["events"])
                 result.batches.append(record)
             if is_last:
                 result.tail_records = len(records)

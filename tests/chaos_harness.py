@@ -538,3 +538,212 @@ def run_failover_chaos(
         rounds=rounds,
         plan=plan,
     )
+
+
+# -- the compaction chaos harness --------------------------------------------
+#
+# Compaction rewrites durable storage while ingest runs, so its failure
+# modes are different from ingest crashes: the process can die between
+# writing the new cold file, renaming it into place, swapping the
+# manifest, and deleting the folded segments.  run_chaos_with_compaction
+# interleaves compaction passes with the faulted ingest loop and can kill
+# the process at any of those hooks; recovery must still converge to the
+# *uncompacted* fault-free oracle at the read level.
+
+
+def read_fingerprint(journal: Any) -> Dict[str, Any]:
+    """Observable reads in comparable form, valid across compaction.
+
+    ``journal_fingerprint`` pins internals (resident snapshots, tier
+    watermarks) that compaction legitimately rewrites; this fingerprint
+    pins only what a reader can observe — the stitched event stream,
+    current state, and time-travel samples — in canonical JSON, so it is
+    identical for a compacted journal and the uncompacted oracle.
+    """
+    from repro.pipeline import canonical_json
+
+    out: Dict[str, Any] = {}
+    for entity_id in sorted(journal.entity_ids()):
+        events = journal.events_for(entity_id)
+        times = [e.time for e in events]
+        sample_times = sorted({times[0], times[len(times) // 2], times[-1]}) if times else []
+        out[entity_id] = {
+            "current": canonical_json(journal.reconstruct(entity_id)),
+            "events": [
+                (e.seq, e.time, e.kind, canonical_json(e.payload)) for e in events
+            ],
+            "samples": [
+                canonical_json(journal.reconstruct(entity_id, at)) for at in sample_times
+            ],
+        }
+    return out
+
+
+@dataclass
+class CompactionChaosResult:
+    journal: EventJournal
+    recovered: EventJournal
+    crashes: int
+    compaction_crashes: int
+    recoveries: int
+    compaction_runs: int
+    events_folded: int
+    leftovers_removed: int
+    rounds: int
+
+
+def run_chaos_with_compaction(
+    items: List[Any],
+    plan: FaultPlan,
+    wal_dir: str,
+    *,
+    snapshot_every: int = SNAPSHOT_EVERY,
+    segment_max_records: int = 16,
+    compact_every_rounds: int = 2,
+    min_sealed_segments: int = 2,
+    crash_hooks: Tuple[str, ...] = (),
+    retry: Optional[RetryPolicy] = None,
+    max_rounds: int = 3000,
+) -> CompactionChaosResult:
+    """run_chaos with periodic compaction passes and compaction kills.
+
+    ``crash_hooks`` is an ordered sequence of compactor hook names (from
+    {"cold_written", "cold_renamed", "manifest_written", "mid_delete"}):
+    each time a fold reaches the hook at the head of the remaining list,
+    the compactor raises :class:`SimulatedCrash` there — modeling a
+    process death between write-new / rename / manifest-swap /
+    delete-old — and the next fold attempt targets the next entry.
+    Recovery then rebuilds the journal from whatever mix of manifest,
+    leftover segments, and orphan cold files the crash left behind.
+    """
+    from repro.pipeline import CrashPoint, SegmentCompactor
+
+    retry = retry or RetryPolicy(max_attempts=6, base_delay=0.05)
+    injector = plan.injector()
+    remaining_hooks = list(crash_hooks)
+
+    def crash_hook(hook: str) -> None:
+        if remaining_hooks and remaining_hooks[0] == hook:
+            remaining_hooks.pop(0)
+            raise SimulatedCrash(CrashPoint(1, "after"))
+
+    def fresh_processor(journal: EventJournal) -> WriteSideProcessor:
+        return WriteSideProcessor(
+            journal, EventBus(), faults=injector, retry=retry, dlq=DeadLetterQueue()
+        )
+
+    def fresh_compactor(journal: EventJournal) -> SegmentCompactor:
+        return SegmentCompactor(
+            journal,
+            wal_dir,
+            min_sealed_segments=min_sealed_segments,
+            crash_hook=crash_hook,
+        )
+
+    journal = EventJournal(
+        snapshot_every=snapshot_every,
+        wal=WriteAheadLog(wal_dir, segment_max_records=segment_max_records),
+        fault_injector=injector,
+    )
+    processor = fresh_processor(journal)
+    compactor = fresh_compactor(journal)
+    source = AtLeastOnceSource(items)
+    resequencer = Resequencer()
+    channel = FaultyChannel(injector)
+    crashes = compaction_crashes = recoveries = rounds = 0
+    compaction_runs = events_folded = leftovers_removed = 0
+
+    def recover() -> None:
+        nonlocal journal, processor, compactor, resequencer
+        journal.close()
+        journal = EventJournal.recover(
+            wal_dir,
+            snapshot_every,
+            segment_max_records=segment_max_records,
+            fault_injector=injector,
+        )
+        processor = fresh_processor(journal)
+        compactor = fresh_compactor(journal)
+        durable = max_durable_seq(journal)
+        source.reset_all_unacked()
+        source.ack_through(durable)
+        resequencer = Resequencer(next_seq=durable + 1)
+        channel.reset()
+
+    while not source.done:
+        rounds += 1
+        if rounds > max_rounds:
+            raise AssertionError(
+                f"compaction chaos run did not converge in {max_rounds} rounds "
+                f"({source.outstanding} items outstanding)"
+            )
+        arrivals = channel.transmit(source.pending())
+        crashed = False
+        for arrival in arrivals:
+            for ready in resequencer.push(arrival):
+                try:
+                    apply_item(processor, ready)
+                    source.ack(item_seq(ready))
+                except SimulatedCrash:
+                    crashes += 1
+                    recoveries += 1
+                    recover()
+                    crashed = True
+                    break
+            if crashed:
+                break
+        if crashed:
+            continue
+        if rounds % compact_every_rounds == 0:
+            try:
+                report = compactor.run_once()
+            except SimulatedCrash:
+                compaction_crashes += 1
+                recoveries += 1
+                recover()
+            else:
+                if report["folded"]:
+                    compaction_runs += 1
+                    events_folded += report["events"]
+
+    # Drain the remaining scheduled compaction kills, then finish with a
+    # clean pass so every grid exercises at least one completed fold.
+    for _ in range(len(remaining_hooks) * 2 + 2):
+        try:
+            report = compactor.run_once()
+        except SimulatedCrash:
+            compaction_crashes += 1
+            recoveries += 1
+            recover()
+            continue
+        if report["folded"]:
+            compaction_runs += 1
+            events_folded += report["events"]
+        if not remaining_hooks:
+            break
+    if remaining_hooks:
+        raise AssertionError(
+            f"scheduled compaction crashes never fired: {remaining_hooks} "
+            "(workload too small to seal enough segments?)"
+        )
+    leftovers_removed = compactor.stats.leftovers_removed
+    journal.close()
+    recovered = EventJournal.recover(
+        wal_dir, snapshot_every, segment_max_records=segment_max_records, reopen=False
+    )
+    # Ground truth for "how much actually folded": a crash at mid_delete
+    # commits the manifest but raises before run_once returns, so the
+    # run-report counters under-report; the manifest does not.
+    if recovered.cold_store is not None:
+        events_folded = max(events_folded, recovered.cold_store.manifest["stats"]["events"])
+    return CompactionChaosResult(
+        journal=journal,
+        recovered=recovered,
+        crashes=crashes,
+        compaction_crashes=compaction_crashes,
+        recoveries=recoveries,
+        compaction_runs=compaction_runs,
+        events_folded=events_folded,
+        leftovers_removed=leftovers_removed,
+        rounds=rounds,
+    )

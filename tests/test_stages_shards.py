@@ -255,9 +255,28 @@ class TestTrafficReportSchema:
             "scheduler",
             "shards",
             "read_cache",
+            "storage",
             "executor",
             "replication",
         }
+        # Satellite: the storage block — segment counts, tiered byte
+        # accounting, and compaction counters (None until enabled).
+        assert set(report["storage"]) == {
+            "compaction_enabled", "segments", "wal_records", "wal_bytes_written",
+            "heartbeats_encoded", "live_bytes", "superseded_bytes", "cold_bytes",
+            "total_bytes", "resident_events", "resident_event_bytes",
+            "segments_per_shard", "compaction",
+        }
+        assert report["storage"]["compaction_enabled"] is False
+        assert report["storage"]["compaction"] is None
+        assert report["storage"]["resident_events"] == sum(
+            report["shards"]["events_per_shard"]
+        )
+        assert report["storage"]["total_bytes"] == (
+            report["storage"]["live_bytes"]
+            + report["storage"]["superseded_bytes"]
+            + report["storage"]["cold_bytes"]
+        )
         assert set(report["stages"]) == {
             "discovery", "interrogation", "ingest", "derivation", "serving"
         }
@@ -277,7 +296,7 @@ class TestTrafficReportSchema:
         }
         assert set(report["stages"]["serving"]) == {
             "lookups_served", "replica_lookups_served", "searches_served",
-            "snapshots_taken", "documents_exported",
+            "histories_served", "snapshots_taken", "documents_exported",
         }
         assert set(report["queue"]) == {
             "enqueued", "deduplicated", "pruned", "backlog",
