@@ -28,6 +28,15 @@ Three suites, selected with ``--suite``:
   ``benchmarks/results/BENCH_load.json`` with p50/p95/p99 latency and
   aggregate throughput per offered load, plus speedups vs the serial
   backend.  Cross-backend answer equality is asserted before timing.
+* ``standing`` — the standing-query tier: a scale sweep registering
+  10k / 30k / 100k subscriptions (anchored vocabulary sized so the
+  per-event match count stays fixed) against one synthetic document
+  stream, asserting per-event evaluation cost is bounded by matches —
+  flat as registrations grow 10x — plus an at-least-once delivery
+  segment under a seeded drop/duplicate/delay FaultPlan (consumer set
+  must equal the emitted set, exactly once) and a platform segment
+  measuring ingest-tick overhead with a 100k-subscription watchlist
+  attached vs none → ``benchmarks/results/BENCH_standing.json``.
 * ``compaction`` — the journal-compaction tier: an identical long
   refresh-heavy history fed into a periodically-compacted and a
   never-compacted WAL-backed journal, reporting the resident-event
@@ -913,6 +922,215 @@ def bench_compaction(ops_scale: float = 1.0, seed: int = 11) -> dict:
     }
 
 
+# -- the standing-query benchmark -------------------------------------------
+
+STANDING_LEVELS = (10_000, 30_000, 100_000)
+
+
+def bench_standing(ops_scale: float = 1.0, seed: int = 11) -> dict:
+    """Standing queries at scale: per-event cost bounded by matches.
+
+    The scale sweep registers N anchored subscriptions whose token
+    vocabulary grows with N (a fixed ``subs_per_token``, plus a fixed
+    handful of broad ones), then replays the identical synthetic
+    document stream at every level.  Because each event's expected match
+    count is constant by construction, a correct inverted predicate
+    index keeps per-event evaluations and wall time flat while
+    registrations grow 10x — asserted, not just reported, alongside the
+    evaluations-avoided ratio vs the evaluate-everything strawman.
+
+    The delivery segment pushes one level's notification stream through
+    the seeded drop/duplicate/delay channel and requires the consumer
+    set to equal the emitted set exactly once (at-least-once wire, seq
+    dedupe at the consumer, zero dead letters).  The platform segment
+    attaches a full-scale idle watchlist plus a small live one to a real
+    ingest run and reports the tick wall-clock next to an identically
+    seeded subscription-free platform.
+    """
+    from repro.core import CensysPlatform, PlatformConfig
+    from repro.pipeline import FaultPlan, Notification, NotificationDeliverer, SubscriptionEngine
+    from repro.pipeline.reliability import RetryPolicy
+
+    subs_per_token = 10
+    broad_subs = 20
+    tokens_per_event = 3
+    n_events = max(200, int(2000 * ops_scale))
+    levels = sorted({max(500, int(n * ops_scale)) for n in STANDING_LEVELS})
+
+    def event_stream(vocab_size: int):
+        """One deterministic stream of document upserts (identical per level
+        up to vocabulary size; token ranks are shared across levels)."""
+        rng = random.Random(seed + 1)
+        for n in range(n_events):
+            entity = f"host:{n % (n_events // 4)}"
+            ranks = rng.sample(range(vocab_size), tokens_per_event)
+            yield entity, {
+                "services.protocol": [f"proto{r}" for r in ranks],
+                "services.port": [rng.choice([22, 80, 443, 8080])],
+            }
+
+    sweep = {}
+    for n_subs in levels:
+        vocab_size = max(tokens_per_event, n_subs // subs_per_token)
+        engine = SubscriptionEngine()
+        rng = random.Random(seed)
+        for i in range(n_subs - broad_subs):
+            token = f"proto{i % vocab_size}"
+            if rng.random() < 0.3:
+                query = f"services.protocol: {token} and services.port > 1000"
+            else:
+                query = f"services.protocol: {token}"
+            engine.subscribe(query, sub_id=f"watch-{i:07d}")
+        for i in range(broad_subs):
+            engine.subscribe(f"services.port > {7000 + i}", sub_id=f"broad-{i:03d}")
+
+        t0 = time.perf_counter()
+        for entity, document in event_stream(vocab_size):
+            engine.on_document(entity, document)
+        wall = time.perf_counter() - t0
+        engine.deliverer.pump()
+        engine.deliverer.drain_delivered()
+        report = engine.report()
+        per_event = report["candidates_evaluated"] / report["events_seen"]
+        sweep[str(n_subs)] = {
+            "subscriptions": n_subs,
+            "vocab_tokens": vocab_size,
+            "events": report["events_seen"],
+            "us_per_event": round(wall / report["events_seen"] * 1e6, 2),
+            "candidates_per_event": round(per_event, 2),
+            "notifications_emitted": report["notifications_emitted"],
+            # The evaluate-everything strawman runs n_subs plan matches
+            # per event; this is the fraction the anchor index skipped.
+            "evals_avoided_vs_naive": round(1.0 - per_event / n_subs, 4),
+        }
+
+    lo, hi = sweep[str(levels[0])], sweep[str(levels[-1])]
+    growth = levels[-1] / levels[0]
+    sublinear = {
+        "registrations_growth": round(growth, 1),
+        "candidates_per_event_growth": round(
+            hi["candidates_per_event"] / lo["candidates_per_event"], 3
+        ),
+        "us_per_event_growth": round(hi["us_per_event"] / lo["us_per_event"], 3),
+    }
+    # The contract, asserted: per-event evaluations stay flat (bounded by
+    # the constructed match count) while registrations grow ~10x, and
+    # wall time grows far slower than the registration count.
+    if sublinear["candidates_per_event_growth"] > 1.5:  # pragma: no cover - the gate
+        raise SystemExit(
+            f"candidate evaluations grew {sublinear['candidates_per_event_growth']}x "
+            f"across a {growth:.0f}x registration sweep — the anchor index is not narrowing"
+        )
+    if sublinear["us_per_event_growth"] > growth / 2:  # pragma: no cover - the gate
+        raise SystemExit(
+            f"per-event wall time grew {sublinear['us_per_event_growth']}x "
+            f"across a {growth:.0f}x registration sweep"
+        )
+
+    # -- at-least-once delivery under a seeded fault plan ------------------
+    plan = FaultPlan(seed=seed, drop_rate=0.3, duplicate_rate=0.2, delay_rate=0.2)
+    deliverer = NotificationDeliverer(plan, RetryPolicy(max_attempts=64))
+    emitted = max(100, int(800 * ops_scale))
+    for i in range(emitted):
+        deliverer.offer(
+            Notification(i, f"watch-{i % 97:07d}", f"host:{i % 53}", "entered", float(i), "q")
+        )
+    t0 = time.perf_counter()
+    deliverer.pump(max_rounds=512)
+    delivery_wall = time.perf_counter() - t0
+    delivered = deliverer.drain_delivered()
+    if sorted(n.seq for n in delivered) != list(range(emitted)):  # pragma: no cover
+        raise SystemExit(
+            f"delivery gate: {len(delivered)}/{emitted} notifications arrived "
+            f"under plan {plan!r}"
+        )
+    delivery = {
+        "emitted": emitted,
+        "delivered": len(delivered),
+        "exactly_once_at_consumer": True,
+        "transmissions": deliverer.transmissions,
+        "retransmit_ratio": round(deliverer.transmissions / emitted, 3),
+        "duplicates_dropped": deliverer.duplicates_dropped,
+        "dead_letters": len(deliverer.dead_letters),
+        "wall_ms": round(delivery_wall * 1e3, 3),
+        "fault_plan": {"seed": seed, "drop_rate": 0.3, "duplicate_rate": 0.2,
+                       "delay_rate": 0.2},
+    }
+
+    # -- ingest-load segment: a full-scale watchlist on a live platform ----
+    idle_watchlist = levels[-1]
+
+    def build(subscriptions: bool) -> CensysPlatform:
+        net = build_simnet(
+            bits=12,
+            workload_config=WorkloadConfig(
+                seed=seed, services_target=250, t_start=-8 * DAY, t_end=4 * DAY
+            ),
+            seed=seed,
+        )
+        return CensysPlatform(
+            net,
+            PlatformConfig(predictive_daily_budget=300, seed=seed,
+                           subscriptions=subscriptions),
+            start_time=-4 * DAY,
+        )
+
+    def run(plat: CensysPlatform) -> float:
+        t0 = time.perf_counter()
+        plat.run_until(0.0, tick_hours=6.0)
+        return time.perf_counter() - t0
+
+    baseline = build(False)
+    baseline_wall = run(baseline)
+
+    watched = build(True)
+    t0 = time.perf_counter()
+    # The realistic shape: a huge mostly-idle watchlist (anchored tokens
+    # that never occur in this world) plus a small live one.
+    for i in range(idle_watchlist - 50):
+        watched.subscribe(f"services.protocol: cve{i:07d}", sub_id=f"idle-{i:07d}")
+    live_queries = [
+        "services.protocol: http", "services.protocol: ssh",
+        "services.service_name: MODBUS", "services.tls.self_signed: true",
+        "services.port > 8000",
+    ]
+    for i in range(50):
+        watched.subscribe(live_queries[i % len(live_queries)], sub_id=f"live-{i:03d}")
+    register_wall = time.perf_counter() - t0
+    watched_wall = run(watched)
+    notes = watched.drain_notifications()
+    report = watched.traffic_report()["subscriptions"]
+    platform_segment = {
+        "registered": report["registered"],
+        "register_wall_s": round(register_wall, 3),
+        "ingest_wall_s": round(watched_wall, 3),
+        "baseline_ingest_wall_s": round(baseline_wall, 3),
+        "ingest_overhead": round(watched_wall / baseline_wall, 3),
+        "events_seen": report["events_seen"],
+        "candidates_per_event": round(
+            report["candidates_evaluated"] / max(1, report["events_seen"]), 2
+        ),
+        "notifications_delivered": len(notes),
+        "dead_letters": report["dead_letters"],
+    }
+    baseline.close()
+    watched.close()
+
+    return {
+        "config": {
+            "seed": seed, "ops_scale": ops_scale, "levels": levels,
+            "subs_per_token": subs_per_token, "broad_subs": broad_subs,
+            "tokens_per_event": tokens_per_event, "events": n_events,
+            "sublinear_gates": {"candidates_growth_max": 1.5,
+                                "time_growth_max": round(growth / 2, 1)},
+        },
+        "sweep": sweep,
+        "sublinear": sublinear,
+        "delivery": delivery,
+        "platform": platform_segment,
+    }
+
+
 def _git_commit() -> str:
     try:
         return subprocess.run(
@@ -926,7 +1144,8 @@ def _git_commit() -> str:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--suite", choices=["micro", "serving", "load", "replication", "compaction"],
+        "--suite",
+        choices=["micro", "serving", "load", "replication", "compaction", "standing"],
         default="micro",
     )
     parser.add_argument("--rounds", type=int, default=30, help="micro: timing samples per path")
@@ -952,6 +1171,29 @@ def main() -> None:
         "for the suite); smoke runs point this elsewhere to leave committed results alone",
     )
     args = parser.parse_args()
+
+    if args.suite == "standing":
+        standing = bench_standing(ops_scale=args.ops_scale, seed=args.seed)
+        payload = {
+            "commit": _git_commit(),
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            **standing,
+        }
+        out_path = args.out
+        if out_path is None:
+            RESULTS.mkdir(exist_ok=True)
+            out_path = RESULTS / "BENCH_standing.json"
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(json.dumps(
+            {
+                "sublinear": payload["sublinear"],
+                "delivery_retransmit_ratio": payload["delivery"]["retransmit_ratio"],
+                "platform_ingest_overhead": payload["platform"]["ingest_overhead"],
+            },
+            indent=2,
+        ))
+        print(f"wrote {out_path}")
+        return
 
     if args.suite == "compaction":
         compaction = bench_compaction(ops_scale=args.ops_scale, seed=args.seed)

@@ -136,6 +136,13 @@ class PlatformConfig:
     #: Also fold replica journals (and freeze acked batch-log prefixes)
     #: during each compaction pass when replication is enabled.
     compaction_replicas: bool = True
+    #: Standing-query subscriptions: registered plans evaluated
+    #: incrementally on every reindex (False = off, the bit-identical
+    #: default used by every committed experiment run).
+    subscriptions: bool = False
+    #: Optional FaultPlan for the notification delivery channel (chaos
+    #: tests; None = perfect delivery).
+    subscription_delivery_plan: Any = None
 
 
 class CensysPlatform:
@@ -268,6 +275,19 @@ class CensysPlatform:
             self.journal, self.bus, self.read_side, self.index,
             self.ca_world, self.crl, self.ct_log, self.shard_map,
         )
+        self.subscriptions = None
+        if cfg.subscriptions:
+            from repro.pipeline import SubscriptionEngine
+
+            self.subscriptions = SubscriptionEngine(
+                journal=self.journal,
+                delivery_plan=cfg.subscription_delivery_plan,
+                clock=lambda: self.clock.now,
+            )
+            # A recovered WAL may already hold journaled registrations.
+            if self.subscriptions.restore() > 0:
+                self.subscriptions.resync(self.index.items())
+            self.derivation.subscriptions = self.subscriptions
         self.discovery = DiscoveryStage(
             internet, TierSweep(tiers), self.queue, self.pops, self.exclusions,
             self.predictive, self.scheduler, self.name_feed,
@@ -319,6 +339,8 @@ class CensysPlatform:
         if self.replication is not None:
             self.replication.pump()
         self.derivation.advance()
+        if self.subscriptions is not None:
+            self.subscriptions.pump_delivery()
         if now - self._last_daily >= 24.0:
             self._daily_housekeeping(now)
             self._last_daily = now
@@ -462,6 +484,27 @@ class CensysPlatform:
         """Batch search, overlapped across queries by the executor."""
         return self.serving.search_many(queries, limit=limit)
 
+    # -- standing queries -----------------------------------------------------
+
+    def subscribe(self, query: str, sub_id: Optional[str] = None) -> str:
+        """Register a standing query; notifications arrive as the map
+        changes (``config.subscriptions=True`` required)."""
+        if self.subscriptions is None:
+            raise RuntimeError("subscribe requires PlatformConfig(subscriptions=True)")
+        return self.subscriptions.subscribe(query, sub_id=sub_id, now=self.clock.now)
+
+    def unsubscribe(self, sub_id: str) -> bool:
+        """Cancel a standing query (journaled; survives recovery)."""
+        if self.subscriptions is None:
+            raise RuntimeError("unsubscribe requires PlatformConfig(subscriptions=True)")
+        return self.subscriptions.unsubscribe(sub_id, now=self.clock.now)
+
+    def drain_notifications(self) -> List[Dict[str, Any]]:
+        """Pump delivery and hand over every notification that arrived."""
+        if self.subscriptions is None:
+            return []
+        return self.subscriptions.drain_notifications()
+
     def close(self) -> None:
         """Release the executor's worker pool and close the journal WALs.
 
@@ -538,6 +581,11 @@ class CensysPlatform:
             "replication": (
                 {"enabled": True, **self.replication.report()}
                 if self.replication is not None
+                else {"enabled": False}
+            ),
+            "subscriptions": (
+                {"enabled": True, **self.subscriptions.report()}
+                if self.subscriptions is not None
                 else {"enabled": False}
             ),
         }

@@ -67,6 +67,10 @@ class DerivationStage:
         bus.subscribe("service_found", self._on_tls_service)
         bus.subscribe("service_changed", self._on_tls_service)
         self.secondary = ShardedSecondaryIndexes(bus, shard_map)
+        #: Optional standing-query engine fed by every reindex/deindex
+        #: (attached by the platform when subscriptions are enabled; None
+        #: keeps this stage byte-identical to the pre-subscription path).
+        self.subscriptions = None
         self.counters = StageCounters(
             reindexed_entities=0,
             deindexed_entities=0,
@@ -89,19 +93,25 @@ class DerivationStage:
 
     def _index_certificate(self, cert, time: float) -> None:
         entity = cert_entity_id(cert.sha256)
-        self.index.put(entity, flatten_certificate_state(self.journal.reconstruct(entity)))
+        doc = flatten_certificate_state(self.journal.reconstruct(entity))
+        self.index.put(entity, doc)
         self.counters.bump("certificates_indexed")
+        if self.subscriptions is not None:
+            self.subscriptions.on_document(entity, doc, now=time)
 
     # -- the stage interface ---------------------------------------------------
 
     def advance(self) -> int:
         """Reindex every entity dirtied since the last pass."""
         reindexed = 0
+        subs = self.subscriptions
         for entity_id in self._dirty:
+            doc = None
             if entity_id.startswith("host:"):
                 view = self.read_side.lookup(entity_id)
                 if view["services"]:
-                    self.index.put(entity_id, flatten_host_view(view))
+                    doc = flatten_host_view(view)
+                    self.index.put(entity_id, doc)
                     reindexed += 1
                 else:
                     self.index.delete(entity_id)
@@ -109,11 +119,16 @@ class DerivationStage:
             elif entity_id.startswith(("web:", "host6:")):
                 view = self.read_side.lookup(entity_id, enrich=False)
                 if view["services"]:
-                    self.index.put(entity_id, flatten_webproperty_view(view))
+                    doc = flatten_webproperty_view(view)
+                    self.index.put(entity_id, doc)
                     reindexed += 1
                 else:
                     self.index.delete(entity_id)
                     self.counters.bump("deindexed_entities")
+            else:
+                continue
+            if subs is not None:
+                subs.on_document(entity_id, doc)
         self._dirty.clear()
         self.counters.bump("reindexed_entities", reindexed)
         return reindexed

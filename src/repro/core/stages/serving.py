@@ -19,7 +19,7 @@ from repro.net import ip_to_str
 from repro.pipeline import EventJournal, ReadSide, ReconstructionCache, host_entity_id
 from repro.pipeline.executors import SerialExecutor, ShardExecutor
 from repro.pipeline.sharding import ShardedJournal
-from repro.search import ShardedSearchIndex, SnapshotStore
+from repro.search import QueryPlan, ShardedSearchIndex, SnapshotStore, compile_query
 from repro.simnet import SimulatedInternet
 
 __all__ = ["ServingLayer"]
@@ -166,28 +166,34 @@ class ServingLayer:
 
     # -- interactive search ----------------------------------------------------
 
-    def search(self, query: str, limit: Optional[int] = None) -> List[str]:
+    def search(
+        self, query: Union[str, "QueryPlan"], limit: Optional[int] = None
+    ) -> List[str]:
+        """Interactive search; accepts query text or a pre-compiled plan
+        (strings compile once through the process-wide plan cache)."""
         self.counters.bump("searches_served")
         return self.index.search(query, limit=limit)
 
     def search_many(
-        self, queries: List[str], limit: Optional[int] = None
+        self, queries: List[Union[str, "QueryPlan"]], limit: Optional[int] = None
     ) -> List[List[str]]:
         """Batch search: overlap independent queries through the executor.
 
         Each query's own scatter-gather runs inline inside the worker
         (the executors' nested-depth guard prevents pool starvation), so
         parallelism comes from overlapping whole queries rather than
-        nesting fan-outs.  Results come back in input order.
+        nesting fan-outs.  Results come back in input order.  Queries are
+        compiled before the fan-out, so workers receive plans, not text.
         """
         self.counters.bump("searches_served", len(queries))
-        if self.executor.inline or len(queries) <= 1:
-            return [self.index.search(q, limit=limit) for q in queries]
+        plans = [compile_query(q) for q in queries]
+        if self.executor.inline or len(plans) <= 1:
+            return [self.index.search(p, limit=limit) for p in plans]
 
-        def _one(query: str) -> List[str]:
-            return self.index.search(query, limit=limit)
+        def _one(plan: "QueryPlan") -> List[str]:
+            return self.index.search(plan, limit=limit)
 
-        return self.executor.map_shards(_one, [(q,) for q in queries])
+        return self.executor.map_shards(_one, [(p,) for p in plans])
 
     # -- analytics / raw data --------------------------------------------------
 

@@ -60,6 +60,19 @@ from repro.pipeline.write_side import (
     host_entity_id,
 )
 
+# Imported last: subscriptions pulls in repro.search (for compiled query
+# plans), whose modules import repro.pipeline submodules — keeping this
+# import at the tail means the package namespace above is already built
+# if that chain re-enters this partially-initialized package.
+from repro.pipeline.subscriptions import (  # noqa: E402
+    Notification,
+    NotificationDeliverer,
+    Subscription,
+    SubscriptionEngine,
+    anchor_tokens,
+    subscription_entity_id,
+)
+
 __all__ = [
     "Event",
     "EventKind",
@@ -120,4 +133,11 @@ __all__ = [
     "compact_journal_in_memory",
     "canonical_json",
     "state_digest",
+    # Standing queries
+    "Notification",
+    "NotificationDeliverer",
+    "Subscription",
+    "SubscriptionEngine",
+    "anchor_tokens",
+    "subscription_entity_id",
 ]

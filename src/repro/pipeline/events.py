@@ -29,6 +29,10 @@ class EventKind:
     CERT_OBSERVED = "cert_observed"
     CERT_VALIDATED = "cert_validated"
     CERT_REVOKED = "cert_revoked"
+    #: Standing-query lifecycle (journaled on ``sub:<id>`` entities so
+    #: registrations replay through WAL recovery and compaction).
+    SUBSCRIPTION_REGISTERED = "subscription_registered"
+    SUBSCRIPTION_CANCELLED = "subscription_cancelled"
 
     ALL = (
         SERVICE_FOUND,
@@ -42,6 +46,8 @@ class EventKind:
         CERT_OBSERVED,
         CERT_VALIDATED,
         CERT_REVOKED,
+        SUBSCRIPTION_REGISTERED,
+        SUBSCRIPTION_CANCELLED,
     )
 
 

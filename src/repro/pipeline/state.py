@@ -114,6 +114,12 @@ def apply_event(state: Dict[str, Any], event: Event) -> Dict[str, Any]:
     elif event.kind == EventKind.CERT_REVOKED:
         state["meta"]["revoked"] = True
         state["meta"]["revoked_at"] = event.time
+    elif event.kind == EventKind.SUBSCRIPTION_REGISTERED:
+        state["meta"]["subscription"] = dict(payload.get("subscription", {}))
+        state["meta"].pop("cancelled", None)
+    elif event.kind == EventKind.SUBSCRIPTION_CANCELLED:
+        # The registration stays for audit; the flag hides it from restore.
+        state["meta"]["cancelled"] = True
     else:
         raise ValueError(f"unknown event kind: {event.kind}")
     return state

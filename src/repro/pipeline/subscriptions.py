@@ -1,0 +1,527 @@
+"""Standing queries: persistent subscriptions evaluated per document event.
+
+The paper's third query consumer — continuous monitoring that alerts on
+attack-surface changes — on top of the compiled plan layer:
+
+* a subscription is a :class:`~repro.search.plan.QueryPlan` registered
+  under a stable id; registrations are journaled as
+  ``subscription_registered`` / ``subscription_cancelled`` events on
+  ``sub:<id>`` entities, so they replay through WAL recovery and survive
+  compaction folds exactly like host state does;
+* an **inverted predicate index** maps anchor ``(field, token)`` pairs to
+  subscription ids.  A plan's anchors are tokens every matching document
+  must contain (a non-wildcard term's value; for AND, any one anchorable
+  conjunct; for OR, the union over all disjuncts — every disjunct must be
+  anchorable).  Per document event only the subscriptions anchored to one
+  of the document's tokens — plus the un-anchorable "broad" residue and
+  the subscriptions *currently matching* the entity — are evaluated, so
+  per-event cost scales with matches, not with total registrations;
+* notifications are **transition-based** (``entered`` / ``exited`` the
+  result set), which requires remembering, per subscription, which
+  entities currently match — the reverse map is also what detects exits
+  when a document changes or is deleted;
+* delivery rides the PR 2 at-least-once machinery: a
+  :class:`~repro.pipeline.delivery.FaultyChannel` driven by a seeded
+  :class:`~repro.pipeline.faults.FaultPlan`, retransmission of unacked
+  notifications with :class:`~repro.pipeline.reliability.RetryPolicy`
+  attempt accounting, exhausted attempts parked in a
+  :class:`~repro.pipeline.reliability.DeadLetterQueue`.  Unlike scan
+  observations, notifications are independent of each other, so the
+  consumer dedupes by sequence number instead of gap-buffering through a
+  resequencer (a dead-lettered notification must not stall the stream).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.pipeline.delivery import FaultyChannel
+from repro.pipeline.events import EventKind
+from repro.pipeline.faults import FaultPlan
+from repro.pipeline.reliability import DeadLetterQueue, RetryPolicy
+from repro.search.plan import QueryPlan, compile_query
+from repro.search.query import Bool, QueryNode, Term
+
+__all__ = [
+    "Notification",
+    "NotificationDeliverer",
+    "Subscription",
+    "SubscriptionEngine",
+    "anchor_tokens",
+    "subscription_entity_id",
+]
+
+
+def subscription_entity_id(sub_id: str) -> str:
+    """The journal entity a subscription's lifecycle events live on."""
+    return f"sub:{sub_id}"
+
+
+# ----------------------------------------------------------------------
+# Anchor extraction
+# ----------------------------------------------------------------------
+
+
+def anchor_tokens(node: QueryNode) -> Optional[FrozenSet[Tuple[str, str]]]:
+    """Tokens every matching document must contain, or None.
+
+    The invariant the inverted predicate index relies on: if a document
+    matches ``node``, its token pairs (per-field and full-text, exactly
+    the pairs the search index builds postings for) include at least one
+    anchor.  A non-wildcard term anchors on its own value; an AND anchors
+    on any one anchorable conjunct (the smallest, for selectivity); an OR
+    needs *every* disjunct anchorable and takes the union.  Wildcards,
+    comparisons, ranges, and NOT are un-anchorable — matching documents
+    need not contain any specific token — and make the (sub)query
+    "broad", i.e. evaluated on every event.
+    """
+    if isinstance(node, Term) and not node.is_wildcard:
+        return frozenset({(node.field or "", node.value.lower())})
+    if isinstance(node, Bool):
+        if node.op == "and":
+            best: Optional[FrozenSet[Tuple[str, str]]] = None
+            for child in node.children:
+                anchors = anchor_tokens(child)
+                if anchors is not None and (best is None or len(anchors) < len(best)):
+                    best = anchors
+            return best
+        union: Set[Tuple[str, str]] = set()
+        for child in node.children:
+            anchors = anchor_tokens(child)
+            if anchors is None:
+                return None
+            union |= anchors
+        return frozenset(union)
+    return None
+
+
+def _doc_token_pairs(doc: Dict[str, List[Any]]) -> Set[Tuple[str, str]]:
+    """The document's (field, token) pairs, full text under field ""."""
+    pairs: Set[Tuple[str, str]] = set()
+    for field, values in doc.items():
+        for value in values:
+            text = str(value).lower()
+            tokens = {text}
+            tokens.update(text.split())
+            for token in tokens:
+                pairs.add((field, token))
+                pairs.add(("", token))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Notifications and their delivery
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Notification:
+    """One standing-query result-set transition."""
+
+    seq: int
+    sub_id: str
+    entity_id: str
+    transition: str  # "entered" | "exited"
+    time: float
+    query: str  # the canonical plan key
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "sub_id": self.sub_id,
+            "entity_id": self.entity_id,
+            "transition": self.transition,
+            "time": self.time,
+            "query": self.query,
+        }
+
+
+class NotificationDeliverer:
+    """At-least-once notification delivery with retry and dead-lettering.
+
+    Emitted notifications sit in an outbox until acknowledged; each
+    :meth:`pump` round retransmits everything unacked through the faulty
+    channel (drop / duplicate / delay per the seeded plan), dedupes
+    arrivals by sequence number, and accounts retry backoff.  A
+    notification that exhausts ``retry.max_attempts`` transmissions moves
+    to the dead-letter queue (and is acked so it cannot wedge the
+    outbox); :meth:`redrive` re-queues dead letters once the fault
+    clears.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.channel = FaultyChannel(plan.injector() if plan is not None else None)
+        self.retry = retry or RetryPolicy(max_attempts=8, base_delay=0.05, max_delay=1.0)
+        self.dead_letters = DeadLetterQueue()
+        self._outbox: Dict[int, Notification] = {}
+        self._unacked: Set[int] = set()
+        self._attempts: Dict[int, int] = {}
+        self._seen: Set[int] = set()
+        self._delivered: List[Notification] = []
+        self.transmissions = 0
+        self.duplicates_dropped = 0
+        self.backoff_hours = 0.0
+
+    def offer(self, notification: Notification) -> None:
+        self._outbox[notification.seq] = notification
+        self._unacked.add(notification.seq)
+
+    def pump(self, max_rounds: int = 64) -> int:
+        """Run delivery rounds until the outbox drains (or the cap hits);
+        returns how many new notifications were delivered."""
+        before = len(self._delivered)
+        rounds = 0
+        while (self._unacked or self.channel.in_flight) and rounds < max_rounds:
+            rounds += 1
+            batch: List[Notification] = []
+            for seq in sorted(self._unacked):
+                attempt = self._attempts.get(seq, 0)
+                if attempt >= self.retry.max_attempts:
+                    self.dead_letters.push(
+                        self._outbox[seq], "delivery attempts exhausted", attempt
+                    )
+                    self._unacked.discard(seq)
+                    continue
+                self._attempts[seq] = attempt + 1
+                if attempt:
+                    self.backoff_hours += self.retry.backoff(attempt)
+                batch.append(self._outbox[seq])
+            self.transmissions += len(batch)
+            for item in self.channel.transmit(batch):
+                if item.seq in self._seen:
+                    self.duplicates_dropped += 1
+                    continue
+                self._seen.add(item.seq)
+                self._delivered.append(item)
+                self._unacked.discard(item.seq)
+        return len(self._delivered) - before
+
+    def redrive(self) -> int:
+        """Re-queue every dead letter (the fault cleared); returns count."""
+        entries = self.dead_letters.drain()
+        for entry in entries:
+            self._attempts[entry.item.seq] = 0
+            self._unacked.add(entry.item.seq)
+        return len(entries)
+
+    def drain_delivered(self) -> List[Notification]:
+        out, self._delivered = self._delivered, []
+        return out
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._unacked)
+
+    @property
+    def delivered_total(self) -> int:
+        return len(self._seen)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One registered standing query."""
+
+    sub_id: str
+    plan: QueryPlan
+    registered_at: float
+    anchors: Optional[FrozenSet[Tuple[str, str]]]
+
+    @property
+    def broad(self) -> bool:
+        return self.anchors is None
+
+
+class SubscriptionEngine:
+    """Registry + incremental evaluator for standing queries.
+
+    ``journal`` (optional) persists registrations; ``delivery_plan``
+    (optional) injects seeded faults into the notification channel.
+    All mutation and evaluation serializes on one lock — the engine is
+    fed from the derivation stage's single-threaded reindex loop, and the
+    lock keeps facade calls (subscribe / report) safe alongside it.
+    """
+
+    def __init__(
+        self,
+        journal: Optional[Any] = None,
+        delivery_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.journal = journal
+        self.clock = clock
+        self.deliverer = NotificationDeliverer(delivery_plan, retry)
+        self._subs: Dict[str, Subscription] = {}
+        #: (field, token) -> ids of subscriptions anchored on that pair.
+        self._anchor_index: Dict[Tuple[str, str], Set[str]] = {}
+        #: Un-anchorable subscriptions, evaluated on every event.
+        self._broad: Set[str] = set()
+        #: sub id -> entities currently in its result set.
+        self._matching: Dict[str, Set[str]] = {}
+        #: entity -> sub ids currently matching it (exit detection).
+        self._entity_subs: Dict[str, Set[str]] = {}
+        self._lock = threading.Lock()
+        self._next_sub = 0
+        self._next_seq = 0
+        self.events_seen = 0
+        self.candidates_evaluated = 0
+        self.notifications_emitted = 0
+
+    # -- registration ------------------------------------------------------
+
+    def subscribe(
+        self,
+        query: Union[str, QueryPlan],
+        sub_id: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> str:
+        """Register a standing query; returns its id.
+
+        Journaled (when a journal is attached) as a
+        ``subscription_registered`` event on ``sub:<id>``, inside the
+        same durability envelope as every other event — so a recovered
+        platform still knows its watchers.
+        """
+        plan = compile_query(query)
+        time = self._now(now)
+        with self._lock:
+            if sub_id is None:
+                self._next_sub += 1
+                sub_id = f"sub-{self._next_sub:06d}"
+            if sub_id in self._subs:
+                raise ValueError(f"subscription id {sub_id!r} already registered")
+            if self.journal is not None:
+                self.journal.append(
+                    subscription_entity_id(sub_id),
+                    time,
+                    EventKind.SUBSCRIPTION_REGISTERED,
+                    {
+                        "subscription": {
+                            "query": plan.source or plan.key,
+                            "registered_at": time,
+                        }
+                    },
+                )
+            self._register(sub_id, plan, time)
+        return sub_id
+
+    def unsubscribe(self, sub_id: str, now: Optional[float] = None) -> bool:
+        time = self._now(now)
+        with self._lock:
+            sub = self._subs.pop(sub_id, None)
+            if sub is None:
+                return False
+            if self.journal is not None:
+                self.journal.append(
+                    subscription_entity_id(sub_id),
+                    time,
+                    EventKind.SUBSCRIPTION_CANCELLED,
+                    {},
+                )
+            if sub.anchors is None:
+                self._broad.discard(sub_id)
+            else:
+                for pair in sub.anchors:
+                    ids = self._anchor_index.get(pair)
+                    if ids is not None:
+                        ids.discard(sub_id)
+                        if not ids:
+                            del self._anchor_index[pair]
+            for entity_id in self._matching.pop(sub_id, ()):
+                ids = self._entity_subs.get(entity_id)
+                if ids is not None:
+                    ids.discard(sub_id)
+                    if not ids:
+                        del self._entity_subs[entity_id]
+            return True
+
+    def _register(self, sub_id: str, plan: QueryPlan, time: float) -> None:
+        anchors = anchor_tokens(plan.node)
+        sub = Subscription(sub_id, plan, time, anchors)
+        self._subs[sub_id] = sub
+        self._matching[sub_id] = set()
+        if anchors is None:
+            self._broad.add(sub_id)
+        else:
+            for pair in anchors:
+                self._anchor_index.setdefault(pair, set()).add(sub_id)
+
+    def restore(self, journal: Optional[Any] = None) -> int:
+        """Re-register every live journaled subscription (recovery path).
+
+        Reads ``sub:*`` entities from the journal — WAL replay and
+        compaction folds both preserve their reconstructed state — and
+        registers the survivors without re-journaling.  Matched-entity
+        sets start empty; call :meth:`resync` against the rebuilt index
+        to re-derive them without emitting notifications.
+        """
+        journal = journal if journal is not None else self.journal
+        if journal is None:
+            raise ValueError("restore requires a journal")
+        count = 0
+        with self._lock:
+            for entity_id in list(journal.entity_ids()):
+                if not entity_id.startswith("sub:"):
+                    continue
+                meta = journal.reconstruct(entity_id).get("meta", {})
+                info = meta.get("subscription")
+                if not info or meta.get("cancelled"):
+                    continue
+                sub_id = entity_id[len("sub:"):]
+                if sub_id in self._subs:
+                    continue
+                registered_at = float(info.get("registered_at", 0.0))
+                self._register(sub_id, compile_query(info["query"]), registered_at)
+                # Keep auto-generated ids from colliding with restored ones.
+                if sub_id.startswith("sub-"):
+                    try:
+                        self._next_sub = max(self._next_sub, int(sub_id[4:]))
+                    except ValueError:
+                        pass
+                count += 1
+        return count
+
+    def resync(self, items: Iterable[Tuple[str, Dict[str, List[Any]]]]) -> int:
+        """Rebuild matched-entity sets from current documents, silently.
+
+        Used after :meth:`restore`: the result sets are re-derived from
+        the (also recovered) index instead of replaying history, so the
+        next real event produces exactly the transitions a never-crashed
+        engine would have produced.  Returns the number of (sub, entity)
+        matches recorded.
+        """
+        recorded = 0
+        with self._lock:
+            for sub_id in self._subs:
+                self._matching[sub_id] = set()
+            self._entity_subs.clear()
+            for entity_id, doc in items:
+                if doc is None:
+                    continue
+                for sub_id in self._candidate_ids(entity_id, doc):
+                    sub = self._subs.get(sub_id)
+                    if sub is not None and sub.plan.matches_doc(doc):
+                        self._matching[sub_id].add(entity_id)
+                        self._entity_subs.setdefault(entity_id, set()).add(sub_id)
+                        recorded += 1
+        return recorded
+
+    # -- incremental evaluation --------------------------------------------
+
+    def _candidate_ids(self, entity_id: str, doc: Optional[Dict[str, List[Any]]]) -> Set[str]:
+        candidates = set(self._broad)
+        if doc is not None:
+            anchor_index = self._anchor_index
+            if anchor_index:
+                for pair in _doc_token_pairs(doc):
+                    hit = anchor_index.get(pair)
+                    if hit:
+                        candidates |= hit
+        current = self._entity_subs.get(entity_id)
+        if current:
+            candidates |= current
+        return candidates
+
+    def on_document(
+        self,
+        entity_id: str,
+        doc: Optional[Dict[str, List[Any]]],
+        now: Optional[float] = None,
+    ) -> int:
+        """Evaluate one document change (``doc=None`` = deletion).
+
+        Only anchored candidates, broad subscriptions, and current
+        matchers of this entity are evaluated; emits ``entered`` /
+        ``exited`` notifications for result-set transitions and returns
+        how many were emitted.
+        """
+        time = self._now(now)
+        with self._lock:
+            self.events_seen += 1
+            if not self._subs:
+                return 0
+            emitted = 0
+            for sub_id in sorted(self._candidate_ids(entity_id, doc)):
+                sub = self._subs.get(sub_id)
+                if sub is None:
+                    continue
+                self.candidates_evaluated += 1
+                matching = self._matching[sub_id]
+                now_matches = doc is not None and sub.plan.matches_doc(doc)
+                was_matching = entity_id in matching
+                if now_matches == was_matching:
+                    continue
+                if now_matches:
+                    matching.add(entity_id)
+                    self._entity_subs.setdefault(entity_id, set()).add(sub_id)
+                    transition = "entered"
+                else:
+                    matching.discard(entity_id)
+                    ids = self._entity_subs.get(entity_id)
+                    if ids is not None:
+                        ids.discard(sub_id)
+                        if not ids:
+                            del self._entity_subs[entity_id]
+                    transition = "exited"
+                self.deliverer.offer(
+                    Notification(self._next_seq, sub_id, entity_id, transition, time, sub.plan.key)
+                )
+                self._next_seq += 1
+                self.notifications_emitted += 1
+                emitted += 1
+            return emitted
+
+    # -- delivery ----------------------------------------------------------
+
+    def pump_delivery(self, max_rounds: int = 64) -> int:
+        return self.deliverer.pump(max_rounds=max_rounds)
+
+    def drain_notifications(self) -> List[Dict[str, Any]]:
+        """Deliver whatever is pending, then hand over the arrivals."""
+        self.deliverer.pump()
+        return [n.as_dict() for n in self.deliverer.drain_delivered()]
+
+    # -- introspection ------------------------------------------------------
+
+    def matching_entities(self, sub_id: str) -> Set[str]:
+        with self._lock:
+            return set(self._matching.get(sub_id, ()))
+
+    def subscription(self, sub_id: str) -> Optional[Subscription]:
+        return self._subs.get(sub_id)
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def report(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "registered": len(self._subs),
+                "broad": len(self._broad),
+                "anchor_keys": len(self._anchor_index),
+                "events_seen": self.events_seen,
+                "candidates_evaluated": self.candidates_evaluated,
+                "notifications_emitted": self.notifications_emitted,
+                "notifications_delivered": self.deliverer.delivered_total,
+                "delivery_outstanding": self.deliverer.outstanding,
+                "transmissions": self.deliverer.transmissions,
+                "dead_letters": len(self.deliverer.dead_letters),
+            }
+
+    def _now(self, now: Optional[float]) -> float:
+        if now is not None:
+            return now
+        if self.clock is not None:
+            return self.clock()
+        return 0.0

@@ -7,6 +7,7 @@ from repro.search.flatten import (
     flatten_webproperty_view,
 )
 from repro.search.index import SearchIndex
+from repro.search.plan import PlanCache, QueryPlan, compile_query, default_plan_cache
 from repro.search.sharded import ShardedSearchIndex
 from repro.search.query import (
     Bool,
@@ -16,6 +17,7 @@ from repro.search.query import (
     QueryNode,
     Range,
     Term,
+    canonicalize,
     matches,
     parse_query,
     render_query,
@@ -27,7 +29,12 @@ __all__ = [
     "SnapshotStore",
     "parse_query",
     "render_query",
+    "canonicalize",
     "matches",
+    "QueryPlan",
+    "PlanCache",
+    "compile_query",
+    "default_plan_cache",
     "QueryError",
     "QueryNode",
     "Term",

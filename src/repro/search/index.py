@@ -4,14 +4,14 @@ An inverted index over flattened documents: token postings per field plus a
 full-text posting list, and per-field *sorted numeric columns* so range and
 comparison clauses binary-search instead of filtering every document.
 
-Candidate resolution tracks *exactness*: postings for a plain term, numeric
-column slices, and boolean combinations of exact sets are precisely the
-matching documents, so the per-document ``matches`` verification pass is
-skipped entirely; wildcard candidates remain over-approximations and fall
-back to verification.  NOT over an exact child resolves as a universe-set
-difference instead of a full scan.  ``SearchIndex(accelerated=False)``
-retains the original scan-and-verify path as the reference implementation
-for the perf-regression equality gate.
+Queries execute through compiled :class:`~repro.search.plan.QueryPlan`
+objects (strings are compiled once through the process-wide plan cache);
+the exactness-tracking candidate calculus lives in ``search/plan.py`` and
+this index only supplies the storage primitives it consults — postings
+lookups, wildcard scans, sorted-column slices, and the doc-id universe.
+``SearchIndex(accelerated=False)`` retains the original scan-and-verify
+path as the reference implementation for the perf-regression equality
+gate.
 
 Documents are replaced atomically by id, which is how the asynchronous
 reindex handler keeps search in sync with the write side.
@@ -22,11 +22,11 @@ from __future__ import annotations
 import math
 import pickle
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
-from repro.search.query import Bool, Compare, Not, QueryNode, Range, Term, matches, parse_query
+from repro.search.plan import QueryPlan, compile_query
 
 __all__ = ["SearchIndex"]
 
@@ -63,6 +63,11 @@ class SearchIndex:
         #: built lazily, dropped whenever a doc carrying the field changes.
         self._numeric_columns: Dict[str, Tuple[np.ndarray, List[str]]] = {}
         self.queries_run = 0
+        #: Facade-level aggregation counter.  ``aggregate`` used to bump
+        #: ``queries_run`` through its internal ``search`` call, making
+        #: facade-level queries indistinguishable from internal ones; it
+        #: now counts here and leaves ``queries_run`` untouched.
+        self.aggregates_run = 0
         #: Monotonic mutation counter: bumped by every put and every
         #: successful delete.  Query-result caches key on it — two reads at
         #: the same generation are guaranteed to see identical results.
@@ -154,105 +159,98 @@ class SearchIndex:
 
     # -- querying ---------------------------------------------------------------
 
-    def search(self, query: str, limit: Optional[int] = None) -> List[str]:
-        """Run a query; returns matching doc ids (deterministic order)."""
+    def search(self, query: Union[str, QueryPlan], limit: Optional[int] = None) -> List[str]:
+        """Run a query (string or pre-compiled plan); returns matching doc
+        ids in deterministic (sorted) order."""
+        plan = compile_query(query)
         with self._lock:
             self.queries_run += 1
-            node = parse_query(query)
-            candidates, exact = self._candidates(node)
-            if candidates is None:
-                candidates = set(self._docs.keys())
-                exact = False
-            if exact:
-                hits = sorted(candidates)
-            else:
-                hits = [doc_id for doc_id in sorted(candidates) if matches(node, self._docs[doc_id])]
-            return hits[:limit] if limit is not None else hits
+            return self._execute(plan, limit)
 
-    def count(self, query: str) -> int:
+    def _execute(self, plan: QueryPlan, limit: Optional[int]) -> List[str]:
+        """Plan execution under the shard lock, free of counter bumps."""
+        candidates, exact = plan.candidates(self)
+        if candidates is None:
+            candidates = set(self._docs.keys())
+            exact = False
+        if exact:
+            hits = sorted(candidates)
+        else:
+            hits = [
+                doc_id for doc_id in sorted(candidates) if plan.matches_doc(self._docs[doc_id])
+            ]
+        return hits[:limit] if limit is not None else hits
+
+    def count(self, query: Union[str, QueryPlan]) -> int:
         """Matching-document count without materializing a sorted hit list.
 
         Exact candidate sets are counted directly; inexact ones are
         verified per document but never sorted or sliced.  Always equal to
         ``len(self.search(query))``.
         """
+        plan = compile_query(query)
         with self._lock:
             self.queries_run += 1
-            node = parse_query(query)
-            candidates, exact = self._candidates(node)
+            candidates, exact = plan.candidates(self)
             if candidates is None:
-                return sum(1 for doc in self._docs.values() if matches(node, doc))
+                return sum(1 for doc in self._docs.values() if plan.matches_doc(doc))
             if exact:
                 return len(candidates)
-            return sum(1 for doc_id in candidates if matches(node, self._docs[doc_id]))
+            return sum(1 for doc_id in candidates if plan.matches_doc(self._docs[doc_id]))
 
-    def aggregate(self, query: str, field: str) -> Dict[Any, int]:
-        """Value counts of ``field`` across matching documents."""
+    def aggregate(self, query: Union[str, QueryPlan], field: str) -> Dict[Any, int]:
+        """Value counts of ``field`` across matching documents.
+
+        Counts under ``aggregates_run``; ``queries_run`` stays untouched
+        (the internal hit-list execution is not a facade-level query).
+        """
+        plan = compile_query(query)
         with self._lock:
+            self.aggregates_run += 1
             counts: Dict[Any, int] = {}
-            for doc_id in self.search(query):
+            for doc_id in self._execute(plan, None):
                 for value in self._docs[doc_id].get(field, ()):
                     counts[value] = counts.get(value, 0) + 1
             return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
 
-    # -- candidate narrowing -------------------------------------------------------
+    # -- plan access primitives --------------------------------------------
+    #
+    # The candidate/exactness calculus lives in ``search/plan.py``; the
+    # index only answers these storage questions.  All of them assume the
+    # shard lock is held (search/count/aggregate take it).
 
-    def _candidates(self, node: QueryNode) -> Tuple[Optional[Set[str]], bool]:
-        """(candidate ids, exact).  None = everything (and never exact).
+    @property
+    def accelerated(self) -> bool:
+        return self._accelerated
 
-        An *exact* set is precisely the matching documents, so ``search``
-        skips per-document verification; inexact sets over-approximate and
-        get verified.  Exactness must never be claimed for a superset — a
-        complement (NOT) of an over-approximation would drop matches.
-        """
-        if isinstance(node, Term):
-            if node.is_wildcard:
-                # Postings tokens include split words, so prefix matches can
-                # over-approximate full-value matching: verify.
-                return self._wildcard_candidates(node), False
-            key = (node.field or "", node.value.lower())
-            return set(self._postings.get(key, set())), True
-        if isinstance(node, Range):
-            if not self._accelerated:
-                return None, False
-            return self._column_slice(node.field, node.low, "left", node.high, "right"), True
-        if isinstance(node, Compare):
-            if not self._accelerated:
-                return None, False
-            return self._compare_candidates(node), True
-        if isinstance(node, Not):
-            if self._accelerated:
-                child, child_exact = self._candidates(node.child)
-                if child is not None and child_exact:
-                    return set(self._docs.keys()) - child, True
-            return None, False
-        if isinstance(node, Bool):
-            resolved = [self._candidates(c) for c in node.children]
-            if node.op == "and":
-                known = [s for s, _ in resolved if s is not None]
-                if not known:
-                    return None, False
-                result = known[0]
-                for s in known[1:]:
-                    result = result & s
-                exact = all(s is not None and e for s, e in resolved)
-                return result, exact
-            if any(s is None for s, _ in resolved):
-                return None, False
-            union: Set[str] = set()
-            for s, _ in resolved:
-                union |= s
-            return union, all(e for _, e in resolved)
-        return None, False
+    def universe(self) -> Set[str]:
+        """Every doc id (the complement base for exact NOT)."""
+        return set(self._docs.keys())
 
-    def _wildcard_candidates(self, term: Term) -> Optional[Set[str]]:
-        prefix = term.value[:-1].lower()
-        field = term.field or ""
+    def posting_ids(self, field: str, token: str) -> Set[str]:
+        """Docs whose ``field`` contains ``token`` ("" = full text)."""
+        return set(self._postings.get((field, token), set()))
+
+    def wildcard_ids(self, field: str, prefix: str) -> Set[str]:
+        """Docs with any ``field`` token starting with ``prefix``."""
         result: Set[str] = set()
         for (f, token), ids in self._postings.items():
             if f == field and token.startswith(prefix):
                 result |= ids
         return result
+
+    def range_ids(self, field: str, low: float, high: float) -> Set[str]:
+        """Docs with a numeric ``field`` value in the inclusive range."""
+        return self._column_slice(field, low, "left", high, "right")
+
+    def compare_ids(self, field: str, op: str, value: float) -> Set[str]:
+        if op == ">":
+            return self._column_slice(field, value, "right", math.inf, "right")
+        if op == ">=":
+            return self._column_slice(field, value, "left", math.inf, "right")
+        if op == "<":
+            return self._column_slice(field, -math.inf, "left", value, "left")
+        return self._column_slice(field, -math.inf, "left", value, "right")
 
     # -- numeric columns ----------------------------------------------------
 
@@ -288,12 +286,3 @@ class SearchIndex:
         left = int(np.searchsorted(values, low, side=low_side))
         right = int(np.searchsorted(values, high, side=high_side))
         return set(ids[left:right])
-
-    def _compare_candidates(self, node: Compare) -> Set[str]:
-        if node.op == ">":
-            return self._column_slice(node.field, node.value, "right", math.inf, "right")
-        if node.op == ">=":
-            return self._column_slice(node.field, node.value, "left", math.inf, "right")
-        if node.op == "<":
-            return self._column_slice(node.field, -math.inf, "left", node.value, "left")
-        return self._column_slice(node.field, -math.inf, "left", node.value, "right")

@@ -21,7 +21,18 @@ import re
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-__all__ = ["QueryError", "QueryNode", "Term", "Compare", "Range", "Bool", "Not", "parse_query", "render_query"]
+__all__ = [
+    "QueryError",
+    "QueryNode",
+    "Term",
+    "Compare",
+    "Range",
+    "Bool",
+    "Not",
+    "parse_query",
+    "render_query",
+    "canonicalize",
+]
 
 
 class QueryError(ValueError):
@@ -257,6 +268,82 @@ def _group(node: QueryNode) -> str:
 
 def _num(value: float) -> str:
     return str(int(value)) if float(value).is_integer() else str(value)
+
+
+# ----------------------------------------------------------------------
+# Canonicalization
+# ----------------------------------------------------------------------
+#
+# ``canonicalize`` maps semantically equivalent ASTs onto one canonical
+# form so the plan layer can key caches (and the standing-query registry)
+# on structure rather than on spelling:
+#
+# * same-op Bool children are flattened and duplicate children dropped
+#   (``a and (b and a)`` == ``a and b``);
+# * NOT is pushed to the leaves by De Morgan (``not (a or b)`` ==
+#   ``not a and not b``) and double negation is eliminated;
+# * an inverted Range (``low > high``) never matches any document, so it
+#   is dropped from ORs and absorbs the AND that contains it (constant
+#   folding without boolean literals);
+# * commutative children are sorted by their rendered form, so
+#   ``a and b`` and ``b and a`` share one canonical tree.
+#
+# Every rewrite preserves ``matches`` exactly — the plan layer's digest
+# gate depends on it — because ``matches`` is a total two-valued
+# predicate over which the Boolean identities hold.
+
+
+def canonicalize(node: QueryNode) -> QueryNode:
+    """Reduce an AST to its canonical form (``matches``-preserving)."""
+    if isinstance(node, Not):
+        return _canonical_not(node.child)
+    if isinstance(node, Bool):
+        return _canonical_bool(node.op, node.children)
+    return node  # Term / Compare / Range are already canonical leaves
+
+
+def _canonical_not(child: QueryNode) -> QueryNode:
+    if isinstance(child, Not):  # double negation
+        return canonicalize(child.child)
+    if isinstance(child, Bool):  # De Morgan push-down
+        dual = "or" if child.op == "and" else "and"
+        return _canonical_bool(dual, tuple(Not(c) for c in child.children))
+    return Not(child)
+
+
+def _canonical_bool(op: str, children: Sequence[QueryNode]) -> QueryNode:
+    flat: List[QueryNode] = []
+    for raw in children:
+        child = canonicalize(raw)
+        if isinstance(child, Bool) and child.op == op:
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    never = [c for c in flat if _never_matches(c)]
+    if never:
+        if op == "and":
+            # One unsatisfiable conjunct makes the whole AND unsatisfiable.
+            return min(never, key=_canonical_key)
+        flat = [c for c in flat if not _never_matches(c)]
+        if not flat:
+            flat = [min(never, key=_canonical_key)]
+    unique = {}
+    for child in flat:
+        unique.setdefault(_canonical_key(child), child)
+    ordered = [unique[key] for key in sorted(unique)]
+    if len(ordered) == 1:
+        return ordered[0]
+    return Bool(op, tuple(ordered))
+
+
+def _never_matches(node: QueryNode) -> bool:
+    """True only for nodes no document can ever satisfy."""
+    return isinstance(node, Range) and node.low > node.high
+
+
+def _canonical_key(node: QueryNode) -> tuple:
+    """Deterministic sort/dedup key for commutative children."""
+    return (render_query(node), repr(node))
 
 
 # ----------------------------------------------------------------------

@@ -25,13 +25,16 @@ Parallel scatter (PR 6): the per-shard fan-out runs through a pluggable
 serial loop bit-identically; the thread backend overlaps shards against
 the live in-process indexes (each shard serializes on its own lock); the
 process backend ships generation-validated shard replicas to persistent
-workers and sends only ``(op, query, limit)`` per query once the replica
+workers and sends only ``(op, plan, limit)`` per query once the replica
 is warm.  Results are bit-identical across backends because every shard
 task is a pure function of (shard state at a generation, query).
 
-Repeated interactive queries are served from a bounded
+Queries compile once at the router (strings hit the process-wide plan
+cache) and the *compiled plan* is what ships to shards — never query
+text.  Repeated interactive queries are served from a bounded
 :class:`~repro.pipeline.cache.VersionedLRU` keyed on
-``(op, query, limit)`` and validated against the tuple of per-shard
+``(op, canonical plan key, limit)`` — so semantically equal spellings
+share entries — and validated against the tuple of per-shard
 *generations* — ``put``/``delete`` bump only the owning shard's counter,
 so a write to one shard invalidates exactly the cached results that could
 see it, lazily, with no invalidation hooks.  Under concurrency the
@@ -53,30 +56,32 @@ from __future__ import annotations
 import heapq
 import threading
 from itertools import islice
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.pipeline.cache import MISS, VersionedLRU
 from repro.pipeline.executors import SerialExecutor, ShardExecutor, next_replica_key
 from repro.pipeline.sharding import ShardMap
 from repro.search.index import SearchIndex
+from repro.search.plan import QueryPlan, compile_query
 
 __all__ = ["ShardedSearchIndex"]
 
 
 # Module-level shard tasks: picklable work units the process backend can
 # ship to its replica-holding workers (a bound method would drag the whole
-# index along on every call).
+# index along on every call).  Each receives the compiled plan — compiled
+# once per scatter by the router — so shards never re-parse query text.
 
-def _shard_search(index: SearchIndex, query: str, limit: Optional[int]) -> List[str]:
-    return index.search(query, limit=limit)
-
-
-def _shard_count(index: SearchIndex, query: str) -> int:
-    return index.count(query)
+def _shard_search(index: SearchIndex, plan: QueryPlan, limit: Optional[int]) -> List[str]:
+    return index.search(plan, limit=limit)
 
 
-def _shard_aggregate(index: SearchIndex, query: str, field: str) -> Dict[Any, int]:
-    return index.aggregate(query, field)
+def _shard_count(index: SearchIndex, plan: QueryPlan) -> int:
+    return index.count(plan)
+
+
+def _shard_aggregate(index: SearchIndex, plan: QueryPlan, field: str) -> Dict[Any, int]:
+    return index.aggregate(plan, field)
 
 
 class ShardedSearchIndex:
@@ -94,6 +99,7 @@ class ShardedSearchIndex:
         #: doc id -> shard, maintained in unsharded-equivalent put order.
         self._doc_shard: Dict[str, int] = {}
         self.queries_run = 0
+        self.aggregates_run = 0
         self._query_cache = VersionedLRU(query_cache_entries)
         #: Pluggable scatter backend; serial = the reference loop.
         self.executor = executor or SerialExecutor()
@@ -194,55 +200,65 @@ class ShardedSearchIndex:
 
     # -- querying ----------------------------------------------------------
 
-    def search(self, query: str, limit: Optional[int] = None) -> List[str]:
-        """Scatter-gather with limit pushdown and a k-way sorted merge."""
+    def search(self, query: Union[str, QueryPlan], limit: Optional[int] = None) -> List[str]:
+        """Scatter-gather with limit pushdown and a k-way sorted merge.
+
+        The query compiles once here (memoized for strings); shards get
+        the compiled plan, and the result cache keys on the *canonical*
+        plan key — ``a and b`` and ``b and a`` share one entry.
+        """
+        plan = compile_query(query)
         self._bump_queries()
         gens = self.generations()
-        cached = self._cache_get(("search", query, limit), gens)
+        cached = self._cache_get(("search", plan.key, limit), gens)
         if cached is not MISS:
             return list(cached)
         if len(self.indexes) == 1 and self.executor.inline:
-            hits = self.indexes[0].search(query, limit=limit)
+            hits = self.indexes[0].search(plan, limit=limit)
         else:
             # Each shard's list is sorted ascending, so its first `limit`
             # ids form a superset of that shard's contribution to the
             # global first `limit`; the merge stops at `limit` elements.
-            per_shard = self._scatter(_shard_search, (query, limit), gens)
+            per_shard = self._scatter(_shard_search, (plan, limit), gens)
             merged = heapq.merge(*per_shard)
             hits = list(islice(merged, limit) if limit is not None else merged)
-        self._cache_put_checked(("search", query, limit), gens, hits)
+        self._cache_put_checked(("search", plan.key, limit), gens, hits)
         return list(hits)
 
-    def count(self, query: str) -> int:
+    def count(self, query: Union[str, QueryPlan]) -> int:
         """Matching-document count: per-shard counts sum, no hit lists."""
+        plan = compile_query(query)
         self._bump_queries()
         gens = self.generations()
-        cached = self._cache_get(("count", query, None), gens)
+        cached = self._cache_get(("count", plan.key, None), gens)
         if cached is not MISS:
             return cached
         if len(self.indexes) == 1 and self.executor.inline:
-            total = self.indexes[0].count(query)
+            total = self.indexes[0].count(plan)
         else:
-            total = sum(self._scatter(_shard_count, (query,), gens))
-        self._cache_put_checked(("count", query, None), gens, total)
+            total = sum(self._scatter(_shard_count, (plan,), gens))
+        self._cache_put_checked(("count", plan.key, None), gens, total)
         return total
 
-    def aggregate(self, query: str, field: str) -> Dict[Any, int]:
+    def aggregate(self, query: Union[str, QueryPlan], field: str) -> Dict[Any, int]:
         """Merged value counts with the unsharded (-count, value) order."""
+        plan = compile_query(query)
+        with self._lock:
+            self.aggregates_run += 1
         gens = self.generations()
-        cached = self._cache_get(("aggregate", query, field), gens)
+        cached = self._cache_get(("aggregate", plan.key, field), gens)
         if cached is not MISS:
             return dict(cached)
         if len(self.indexes) == 1 and self.executor.inline:
-            counts = self.indexes[0].aggregate(query, field)
+            counts = self.indexes[0].aggregate(plan, field)
         else:
-            per_shard = self._scatter(_shard_aggregate, (query, field), gens)
+            per_shard = self._scatter(_shard_aggregate, (plan, field), gens)
             counts: Dict[Any, int] = {}
             for shard_counts in per_shard:
                 for value, count in shard_counts.items():
                     counts[value] = counts.get(value, 0) + count
             counts = dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
-        self._cache_put_checked(("aggregate", query, field), gens, counts)
+        self._cache_put_checked(("aggregate", plan.key, field), gens, counts)
         return dict(counts)
 
     # -- the query-result cache --------------------------------------------

@@ -258,7 +258,9 @@ class TestTrafficReportSchema:
             "storage",
             "executor",
             "replication",
+            "subscriptions",
         }
+        assert report["subscriptions"] == {"enabled": False}
         # Satellite: the storage block — segment counts, tiered byte
         # accounting, and compaction counters (None until enabled).
         assert set(report["storage"]) == {
