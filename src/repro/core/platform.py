@@ -96,6 +96,16 @@ class PlatformConfig:
     shard_drain: str = "merged"
     #: Directory for per-shard write-ahead logs (None = in-memory journal).
     wal_dir: Optional[str] = None
+    #: Group-commit window for durable shards: fsync after this many WAL
+    #: batches (1 = fsync-per-batch, the reference).  Windows are always
+    #: flushed before replication ships or subscriptions deliver, so the
+    #: zero-acked-write-loss guarantee is unchanged at any size.
+    group_commit_events: int = 1
+    #: Byte bound on the group-commit window (None = event bound only).
+    group_commit_bytes: Optional[int] = None
+    #: Max observations per batched ingest call from the interrogation
+    #: drain (1 = per-event reference path; any size is bit-identical).
+    ingest_batch: int = 64
     #: Versioned read-path caches (reconstruction, view, query-result).
     #: False = the bit-identical uncached reference configuration.
     read_cache: bool = True
@@ -169,7 +179,12 @@ class CensysPlatform:
         self.shard_map = ShardMap(cfg.shards)
         self.executor = make_executor(cfg.executor, workers=cfg.executor_workers)
         if cfg.wal_dir:
-            self.journal = ShardedJournal.durable(cfg.wal_dir, self.shard_map)
+            self.journal = ShardedJournal.durable(
+                cfg.wal_dir,
+                self.shard_map,
+                group_commit_events=cfg.group_commit_events,
+                group_commit_bytes=cfg.group_commit_bytes,
+            )
         else:
             self.journal = ShardedJournal(self.shard_map)
         self.replication = None
@@ -301,6 +316,8 @@ class CensysPlatform:
             frozenset(priority_ports()),
             scanner_id=sid, l7_capacity_per_hour=cfg.l7_capacity_per_hour,
             shard_drain=cfg.shard_drain,
+            ingest_batch=cfg.ingest_batch,
+            executor=self.executor,
         )
         self.serving = ServingLayer(
             internet, self.journal, self.read_side, self.index,
@@ -335,7 +352,13 @@ class CensysPlatform:
         self.clock.advance(dt)
         now = self.clock.now
         self.interrogation.advance(now, dt)
+        # Pump the bus first — consumers journal too (the certificate
+        # processor appends CERT_OBSERVED on TLS messages) — then make the
+        # whole tick's writes durable before anything acts on them:
+        # replication must not ship and subscriptions must not deliver an
+        # event whose covering fsync has not happened yet.
         self.ingest.pump()
+        self.journal.flush_commit_windows()
         if self.replication is not None:
             self.replication.pump()
         self.derivation.advance()
@@ -355,6 +378,7 @@ class CensysPlatform:
         self.ingest.evict_due(now, self.scheduler, self.predictive)
         self.derivation.daily(now)
         self.ingest.pump()
+        self.journal.flush_commit_windows()
         if self.replication is not None:
             self.replication.pump()
         self.derivation.advance()
@@ -401,6 +425,17 @@ class CensysPlatform:
         return self.exclusions.request_exclusion(
             cidr, organization, self.clock.now, whois_verified=whois_verified
         )
+
+    def ingest_many(self, observations: List[Any]) -> List[Optional[str]]:
+        """Bulk-apply pre-built scan observations (the batched write facade).
+
+        Observations are shard-grouped and whole groups ingest through the
+        configured executor; the result list is per-observation journal
+        event kinds, in input order, bit-identical to submitting one at a
+        time.  All group-commit windows are flushed before returning, so
+        every acked observation is durable.
+        """
+        return self.ingest.submit_many(observations, executor=self.executor)
 
     def request_scan(self, ip_index: int, port: int, transport: str = "tcp") -> None:
         """Real-time user scan requests jump the queue."""

@@ -46,6 +46,8 @@ class InterrogationStage:
         scanner_id: str = "censys",
         l7_capacity_per_hour: Optional[int] = None,
         shard_drain: str = "merged",
+        ingest_batch: int = 1,
+        executor: Optional[object] = None,
     ) -> None:
         self.internet = internet
         self.interrogator = interrogator
@@ -63,6 +65,12 @@ class InterrogationStage:
         #: invariant); "round_robin" drains shard-by-shard with a per-shard
         #: budget — the independent-worker scheduling mode.
         self.shard_drain = shard_drain
+        #: Max observations per batched ingest call; 1 = the per-event
+        #: reference path.  The batched drain is engineered bit-identical
+        #: (see :meth:`_interrogate_batched`), so this is pure amortization.
+        self.ingest_batch = ingest_batch
+        #: Shard executor handed to ``submit_many`` for parallel ingest.
+        self.executor = executor
         self.counters = StageCounters(
             interrogations_run=0,
             connect_failures=0,
@@ -86,8 +94,11 @@ class InterrogationStage:
             candidates = self._drain_round_robin(now, limit)
         else:
             candidates = self.queue.pop_ready(now, limit=limit)
-        for candidate in candidates:
-            self._interrogate(candidate, min(max(candidate.not_before, now - dt), now))
+        if self.ingest_batch > 1 and len(candidates) > 1:
+            self._interrogate_batched(candidates, now, dt)
+        else:
+            for candidate in candidates:
+                self._interrogate(candidate, min(max(candidate.not_before, now - dt), now))
         return len(candidates)
 
     def _drain_round_robin(self, now: float, limit: Optional[int]) -> List[ScanCandidate]:
@@ -116,10 +127,8 @@ class InterrogationStage:
         day = int(candidate.not_before // 24.0)
         return self.pops[(candidate.ip_index + candidate.port + day) % len(self.pops)]
 
-    def _interrogate(self, candidate: ScanCandidate, t: float) -> None:
-        if self.exclusions.is_excluded(candidate.ip_index, t):
-            self._purge_excluded(candidate.ip_index, t)
-            return
+    def _observe(self, candidate: ScanCandidate, t: float):
+        """Connect and interrogate one candidate; no journal interaction."""
         pop = self._pop_for(candidate)
         conn = self.internet.connect(
             candidate.ip_index, candidate.port, t, pop.vantage,
@@ -140,7 +149,11 @@ class InterrogationStage:
             entity_id=entity, time=t, port=candidate.port,
             transport=candidate.transport, result=result, source=candidate.source,
         )
-        self.ingest.submit(obs)
+        return pop, entity, obs
+
+    def _bookkeep(self, candidate: ScanCandidate, t: float, pop, entity: str, obs) -> None:
+        """The post-ingest scheduler/predictive feedback for one candidate."""
+        result = obs.result
         self.counters.bump("interrogations_run")
         binding = (candidate.ip_index, candidate.port, candidate.transport)
         if self.ingest.journal.peek_current(entity)["meta"].get("pseudo_host"):
@@ -166,6 +179,52 @@ class InterrogationStage:
                 self.predictive.observe(candidate.ip_index, candidate.port, True)
             elif not result.success:
                 self.predictive.observe(candidate.ip_index, candidate.port, False)
+
+    def _interrogate(self, candidate: ScanCandidate, t: float) -> None:
+        if self.exclusions.is_excluded(candidate.ip_index, t):
+            self._purge_excluded(candidate.ip_index, t)
+            return
+        pop, entity, obs = self._observe(candidate, t)
+        self.ingest.submit(obs)
+        self._bookkeep(candidate, t, pop, entity, obs)
+
+    def _interrogate_batched(self, candidates: List[ScanCandidate], now: float, dt: float) -> None:
+        """Chunked drain: identical work, one ``submit_many`` per chunk.
+
+        Equality with the per-candidate loop is guaranteed by the flush
+        rules: a chunk never holds two candidates of the same entity (so
+        every cross-candidate feedback loop — scheduler ``untried_pop`` /
+        ``service_seen`` / ``refresh_failed``, the pseudo-host check, the
+        journal head used for stale-drops — sees exactly the state the
+        reference would), and an excluded candidate's purge flushes the
+        chunk first because it both reads and writes journal state.
+        """
+        chunk: List[tuple] = []
+        chunk_entities: set = set()
+
+        def flush() -> None:
+            if not chunk:
+                return
+            self.ingest.submit_many([obs for _c, _t, _p, _e, obs in chunk],
+                                    executor=self.executor)
+            for candidate, t, pop, entity, obs in chunk:
+                self._bookkeep(candidate, t, pop, entity, obs)
+            chunk.clear()
+            chunk_entities.clear()
+
+        for candidate in candidates:
+            t = min(max(candidate.not_before, now - dt), now)
+            if self.exclusions.is_excluded(candidate.ip_index, t):
+                flush()
+                self._purge_excluded(candidate.ip_index, t)
+                continue
+            entity = self.entity_for_ip(candidate.ip_index)
+            if entity in chunk_entities or len(chunk) >= self.ingest_batch:
+                flush()
+            pop, entity, obs = self._observe(candidate, t)
+            chunk.append((candidate, t, pop, entity, obs))
+            chunk_entities.add(entity)
+        flush()
 
     def _purge_excluded(self, ip_index: int, t: float) -> None:
         """Drop everything known about a newly opted-out address."""

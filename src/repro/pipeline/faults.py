@@ -29,10 +29,20 @@ __all__ = [
 
 
 class SimulatedCrash(Exception):
-    """The write side 'died' at a planned crash point (chaos testing)."""
+    """The write side 'died' at a planned crash point (chaos testing).
 
-    def __init__(self, point: "CrashPoint") -> None:
-        super().__init__(f"simulated crash {point.mode!r} at durable event {point.event_index}")
+    ``point`` is either a :class:`CrashPoint` (durable-event-indexed
+    crashes) or a string naming an instrumentation hook (e.g. the WAL's
+    mid-group-commit ``"pre_fsync"`` / ``"post_fsync"`` points).
+    """
+
+    def __init__(self, point) -> None:
+        if isinstance(point, str):
+            super().__init__(f"simulated crash at {point}")
+        else:
+            super().__init__(
+                f"simulated crash {point.mode!r} at durable event {point.event_index}"
+            )
         self.point = point
 
 

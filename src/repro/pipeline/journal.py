@@ -131,6 +131,9 @@ class EventJournal:
         #: is exactly the durable prefix.
         self.commit_listener: Optional[Any] = None
         self._txn_depth = 0
+        #: Version bumps deferred inside an open transaction (batched ingest
+        #: amortizes the per-event bump into one adjustment at commit).
+        self._deferred_version = 0
         self._pending_events: List[Event] = []
         self._pending_snapshots: List[Tuple[str, int, float, Dict[str, Any]]] = []
         #: Events durably committed to the WAL (1-based crash-point index).
@@ -193,7 +196,13 @@ class EventJournal:
         """In-memory bookkeeping shared by live appends and WAL replay."""
         log.events.append(event)
         log.next_seq += 1
-        self.version += 1
+        if self._txn_depth > 0 and self.wal is not None and not self._replaying:
+            # One version adjustment per committed run, not per event.  The
+            # final value is identical (commit always follows); only the
+            # number of integer bumps changes.
+            self._deferred_version += 1
+        else:
+            self.version += 1
         if log.current is None:
             log.current = new_entity_state(event.entity_id)
         apply_event(log.current, event)
@@ -241,6 +250,8 @@ class EventJournal:
 
     def _commit(self) -> None:
         """Flush staged events as one durable batch; fires simulated crashes."""
+        self.version += self._deferred_version
+        self._deferred_version = 0
         if not self._pending_events:
             self._pending_snapshots.clear()
             return
@@ -262,20 +273,43 @@ class EventJournal:
             self._pending_events.clear()
             self._pending_snapshots.clear()
             self.fault_injector.raise_crash(crash)
-        self.wal.append_batch(events)
+
+        def _on_durable() -> None:
+            # Fires right after the covering fsync (synchronously for the
+            # default one-event window).  The listener is read at fire time:
+            # a primary detached before its window flushed must not ship.
+            listener = self.commit_listener
+            if listener is not None:
+                listener(events)
+
+        snapshots, self._pending_snapshots = self._pending_snapshots, []
+        try:
+            self.wal.append_batch(events, on_durable=_on_durable)
+        finally:
+            # Unstage even when a simulated crash fires inside the append
+            # (e.g. a mid-group-commit fsync hook): the record already hit
+            # the segment file, so a teardown close() re-committing the
+            # staged batch would write a duplicate.  Staged snapshots are
+            # dropped with it — recovery regenerates them from replay.
+            self._pending_events.clear()
         self._durable_events = hi
         self.stats.wal_batches += 1
         self.stats.wal_events += len(events)
-        self._pending_events.clear()
-        if self.commit_listener is not None:
-            # The batch is fsynced: ship-eligible even if the "after"-mode
-            # crash below fires (replication reads the durable WAL).
-            self.commit_listener(events)
-        for entity_id, seq_after, time, state in self._pending_snapshots:
+        for entity_id, seq_after, time, state in snapshots:
             self.wal.append_snapshot(entity_id, seq_after, time, state)
-        self._pending_snapshots.clear()
         if crash is not None:  # mode == "after": the batch IS durable
+            self.wal.flush_commit_window()
             self.fault_injector.raise_crash(crash)
+
+    def flush_commit_window(self) -> None:
+        """Make every WAL-appended batch durable now (no-op when clean).
+
+        The platform calls this after each ingestion phase — before
+        replication ships or subscriptions deliver — so "acked" always
+        implies "fsynced" regardless of the group-commit window size.
+        """
+        if self.wal is not None:
+            self.wal.flush_commit_window()
 
     def close(self) -> None:
         """Flush and close the WAL (in-memory journals: no-op).
@@ -301,6 +335,8 @@ class EventJournal:
         *,
         segment_max_records: int = 128,
         fsync_every: int = 1,
+        group_commit_events: Optional[int] = None,
+        group_commit_bytes: Optional[int] = None,
         fault_injector: Optional[Any] = None,
         verify_snapshots: bool = True,
         reopen: bool = True,
@@ -371,6 +407,8 @@ class EventJournal:
                 directory,
                 segment_max_records=segment_max_records,
                 fsync_every=fsync_every,
+                group_commit_events=group_commit_events,
+                group_commit_bytes=group_commit_bytes,
                 start_after=start_after,
             )
         return journal

@@ -468,6 +468,10 @@ def promote_replica(
     )
     for batch in replica.batch_log:
         wal.append_batch([dict(raw) for raw in batch.events])
+    # With a group-commit window (fsync_every > 1) the replay tail may not
+    # be fsynced yet; the promoted journal is about to claim the whole
+    # batch log as durable, so make it true before the claim.
+    wal.flush_commit_window()
     journal.wal = wal
     journal._durable_events = replica.applied_events
     journal.stats.wal_batches = len(replica.batch_log)

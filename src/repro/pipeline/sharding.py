@@ -143,6 +143,8 @@ class ShardedJournal:
         *,
         segment_max_records: int = 128,
         fsync_every: int = 1,
+        group_commit_events: Optional[int] = None,
+        group_commit_bytes: Optional[int] = None,
         fault_injector: Optional[Any] = None,
     ) -> "ShardedJournal":
         """A sharded journal whose shards each own a WAL subdirectory."""
@@ -155,6 +157,8 @@ class ShardedJournal:
                 shard_map.shard_dir(directory, shard),
                 segment_max_records=segment_max_records,
                 fsync_every=fsync_every,
+                group_commit_events=group_commit_events,
+                group_commit_bytes=group_commit_bytes,
             )
             journals.append(
                 EventJournal(snapshot_every=snapshot_every, wal=wal, fault_injector=fault_injector)
@@ -206,6 +210,8 @@ class ShardedJournal:
                         d,
                         segment_max_records=kwargs.get("segment_max_records", 128),
                         fsync_every=kwargs.get("fsync_every", 1),
+                        group_commit_events=kwargs.get("group_commit_events"),
+                        group_commit_bytes=kwargs.get("group_commit_bytes"),
                         start_after=(
                             journal.cold_store.through_segment
                             if journal.cold_store is not None
@@ -254,6 +260,11 @@ class ShardedJournal:
             for journal in self.journals:
                 stack.enter_context(journal.transaction())
             yield self
+
+    def flush_commit_windows(self) -> None:
+        """Force every shard's open group-commit window durable."""
+        for journal in self.journals:
+            journal.flush_commit_window()
 
     def replace_shard(self, shard: int, journal: EventJournal) -> None:
         """Swap one shard's journal (failover promoted a replica into it).

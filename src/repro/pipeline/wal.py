@@ -22,6 +22,16 @@ interleaved with events; they go to per-segment *sidecar* files
 (``segment-00000.snap``) with the same framing, used at recovery time to
 cross-check the deterministically regenerated snapshots.
 
+Durability is governed by a *group-commit window*: every ``append_batch``
+still reaches the OS page cache immediately (``flush``), but the fsync
+that makes it durable may be deferred until ``group_commit_events``
+records or ``group_commit_bytes`` bytes have accumulated since the last
+sync (``fsync_every`` is the legacy alias for the event bound).  Callers
+that need to act only once a batch is durable pass ``on_durable`` — the
+callback queues until the covering fsync and fires immediately after it,
+so replication ship-eligibility and subscription delivery stay anchored
+to real durability even when many batches share one sync.
+
 Two storage optimizations live at this layer:
 
 * **streaming decode** — :func:`decode_segment` reads one frame at a
@@ -235,25 +245,50 @@ class WriteAheadLog:
         *,
         segment_max_records: int = 128,
         fsync_every: int = 1,
+        group_commit_events: Optional[int] = None,
+        group_commit_bytes: Optional[int] = None,
         start_after: int = -1,
+        crash_hook: Optional[Callable[[str], None]] = None,
     ) -> None:
         if segment_max_records < 1:
             raise ValueError("segment_max_records must be >= 1")
         if fsync_every < 1:
             raise ValueError("fsync_every must be >= 1")
+        if group_commit_events is not None and group_commit_events < 1:
+            raise ValueError("group_commit_events must be >= 1")
+        if group_commit_bytes is not None and group_commit_bytes < 1:
+            raise ValueError("group_commit_bytes must be >= 1")
         self.directory = str(directory)
         self.segment_max_records = segment_max_records
-        self.fsync_every = fsync_every
+        #: Commit window: fsync after this many records (fsync_every alias)...
+        self.group_commit_events = (
+            group_commit_events if group_commit_events is not None else fsync_every
+        )
+        #: ...or after this many bytes, whichever fills first (None = events only).
+        self.group_commit_bytes = group_commit_bytes
         self.stats = WalStats()
         self._fh = None
         self._sidecar_fh = None
         self._records_since_fsync = 0
+        self._window_bytes = 0
+        #: Durability callbacks queued behind the open commit window.
+        self._pending_durable: List[Callable[[], None]] = []
+        #: Chaos instrumentation: called with "pre_fsync" just before the
+        #: covering fsync of a commit window and "post_fsync" right after
+        #: its durability callbacks drain.  A hook that raises simulates a
+        #: crash at that exact point (close-path fsyncs never fire it).
+        self.crash_hook = crash_hook
         os.makedirs(self.directory, exist_ok=True)
         scan = self.scan(self.directory, truncate_torn=True, start_after=start_after)
         self._segment_index = scan.segment_indices[-1] if scan.segment_indices else start_after + 1
         self._segment_records = scan.tail_records
         self.stats.segments = max(1, len(scan.segment_indices))
         self._open_segment()
+
+    @property
+    def fsync_every(self) -> int:
+        """Legacy alias for the event bound of the group-commit window."""
+        return self.group_commit_events
 
     # -- file management ---------------------------------------------------
 
@@ -273,8 +308,13 @@ class WriteAheadLog:
             if fh is not None and not fh.closed:
                 fh.flush()
                 os.fsync(fh.fileno())
+                self.stats.fsyncs += 1
                 fh.close()
         self._fh = self._sidecar_fh = None
+        # The segment fsync above covered any open commit window.
+        self._records_since_fsync = 0
+        self._window_bytes = 0
+        self._drain_durable()
 
     def _maybe_rotate(self) -> None:
         if self._segment_records >= self.segment_max_records:
@@ -288,12 +328,53 @@ class WriteAheadLog:
 
     # -- append path -------------------------------------------------------
 
-    def append_batch(self, events: List[Dict[str, Any]], *, torn: bool = False) -> None:
-        """Durably append one committed batch (one framed record).
+    def _drain_durable(self) -> None:
+        """Fire the durability callbacks covered by the fsync that just ran."""
+        pending, self._pending_durable = self._pending_durable, []
+        for callback in pending:
+            callback()
+
+    def _fsync_now(self) -> None:
+        """One real fsync on the open segment; exact-counts and drains."""
+        if self.crash_hook is not None:
+            self.crash_hook("pre_fsync")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.stats.fsyncs += 1
+        self._records_since_fsync = 0
+        self._window_bytes = 0
+        self._drain_durable()
+        if self.crash_hook is not None:
+            self.crash_hook("post_fsync")
+
+    def flush_commit_window(self) -> None:
+        """Force the open group-commit window durable (no-op when clean)."""
+        if self._fh is None or self._fh.closed:
+            return
+        if self._records_since_fsync == 0 and not self._pending_durable:
+            return
+        self._fsync_now()
+
+    def append_batch(
+        self,
+        events: List[Dict[str, Any]],
+        *,
+        torn: bool = False,
+        on_durable: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Append one committed batch (one framed record) to the window.
+
+        The record is flushed to the OS immediately but only fsynced when
+        the group-commit window fills (or :meth:`flush_commit_window` is
+        called); ``on_durable`` fires right after the covering fsync.  With
+        the default window of one event this degenerates to fsync-per-batch
+        with the callback firing synchronously — the reference behavior.
 
         ``torn=True`` simulates a crash mid-write: only a prefix of the framed
         record reaches the file and no newline terminator is written.  The
-        caller is expected to raise a simulated crash immediately after.
+        caller is expected to raise a simulated crash immediately after.  The
+        fsync taken to persist the torn prefix also covers (and so makes
+        durable) any complete batches pending in the window.
         """
         self._maybe_rotate()
         encoded, heartbeats = encode_batch_events(events)
@@ -302,9 +383,8 @@ class WriteAheadLog:
         if torn:
             cut = max(_HEADER_LEN + 1, len(record) // 2)
             self._fh.write(record[:cut])
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
             self.stats.torn_writes += 1
+            self._fsync_now()  # torn batch itself queued no callback
             return
         self._fh.write(record)
         self._fh.flush()
@@ -312,10 +392,14 @@ class WriteAheadLog:
         self.stats.records += 1
         self.stats.bytes_written += len(record)
         self._records_since_fsync += 1
-        if self._records_since_fsync >= self.fsync_every:
-            os.fsync(self._fh.fileno())
-            self.stats.fsyncs += 1
-            self._records_since_fsync = 0
+        self._window_bytes += len(record)
+        if on_durable is not None:
+            self._pending_durable.append(on_durable)
+        if self._records_since_fsync >= self.group_commit_events or (
+            self.group_commit_bytes is not None
+            and self._window_bytes >= self.group_commit_bytes
+        ):
+            self._fsync_now()
 
     def append_snapshot(
         self, entity_id: str, seq_after: int, time: float, state: Dict[str, Any]

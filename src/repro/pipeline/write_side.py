@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import fields as dataclass_fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.pipeline.events import EventKind, service_key
 from repro.pipeline.faults import FaultInjector, TransientScanError
@@ -123,6 +124,158 @@ class WriteSideProcessor:
                     return None
                 self.stats.retries += 1
                 self.stats.backoff_hours += self.retry.backoff(attempt)
+
+    def submit_many(
+        self,
+        observations: Sequence[ScanObservation],
+        executor: Optional[Any] = None,
+    ) -> List[Optional[str]]:
+        """Batched ingest: bit-identical to ``submit`` per observation.
+
+        Consecutive same-entity observations commit as one WAL batch (one
+        transaction per *run*), amortizing the per-event append/fsync cost
+        while producing the exact same events, stats, bus publishes, and
+        dead letters as the one-at-a-time reference.  With a non-inline
+        executor and a sharded journal the observations are grouped by
+        owning shard and whole groups ingest in parallel (each shard's
+        subsequence keeps its input order); bus publishes and new-entity
+        registration are then replayed serially in input order, so the
+        observable outcome is independent of the backend.  The parallel
+        path is skipped when a fault injector is attached — retry/crash
+        schedules are keyed to global observation order.
+
+        Any open group-commit windows are flushed before returning:
+        an acked batch is a durable batch.
+        """
+        observations = list(observations)
+        if not observations:
+            return []
+        journal = self.journal
+        shard_of = getattr(journal, "shard_of", None)
+        if (
+            executor is not None
+            and not executor.inline
+            and self.faults is None
+            and shard_of is not None
+        ):
+            groups: Dict[int, List[int]] = {}
+            for pos, obs in enumerate(observations):
+                groups.setdefault(shard_of(obs.entity_id), []).append(pos)
+            if len(groups) > 1:
+                results = self._submit_many_parallel(observations, groups, executor)
+                self._flush_commit_windows()
+                return results
+        results = self._submit_many_serial(observations)
+        self._flush_commit_windows()
+        return results
+
+    def _flush_commit_windows(self) -> None:
+        flush = getattr(
+            self.journal, "flush_commit_windows",
+            getattr(self.journal, "flush_commit_window", None),
+        )
+        if flush is not None:
+            flush()
+
+    def _run_transaction(self, entity_id: str):
+        """A transaction on just the entity's owning journal (one shard)."""
+        journal_for = getattr(self.journal, "journal_for", None)
+        journal = self.journal if journal_for is None else journal_for(entity_id)
+        return journal.transaction()
+
+    def _submit_many_serial(
+        self, observations: List[ScanObservation]
+    ) -> List[Optional[str]]:
+        if self.faults is not None:
+            # Crash points and retry schedules are keyed to per-observation
+            # commit ranges; keep the reference one-txn-per-observation shape
+            # so chaos scenarios mean the same thing batched or not.
+            return [self.submit(obs) for obs in observations]
+        results: List[Optional[str]] = [None] * len(observations)
+        i, n = 0, len(observations)
+        while i < n:
+            entity = observations[i].entity_id
+            j = i + 1
+            while j < n and observations[j].entity_id == entity:
+                j += 1
+            with self._run_transaction(entity):
+                for pos in range(i, j):
+                    results[pos] = self.submit(observations[pos])
+            i = j
+        return results
+
+    def _submit_many_parallel(
+        self,
+        observations: List[ScanObservation],
+        groups: Dict[int, List[int]],
+        executor: Any,
+    ) -> List[Optional[str]]:
+        """Whole shard groups ingest concurrently, then merge serially.
+
+        Each group runs on a private processor clone bound to the owning
+        shard's journal, with a recording bus and fresh stats/DLQ — the
+        shard journals are disjoint, so clones share nothing.  Phase two
+        (serial) replays bus publishes and first-append registrations in
+        input-position order and folds the clone stats back in, making the
+        merge order — the only cross-shard state — deterministic.
+        """
+        journal = self.journal
+        results: List[Optional[str]] = [None] * len(observations)
+
+        def _ingest_group(shard: int, positions: List[int]):
+            shard_journal = journal.journals[shard]
+            bus = _RecordingBus()
+            clone = WriteSideProcessor(
+                shard_journal,
+                bus,
+                filter_pseudo_services=self.filter_pseudo_services,
+                delta_encoding=self.delta_encoding,
+                faults=None,
+                retry=self.retry,
+                dlq=DeadLetterQueue(),
+            )
+            out: List[Tuple[int, Optional[str]]] = []
+            first_appends: List[Tuple[int, str]] = []
+            i, n = 0, len(positions)
+            while i < n:
+                entity = observations[positions[i]].entity_id
+                j = i + 1
+                while j < n and observations[positions[j]].entity_id == entity:
+                    j += 1
+                with shard_journal.transaction():
+                    for pos in positions[i:j]:
+                        bus.position = pos
+                        known = shard_journal.has_entity(entity)
+                        out.append((pos, clone.submit(observations[pos])))
+                        if not known and shard_journal.has_entity(entity):
+                            first_appends.append((pos, entity))
+                i = j
+            return out, bus.published, clone.stats, clone.dlq.entries(), first_appends
+
+        merged = executor.map_shards(
+            _ingest_group, [(shard, positions) for shard, positions in groups.items()]
+        )
+        published: List[Tuple[int, str, Dict[str, Any]]] = []
+        first_appends: List[Tuple[int, str]] = []
+        for out, group_published, stats, dead_letters, group_first in merged:
+            for pos, result in out:
+                results[pos] = result
+            published.extend(group_published)
+            first_appends.extend(group_first)
+            for f in dataclass_fields(WriteStats):
+                setattr(
+                    self.stats, f.name,
+                    getattr(self.stats, f.name) + getattr(stats, f.name),
+                )
+            for letter in dead_letters:
+                self.dlq.push(letter.item, letter.reason, attempts=letter.attempts)
+        for _pos, entity in sorted(first_appends):
+            if entity not in journal._entity_shard:
+                journal._entity_shard[entity] = journal.shard_of(entity)
+        published.sort(key=lambda record: record[0])
+        for _pos, topic, message in published:
+            self.bus.publish(topic, message)
+        return results
 
     def process(self, obs: ScanObservation) -> Optional[str]:
         """Apply one observation; returns the journal event kind (or None)."""
@@ -263,6 +416,20 @@ class WriteSideProcessor:
             "host_pseudo_flagged", {"entity_id": obs.entity_id, "time": obs.time}
         )
         self.stats.pseudo_flagged += 1
+
+
+class _RecordingBus:
+    """Captures publishes with the observation position that caused them,
+    so the parallel ingest path can replay them in input order."""
+
+    __slots__ = ("published", "position")
+
+    def __init__(self) -> None:
+        self.published: List[Tuple[int, str, Dict[str, Any]]] = []
+        self.position = -1
+
+    def publish(self, topic: str, message: Dict[str, Any]) -> None:
+        self.published.append((self.position, topic, message))
 
 
 def _diff_records(old: Dict[str, Any], new: Dict[str, Any]) -> Tuple[Dict[str, Any], list]:

@@ -115,6 +115,48 @@ class SearchIndex:
             self._invalidate_columns(doc)
             self.generation += 1
 
+    def put_many(self, updates: Iterable[Tuple[str, Dict[str, List[Any]]]]) -> int:
+        """Insert or replace a batch of documents in one pass.
+
+        Last write wins within the batch, and a re-put document moves to
+        the end of :meth:`items` order exactly as sequential :meth:`put`
+        calls would place it.  The whole batch costs one generation bump
+        and one postings/column pass, which is the point: downstream
+        query caches revalidate once per batch instead of once per
+        document.  Returns the number of distinct documents applied.
+        """
+        last: Dict[str, Tuple[int, Dict[str, List[Any]]]] = {}
+        for position, (doc_id, doc) in enumerate(updates):
+            last[doc_id] = (position, doc)
+        if not last:
+            return 0
+        ordered = sorted(last.items(), key=lambda kv: kv[1][0])
+        with self._lock:
+            postings = self._postings
+            touched_fields: Set[str] = set()
+            for doc_id, (_position, doc) in ordered:
+                old = self._docs.pop(doc_id, None)
+                if old is not None:
+                    old_fields, old_full = _doc_token_sets(old)
+                    for field, tokens in old_fields.items():
+                        for token in tokens:
+                            self._discard_posting((field, token), doc_id)
+                    for token in old_full:
+                        self._discard_posting(("", token), doc_id)
+                    touched_fields.update(old)
+                self._docs[doc_id] = doc
+                per_field, full_text = _doc_token_sets(doc)
+                for field, tokens in per_field.items():
+                    for token in tokens:
+                        postings.setdefault((field, token), set()).add(doc_id)
+                for token in full_text:
+                    postings.setdefault(("", token), set()).add(doc_id)
+                touched_fields.update(doc)
+            for field in touched_fields:
+                self._numeric_columns.pop(field, None)
+            self.generation += 1
+        return len(ordered)
+
     def delete(self, doc_id: str) -> bool:
         with self._lock:
             doc = self._docs.pop(doc_id, None)

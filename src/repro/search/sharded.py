@@ -127,6 +127,34 @@ class ShardedSearchIndex:
             self._doc_shard.pop(doc_id, None)
             self._doc_shard[doc_id] = shard
 
+    def put_many(self, updates: Iterable[Tuple[str, Dict[str, List[Any]]]]) -> int:
+        """Batch put: shard-grouped ``SearchIndex.put_many`` calls.
+
+        One router-lock pass and one generation bump per *touched* shard,
+        however many documents land there.  Routing-dict order matches
+        sequential :meth:`put` calls: last write wins and a re-put doc
+        moves to the end.  Returns the number of distinct docs applied.
+        """
+        updates = list(updates)
+        if not updates:
+            return 0
+        per_shard: Dict[int, List[Tuple[str, Dict[str, List[Any]]]]] = {}
+        order: Dict[str, int] = {}
+        for doc_id, doc in updates:
+            shard = self.shard_map.shard_of(doc_id)
+            per_shard.setdefault(shard, []).append((doc_id, doc))
+            # pop-then-set so a doc re-put later in the batch ends up at
+            # the end of iteration order, as sequential puts would place it.
+            order.pop(doc_id, None)
+            order[doc_id] = shard
+        with self._lock:
+            for shard, batch in per_shard.items():
+                self.indexes[shard].put_many(batch)
+            for doc_id, shard in order.items():
+                self._doc_shard.pop(doc_id, None)
+                self._doc_shard[doc_id] = shard
+        return len(order)
+
     def delete(self, doc_id: str) -> bool:
         with self._lock:
             shard = self._doc_shard.pop(doc_id, None)

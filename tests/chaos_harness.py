@@ -190,8 +190,18 @@ def run_chaos(
     snapshot_every: int = SNAPSHOT_EVERY,
     retry: Optional[RetryPolicy] = None,
     max_rounds: int = 3000,
+    group_commit_events: int = 1,
+    wal_crash_hooks: Tuple[str, ...] = (),
 ) -> ChaosResult:
-    """Drive the workload through the faulted, durable pipeline to completion."""
+    """Drive the workload through the faulted, durable pipeline to completion.
+
+    ``group_commit_events`` sizes the WAL's commit window (1 = the
+    fsync-per-batch reference).  ``wal_crash_hooks`` is an ordered list of
+    WAL crash points (``"pre_fsync"`` / ``"post_fsync"``): each entry
+    crashes the process the first time that point fires, so a crash can
+    land mid-group-commit — between buffering batches and the covering
+    fsync — and recovery is exercised against a partially-synced window.
+    """
     retry = retry or RetryPolicy(max_attempts=6, base_delay=0.05)
     injector = plan.injector()
 
@@ -200,9 +210,20 @@ def run_chaos(
             journal, EventBus(), faults=injector, retry=retry, dlq=DeadLetterQueue()
         )
 
+    remaining_hooks = list(wal_crash_hooks)
+
+    def wal_crash_hook(point: str) -> None:
+        if remaining_hooks and remaining_hooks[0] == point:
+            remaining_hooks.pop(0)
+            raise SimulatedCrash(f"wal crash at {point}")
+
     journal = EventJournal(
         snapshot_every=snapshot_every,
-        wal=WriteAheadLog(wal_dir),
+        wal=WriteAheadLog(
+            wal_dir,
+            group_commit_events=group_commit_events,
+            crash_hook=wal_crash_hook if wal_crash_hooks else None,
+        ),
         fault_injector=injector,
     )
     processor = fresh_processor(journal)
@@ -231,8 +252,13 @@ def run_chaos(
                     crashes += 1
                     journal.close()
                     journal = EventJournal.recover(
-                        wal_dir, snapshot_every, fault_injector=injector
+                        wal_dir,
+                        snapshot_every,
+                        fault_injector=injector,
+                        group_commit_events=group_commit_events,
                     )
+                    if journal.wal is not None:
+                        journal.wal.crash_hook = wal_crash_hook if remaining_hooks else None
                     recoveries += 1
                     torn += journal.stats.torn_records_discarded
                     processor = fresh_processor(journal)
@@ -361,6 +387,7 @@ def run_failover_chaos(
     ack_replicas: int = 1,
     schedule: Tuple[FailoverEvent, ...] = (),
     snapshot_every: int = SNAPSHOT_EVERY,
+    group_commit_events: int = 1,
     retry: Optional[RetryPolicy] = None,
     max_rounds: int = 6000,
 ) -> FailoverResult:
@@ -389,6 +416,9 @@ def run_failover_chaos(
             replication_factor=replicas,
             plan=plan,
             snapshot_every=snapshot_every,
+            # The WAL's group-commit event bound (fsync_every is its alias);
+            # every epoch of the lane, original and promoted, inherits it.
+            fsync_every=group_commit_events,
             ack_replicas=ack_replicas,
             fault_injector=None,
             shard_id=shard,
@@ -481,6 +511,7 @@ def run_failover_chaos(
                     lane.depose_on_heal = False
                     do_fail_over(lane)
                 continue
+            round_start = lane.group.primary.stats.events
             arrivals = lane.channel.transmit(lane.source.pending())
             for arrival in arrivals:
                 for env in lane.resequencer.push(arrival):
@@ -490,6 +521,15 @@ def run_failover_chaos(
                         # Journaled nothing: a deterministic no-op, safe to
                         # ack immediately (losing and redoing it is free).
                         lane.source.ack(env.seq)
+            if lane.group.primary.stats.events == round_start:
+                # Idle round: nothing journaled, so a partially filled
+                # group-commit window would never reach its event bound.
+                # A production WAL bounds the wait with a timer; model that
+                # timer firing here, or the tail of the workload sits
+                # unshipped (and unackable) forever.
+                wal = lane.group.primary.wal
+                if wal is not None:
+                    wal.flush_commit_window()
             lane.group.pump(1)
             obs_wm = lane.group.obs_watermark()
             if obs_wm >= 0:
@@ -511,8 +551,13 @@ def run_failover_chaos(
                 else:
                     raise ValueError(f"unknown failover event kind {event.kind!r}")
 
-    # Quiesce: let replication drain so every replica converges too.
+    # Quiesce: force any open group-commit window durable — batches only
+    # become ship-eligible at their covering fsync — then let replication
+    # drain so every replica converges too.
     for lane in lanes:
+        wal = lane.group.primary.wal
+        if wal is not None:
+            wal.flush_commit_window()
         for _ in range(500):
             lane.group.pump(1)
             if lane.group.replicator.watermark() == len(lane.group.replicator.log) and all(

@@ -201,6 +201,35 @@ def test_failover_run_is_replayable(seed, tmp_path):
         assert lane_a.acked_watermark == lane_b.acked_watermark
 
 
+@pytest.mark.parametrize("window", [2, 4])
+def test_failover_with_group_commit_converges(window, tmp_path):
+    """Kills mid-ingest with a multi-batch WAL commit window: batches only
+    ship at their covering fsync, so replicas trail in clumps, the killed
+    primary abandons an open window, and zero-acked-write-loss plus
+    oracle convergence must still hold (the PR 7 invariants under the
+    PR 10 group-commit WAL)."""
+    root = str(tmp_path / "shards")
+    result = run_failover_chaos(
+        WORKLOAD,
+        _plan(SEEDS[0]),
+        root,
+        shards=2,
+        replicas=2,
+        ack_replicas=1,
+        group_commit_events=window,
+        schedule=(
+            FailoverEvent(shard=0, at_events=10),
+            FailoverEvent(shard=0, at_events=14),
+            FailoverEvent(shard=1, at_events=20),
+        ),
+    )
+    assert result.fail_overs == 3
+    _assert_converged(result)
+    result.close()
+    _assert_cold_recovery(result)
+    _assert_no_tmpdir_leaks(root)
+
+
 def test_no_schedule_still_replicates(tmp_path):
     """With an empty schedule the replicated pipeline is just run_chaos with
     followers: it converges, and every replica holds the full log."""

@@ -1,0 +1,415 @@
+"""The ingest fast path: batched ingest must be bit-identical to per-event.
+
+The property under test (the PR's equality contract): *any* partition of
+an observation stream into ``submit_many`` batches yields byte-identical
+journal state, search-index digest, and subscription transition stream
+versus submitting one observation at a time — across shard counts and all
+three shard executors, with any group-commit window.  Amortization
+(fewer fsyncs, fewer generation bumps, fewer lock acquisitions) must be
+observable only in the accounting, never in the data.
+"""
+
+import dataclasses
+import hashlib
+import json
+import random
+
+import pytest
+
+from repro.core import CensysPlatform, PlatformConfig
+from repro.pipeline import (
+    EventBus,
+    ScanObservation,
+    ShardMap,
+    ShardedJournal,
+    WriteSideProcessor,
+    make_executor,
+)
+from repro.pipeline.subscriptions import SubscriptionEngine
+from repro.search import ShardedSearchIndex
+from repro.search.index import SearchIndex
+from repro.simnet import DAY, WorkloadConfig, build_simnet
+from tests.chaos_harness import journal_fingerprint
+from repro.protocols.interrogate import InterrogationResult
+
+
+# ---------------------------------------------------------------------------
+# Synthetic observation streams
+# ---------------------------------------------------------------------------
+
+
+def _result(port, success=True, version=1):
+    if not success:
+        return InterrogationResult(port=port, transport="tcp", success=False)
+    return InterrogationResult(
+        port=port, transport="tcp", success=True, protocol="HTTP",
+        record={"http.status": 200 + version, "banner": f"v{version}"},
+    )
+
+
+def build_stream(seed=7, n_hosts=12, events=220):
+    """Mixed finds / refreshes / changes / failures over a host pool,
+    including back-to-back same-entity runs (the run-batching path)."""
+    rng = random.Random(seed)
+    hosts = [f"host:10.1.{i // 8}.{i % 8 + 1}" for i in range(n_hosts)]
+    ports = [22, 80, 443]
+    versions = {}
+    stream = []
+    while len(stream) < events:
+        host = rng.choice(hosts)
+        # Occasionally emit a same-entity run of 2-4 observations.
+        run = rng.choice([1, 1, 1, 2, 3, 4])
+        for _ in range(run):
+            port = rng.choice(ports)
+            t = float(len(stream))
+            roll = rng.random()
+            key = (host, port)
+            if roll < 0.15:
+                result = _result(port, success=False)
+            elif roll < 0.35:
+                versions[key] = versions.get(key, 0) + 1
+                result = _result(port, version=versions[key])
+            else:
+                versions.setdefault(key, 1)
+                result = _result(port, version=versions[key])
+            stream.append(
+                ScanObservation(host, t, port, "tcp", result, obs_seq=len(stream))
+            )
+    return stream[:events]
+
+
+def partition(stream, seed):
+    """A random partition of the stream into non-empty batches."""
+    rng = random.Random(seed)
+    batches, pos = [], 0
+    while pos < len(stream):
+        size = rng.choice([1, 2, 3, 5, 8, 13, 32, 64])
+        batches.append(stream[pos : pos + size])
+        pos += size
+    return batches
+
+
+def sharded_fingerprint(journal):
+    """Per-shard journal fingerprints (ShardedJournal or plain journal)."""
+    journals = getattr(journal, "journals", [journal])
+    return [journal_fingerprint(j) for j in journals]
+
+
+# ---------------------------------------------------------------------------
+# The core property: partition-invariance of submit_many
+# ---------------------------------------------------------------------------
+
+
+class TestSubmitManyPartitionInvariance:
+    STREAM = build_stream()
+
+    def _run_reference(self, shards):
+        journal = ShardedJournal(ShardMap(shards))
+        ws = WriteSideProcessor(journal, EventBus())
+        kinds = [ws.submit(obs) for obs in self.STREAM]
+        return journal, ws, kinds
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("executor_kind", ["serial", "thread", "process"])
+    def test_any_partition_matches_per_event(self, shards, executor_kind):
+        ref_journal, ref_ws, ref_kinds = self._run_reference(shards)
+        executor = make_executor(executor_kind)
+        try:
+            for part_seed in (1, 2):
+                journal = ShardedJournal(ShardMap(shards))
+                ws = WriteSideProcessor(journal, EventBus())
+                kinds = []
+                for batch in partition(self.STREAM, part_seed):
+                    kinds.extend(ws.submit_many(batch, executor=executor))
+                assert kinds == ref_kinds, (
+                    f"event kinds diverged: shards={shards} "
+                    f"executor={executor_kind} partition={part_seed}"
+                )
+                assert sharded_fingerprint(journal) == sharded_fingerprint(ref_journal)
+                assert dataclasses.asdict(ws.stats) == dataclasses.asdict(ref_ws.stats)
+                assert list(journal.entity_ids()) == list(ref_journal.entity_ids())
+        finally:
+            executor.close()
+
+    def test_degenerate_partitions(self):
+        """All-in-one-batch and one-per-batch both equal the reference."""
+        ref_journal, _ref_ws, ref_kinds = self._run_reference(2)
+        for batches in ([self.STREAM], [[obs] for obs in self.STREAM]):
+            journal = ShardedJournal(ShardMap(2))
+            ws = WriteSideProcessor(journal, EventBus())
+            kinds = []
+            for batch in batches:
+                kinds.extend(ws.submit_many(batch))
+            assert kinds == ref_kinds
+            assert sharded_fingerprint(journal) == sharded_fingerprint(ref_journal)
+
+    def test_durable_batched_recovery_matches_reference(self, tmp_path):
+        """Group-commit + batched ingest recover to the per-event state."""
+        ref_journal, _ws, _kinds = self._run_reference(2)
+        journal = ShardedJournal.durable(
+            str(tmp_path / "wal"), ShardMap(2), group_commit_events=16
+        )
+        ws = WriteSideProcessor(journal, EventBus())
+        for batch in partition(self.STREAM, 3):
+            ws.submit_many(batch)
+        journal.flush_commit_windows()
+        assert sharded_fingerprint(journal) == sharded_fingerprint(ref_journal)
+        journal.close()
+        recovered = ShardedJournal.recover(str(tmp_path / "wal"), ShardMap(2), reopen=False)
+        assert sharded_fingerprint(recovered) == sharded_fingerprint(ref_journal)
+
+
+# ---------------------------------------------------------------------------
+# SearchIndex.put_many / ShardedSearchIndex.put_many
+# ---------------------------------------------------------------------------
+
+
+def _docs(seed=5, n=40, ids=12):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        doc_id = f"host:10.9.0.{rng.randrange(ids)}"
+        out.append(
+            (doc_id, {
+                "services.port": [rng.choice([22, 80, 443])],
+                "services.protocol": [rng.choice(["HTTP", "SSH", "TLS"])],
+                "banner": [f"b{i}"],
+            })
+        )
+    return out
+
+
+class TestPutMany:
+    def test_put_many_equals_sequential_puts(self):
+        updates = _docs()
+        a, b = SearchIndex(), SearchIndex()
+        for doc_id, doc in updates:
+            a.put(doc_id, doc)
+        applied = b.put_many(updates)
+        assert applied == len({d for d, _ in updates})
+        assert list(a.items()) == list(b.items())  # same docs, same put order
+        assert a._postings == b._postings
+        for query in ("services.port: 80", "services.protocol: SSH", "b3"):
+            assert a.search(query) == b.search(query)
+        assert b.generation == 1  # one bump for the whole batch
+        assert a.generation >= len(updates)  # sequential: >= one bump per put
+
+    def test_put_many_lww_and_move_to_end(self):
+        index = SearchIndex()
+        index.put("x", {"f": ["old"]})
+        index.put("y", {"f": ["keep"]})
+        gen = index.generation
+        index.put_many([("x", {"f": ["mid"]}), ("z", {"f": ["new"]}), ("x", {"f": ["last"]})])
+        assert index.get("x") == {"f": ["last"]}
+        assert index.search("f: old") == [] and index.search("f: mid") == []
+        assert index.search("f: last") == ["x"]
+        # Re-put moves x to the end, after z — like sequential puts would.
+        assert [d for d, _ in index.items()] == ["y", "z", "x"]
+        assert index.generation == gen + 1
+        assert index.put_many([]) == 0
+        assert index.generation == gen + 1  # empty batch: no bump
+
+    def test_put_many_invalidates_numeric_columns(self):
+        index = SearchIndex()
+        index.put("a", {"n": [5]})
+        assert index.search("n > 1") == ["a"]  # builds the column
+        index.put_many([("a", {"n": [50]}), ("b", {"n": [2]})])
+        assert index.search("n > 10") == ["a"]
+        assert index.search("n > 1") == ["a", "b"]
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_sharded_put_many_equals_sequential(self, shards):
+        updates = _docs(seed=9)
+        a = ShardedSearchIndex(ShardMap(shards))
+        b = ShardedSearchIndex(ShardMap(shards))
+        for doc_id, doc in updates:
+            a.put(doc_id, doc)
+        b.put_many(updates)
+        assert list(a.doc_ids()) == list(b.doc_ids())
+        assert list(a.items()) == list(b.items())
+        for query in ("services.port: 443", "services.protocol: HTTP"):
+            assert a.search(query) == b.search(query)
+            assert a.count(query) == b.count(query)
+        assert a.aggregate("services.port: 443", "services.protocol") == (
+            b.aggregate("services.port: 443", "services.protocol")
+        )
+        # One generation bump per *touched* shard, not per document.
+        assert all(g <= 1 for g in b.generations())
+
+
+# ---------------------------------------------------------------------------
+# SubscriptionEngine.on_documents
+# ---------------------------------------------------------------------------
+
+
+class TestSubscriptionBatchFeed:
+    QUERIES = [
+        "services.protocol: SSH",
+        "services.port: 80 and services.protocol: HTTP",
+        "banner: b3 or services.protocol: TLS",
+        "services.port > 100",  # un-anchorable: broad
+    ]
+
+    def _engine(self):
+        engine = SubscriptionEngine()
+        for i, q in enumerate(self.QUERIES):
+            engine.subscribe(q, sub_id=f"s{i}", now=0.0)
+        return engine
+
+    def _transitions(self, engine):
+        engine.deliverer.pump()
+        return [
+            (n.seq, n.sub_id, n.entity_id, n.transition)
+            for n in engine.deliverer.drain_delivered()
+        ]
+
+    def test_on_documents_equals_per_event(self):
+        updates = _docs(seed=11, n=60)
+        # Interleave deletions so exits are exercised.
+        feed = []
+        seen = set()
+        for i, (doc_id, doc) in enumerate(updates):
+            if i % 7 == 3 and doc_id in seen:
+                feed.append((doc_id, None))
+            else:
+                feed.append((doc_id, doc))
+                seen.add(doc_id)
+        a, b = self._engine(), self._engine()
+        # Per-event reference vs one batch per advance-sized chunk, with
+        # each chunk deduped to one entry per entity (the derivation
+        # stage's dirty-set contract).
+        pos = 0
+        while pos < len(feed):
+            chunk, chunk_entities = [], set()
+            while pos < len(feed) and feed[pos][0] not in chunk_entities:
+                chunk.append(feed[pos])
+                chunk_entities.add(feed[pos][0])
+                pos += 1
+            for entity_id, doc in chunk:
+                a.on_document(entity_id, doc, now=1.0)
+            b.on_documents(chunk, now=1.0)
+        assert self._transitions(a) == self._transitions(b)
+        assert a.events_seen == b.events_seen
+        assert a.notifications_emitted == b.notifications_emitted
+        for i in range(len(self.QUERIES)):
+            assert a.matching_entities(f"s{i}") == b.matching_entities(f"s{i}")
+
+    def test_on_documents_coalesces_lww(self):
+        engine = self._engine()
+        emitted = engine.on_documents(
+            [
+                ("host:h1", {"services.protocol": ["SSH"]}),
+                ("host:h1", {"services.protocol": ["FTP"]}),  # LWW: not SSH
+            ],
+            now=1.0,
+        )
+        assert emitted == 0
+        assert engine.matching_entities("s0") == set()
+        assert engine.events_seen == 1  # one coalesced entry
+
+
+# ---------------------------------------------------------------------------
+# Platform-level invariance and accounting
+# ---------------------------------------------------------------------------
+
+
+def small_world(seed=6):
+    return build_simnet(
+        bits=12,
+        workload_config=WorkloadConfig(
+            seed=seed, services_target=250, t_start=-8 * DAY, t_end=4 * DAY
+        ),
+        seed=seed,
+    )
+
+
+def run_platform(tmp_path, name, **overrides):
+    cfg = dict(
+        predictive_daily_budget=300, seed=6, shards=2, subscriptions=True,
+        wal_dir=str(tmp_path / name),
+    )
+    cfg.update(overrides)
+    plat = CensysPlatform(small_world(), PlatformConfig(**cfg), start_time=-4 * DAY)
+    plat.subscribe("services.protocol: HTTP", sub_id="watch-http")
+    plat.subscribe("services.port: 22", sub_id="watch-ssh")
+    plat.run_until(0.0, tick_hours=6.0)
+    return plat
+
+
+def serving_digest(plat):
+    """Hash of the user-visible read surfaces: journal, docs, queries,
+    history, notifications."""
+    h = hashlib.sha256()
+    for fp in sharded_fingerprint(plat.journal):
+        h.update(json.dumps(fp, sort_keys=True, default=str).encode())
+    for doc_id in plat.index.doc_ids():
+        h.update(json.dumps({doc_id: plat.index.get(doc_id)}, sort_keys=True, default=str).encode())
+    for query in ("services.protocol: HTTP", "services.port: 22", "services.port > 100"):
+        h.update(repr(plat.search(query)).encode())
+    h.update(json.dumps(plat.drain_notifications(), sort_keys=True).encode())
+    return h.hexdigest()
+
+
+class TestPlatformBatchingInvariance:
+    def test_batched_platform_matches_per_event_reference(self, tmp_path):
+        ref = run_platform(tmp_path, "ref", ingest_batch=1, group_commit_events=1)
+        fast = run_platform(
+            tmp_path, "fast",
+            ingest_batch=8, group_commit_events=16, group_commit_bytes=1 << 16,
+        )
+        try:
+            assert serving_digest(fast) == serving_digest(ref)
+            # The fast platform actually exercised the batched path and
+            # amortized its fsyncs.
+            ingest = fast.traffic_report()["stages"]["ingest"]
+            assert ingest["batched_events"] > 0
+            assert 0 < ingest["group_commits"] < ingest["batched_events"]
+            ref_ingest = ref.traffic_report()["stages"]["ingest"]
+            assert ref_ingest["batched_events"] == 0  # per-event reference
+            assert ingest["events_journaled"] == ref_ingest["events_journaled"]
+        finally:
+            ref.close()
+            fast.close()
+
+    def test_ingest_many_facade_matches_per_event(self, tmp_path):
+        plat = run_platform(tmp_path, "facade", ingest_batch=8, group_commit_events=8)
+        twin = run_platform(tmp_path, "twin", ingest_batch=8, group_commit_events=8)
+        try:
+            extra = build_stream(seed=99, n_hosts=6, events=40)
+            kinds_batch = plat.ingest_many(extra)
+            kinds_ref = [twin.ingest.submit(obs) for obs in extra]
+            assert kinds_batch == kinds_ref
+            assert sharded_fingerprint(plat.journal) == sharded_fingerprint(twin.journal)
+        finally:
+            plat.close()
+            twin.close()
+
+    def test_subscriptions_never_see_an_open_commit_window(self, tmp_path):
+        """Derivation (which feeds subscriptions) must only ever run with
+        every shard's group-commit window already fsynced."""
+        plat = CensysPlatform(
+            small_world(),
+            PlatformConfig(
+                predictive_daily_budget=300, seed=6, shards=2, subscriptions=True,
+                wal_dir=str(tmp_path / "wal"),
+                ingest_batch=8, group_commit_events=64,
+            ),
+            start_time=-2 * DAY,
+        )
+        plat.subscribe("services.protocol: HTTP", sub_id="watch")
+        original = plat.derivation.advance
+
+        def checked_advance():
+            for shard_journal in plat.journal.journals:
+                wal = shard_journal.wal
+                assert wal._records_since_fsync == 0
+                assert not wal._pending_durable
+            return original()
+
+        plat.derivation.advance = checked_advance
+        try:
+            plat.run_until(0.0, tick_hours=6.0)
+            assert plat.derivation.counters["reindexed_entities"] > 0
+            assert plat.subscriptions.events_seen > 0
+        finally:
+            plat.close()

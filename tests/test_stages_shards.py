@@ -291,7 +291,8 @@ class TestTrafficReportSchema:
             "excluded_purged", "web_scans", "ipv6_scans",
         }
         assert set(report["stages"]["ingest"]) == {
-            "observations_ingested", "events_journaled", "messages_pumped", "evictions",
+            "observations_ingested", "events_journaled", "batched_events",
+            "group_commits", "messages_pumped", "evictions",
         }
         assert set(report["stages"]["derivation"]) == {
             "reindexed_entities", "deindexed_entities", "certificates_indexed",

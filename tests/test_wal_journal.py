@@ -202,6 +202,121 @@ class TestDurableJournal:
         assert batched.wal.stats.fsyncs < batched.stats.wal_batches
         batched.close()
 
+    def test_group_commit_window_defers_fsync_and_callbacks(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"), group_commit_events=3)
+        fired = []
+        for i in range(2):
+            wal.append_batch([{"i": i}], on_durable=lambda i=i: fired.append(i))
+        assert wal.stats.fsyncs == 0
+        assert fired == []
+        wal.append_batch([{"i": 2}], on_durable=lambda: fired.append(2))
+        # The third batch fills the window: one fsync covers all three and
+        # fires their durability callbacks in append order.
+        assert wal.stats.fsyncs == 1
+        assert fired == [0, 1, 2]
+        wal.close()
+
+    def test_flush_commit_window_forces_partial_window(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"), group_commit_events=8)
+        fired = []
+        wal.append_batch([{"i": 0}], on_durable=lambda: fired.append(0))
+        wal.flush_commit_window()
+        assert wal.stats.fsyncs == 1
+        assert fired == [0]
+        # A clean window is a no-op: no spurious fsync.
+        wal.flush_commit_window()
+        assert wal.stats.fsyncs == 1
+        wal.close()
+
+    def test_group_commit_byte_bound(self, tmp_path):
+        wal = WriteAheadLog(
+            str(tmp_path / "wal"), group_commit_events=1000, group_commit_bytes=1
+        )
+        wal.append_batch([{"i": 0}])
+        # Any record exceeds a 1-byte window, so every batch fsyncs.
+        assert wal.stats.fsyncs == 1
+        wal.close()
+
+    def test_torn_write_fsync_covers_pending_window(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"), group_commit_events=8)
+        fired = []
+        wal.append_batch([{"i": 0}], on_durable=lambda: fired.append(0))
+        wal.append_batch([{"i": 1}], torn=True)
+        # The torn prefix's fsync also makes the pending complete batch
+        # durable (and fires its callback); the torn batch queued none.
+        assert wal.stats.fsyncs == 1
+        assert fired == [0]
+        wal.close()
+
+    def test_close_fsync_covers_open_window(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"), group_commit_events=8)
+        fired = []
+        wal.append_batch([{"i": 0}], on_durable=lambda: fired.append(0))
+        wal.close()
+        assert fired == [0]
+        assert wal.stats.fsyncs >= 1
+
+    def test_fsync_every_is_group_commit_alias(self, tmp_path):
+        legacy = WriteAheadLog(str(tmp_path / "a"), fsync_every=5)
+        assert legacy.fsync_every == 5
+        assert legacy.group_commit_events == 5
+        legacy.close()
+        explicit = WriteAheadLog(str(tmp_path / "b"), fsync_every=2, group_commit_events=7)
+        assert explicit.group_commit_events == 7
+        assert explicit.fsync_every == 7
+        explicit.close()
+
+    def test_every_real_fsync_is_counted(self, tmp_path, monkeypatch):
+        """WalStats.fsyncs equals the number of actual os.fsync calls,
+        across window fsyncs, torn-path fsyncs, rotation, and close."""
+        real_fsync = os.fsync
+        calls = {"n": 0}
+
+        def counting_fsync(fd):
+            calls["n"] += 1
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", counting_fsync)
+        wal = WriteAheadLog(
+            str(tmp_path / "wal"), segment_max_records=3, group_commit_events=2
+        )
+        for i in range(8):  # crosses two rotation boundaries
+            wal.append_batch([{"i": i}])
+        wal.append_batch([{"torn": True}], torn=True)
+        wal.append_batch([{"i": 99}])  # leaves an open window for close
+        wal.close()
+        assert wal.stats.fsyncs == calls["n"]
+        assert wal.stats.fsyncs > 0
+
+    def test_group_commit_recovery_identical_to_reference(self, tmp_path):
+        reference = durable_journal(tmp_path, fsync_every=1)
+        fill(reference, n=12)
+        reference.close()
+        windowed_wal = WriteAheadLog(str(tmp_path / "wal-g"), group_commit_events=5)
+        windowed = EventJournal(snapshot_every=3, wal=windowed_wal)
+        fill(windowed, n=12)
+        windowed.close()
+        assert windowed_wal.stats.fsyncs < reference.wal.stats.fsyncs
+        rec_ref = EventJournal.recover(str(tmp_path / "wal"), snapshot_every=3, reopen=False)
+        rec_win = EventJournal.recover(str(tmp_path / "wal-g"), snapshot_every=3, reopen=False)
+        assert journal_fingerprint(rec_win) == journal_fingerprint(rec_ref)
+        assert storage_fingerprint(rec_win) == storage_fingerprint(rec_ref)
+
+    def test_commit_listener_fires_only_after_covering_fsync(self, tmp_path):
+        journal = durable_journal(tmp_path, group_commit_events=3)
+        shipped = []
+        journal.commit_listener = lambda events: shipped.append(len(events))
+        journal.append("e", 1.0, EventKind.SERVICE_FOUND, {"key": "80/tcp", "record": {}})
+        journal.append("e", 2.0, EventKind.SERVICE_REFRESHED, {"key": "80/tcp"})
+        assert shipped == []  # buffered: the covering fsync has not run
+        journal.append("e", 3.0, EventKind.SERVICE_REFRESHED, {"key": "80/tcp"})
+        assert shipped == [1, 1, 1]  # window filled: all three ship, in order
+        journal.append("e", 4.0, EventKind.SERVICE_REFRESHED, {"key": "80/tcp"})
+        assert shipped == [1, 1, 1]
+        journal.flush_commit_window()
+        assert shipped == [1, 1, 1, 1]
+        journal.close()
+
     def test_in_memory_journal_unaffected(self, tmp_path):
         """durable=False stays the default and writes nothing anywhere."""
         journal = EventJournal(snapshot_every=3)
